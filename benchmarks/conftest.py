@@ -1,0 +1,27 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+reports), while pytest-benchmark times the regeneration itself.
+"""
+
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print()
+    print(title)
+    print("-" * len(line))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    print("-" * len(line))
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    return print_table

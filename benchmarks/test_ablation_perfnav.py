@@ -1,0 +1,63 @@
+"""Ablation A4: performance-estimation navigation (Section 3.2).
+
+Workshop users profiled their codes externally (gprof, Forge) to find
+the hot loops; ParaScope added a static estimator.  For every corpus
+program, compare the static estimator's loop ranking with the
+interpreter's measured profile: the navigation claim holds if the
+estimator's top pick is in the profile's top three (the user is pointed
+at the right place without running the program).
+"""
+
+import pytest
+
+from repro.corpus import ORDER, PROGRAMS
+from repro.interp import Interpreter
+from repro.ir import AnalyzedProgram
+from repro.perf import estimate_program
+
+
+def measure(name: str):
+    cp = PROGRAMS[name]
+    program = AnalyzedProgram.from_source(cp.source)
+    est = estimate_program(program)
+    interp = Interpreter(program, inputs=list(cp.inputs))
+    interp.run()
+    # unify loop identity as (unit, loop id)
+    uid_to_key = {}
+    for uname, uir in program.units.items():
+        for li in uir.loops.all_loops():
+            uid_to_key[li.uid] = f"{uname}:{li.id}"
+    static = [f"{e.unit}:{e.loop.id}" for e in est.ranked_loops()]
+    dynamic = [uid_to_key[uid] for uid, _ in
+               sorted(interp.profile.loop_time.items(),
+                      key=lambda kv: -kv[1]) if uid in uid_to_key]
+    return {"program": name, "static_top": static[0] if static else "-",
+            "dynamic_top3": dynamic[:3]}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [measure(name) for name in ORDER]
+
+
+def test_ablation_perfnav_report(results, reporter):
+    rows = []
+    hits = 0
+    for r in results:
+        hit = r["static_top"] in r["dynamic_top3"]
+        hits += hit
+        rows.append([r["program"], r["static_top"],
+                     ", ".join(r["dynamic_top3"]),
+                     "yes" if hit else "no"])
+    reporter("A4: static estimator's top loop vs interpreter profile "
+             "top-3", ["program", "static #1", "profile top-3",
+                       "agree"], rows)
+    # navigation is useful when the static pick lands in the real top 3
+    # for at least 6 of the 8 codes
+    assert hits >= 6, rows
+
+
+def test_ablation_perfnav_benchmark(benchmark):
+    r = benchmark.pedantic(measure, args=("arc3d",), rounds=1,
+                           iterations=1)
+    assert r["static_top"] != "-"

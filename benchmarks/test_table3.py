@@ -1,0 +1,47 @@
+"""Table 3: Analysis Used (U) or Needed (N) During Workshop.
+
+The detectors measure each cell from the program itself: U when the
+existing analysis demonstrably changes the outcome (finds parallel
+loops, privatizes the blocking scalar, shrinks call-induced
+dependences), N when a proposed analysis (array kills, reduction
+recognition, index-array reasoning) is what the remaining obstacles
+require.  The regenerated table must equal the paper's, including the
+per-row totals (8 / 7 / 6 / 7 / 5 / 3).
+"""
+
+import pytest
+
+from repro.corpus import ANALYSES, ORDER, PROGRAMS
+from repro.corpus.detect import table3_row
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {name: table3_row(PROGRAMS[name]) for name in ORDER}
+
+
+def test_table3_report(measured, reporter):
+    rows = []
+    for a in ANALYSES:
+        rows.append([a] + [measured[name][a] or "-" for name in ORDER])
+    reporter("Table 3: Analysis Used (U) or Needed (N)",
+             ["analysis"] + list(ORDER), rows)
+    for name in ORDER:
+        expected = PROGRAMS[name].table3
+        for a in ANALYSES:
+            assert measured[name][a] == expected.get(a, ""), (name, a)
+
+
+def test_table3_row_totals(measured):
+    totals = {a: sum(1 for name in ORDER if measured[name][a])
+              for a in ANALYSES}
+    assert totals == {"dependence": 8, "scalar kills": 7, "sections": 6,
+                      "array kills": 7, "reductions": 5,
+                      "index arrays": 3}
+
+
+def test_table3_benchmark(benchmark):
+    # one representative program keeps the timed kernel meaningful
+    row = benchmark.pedantic(table3_row, args=(PROGRAMS["arc3d"],),
+                             rounds=1, iterations=1)
+    assert row["array kills"] == "N"

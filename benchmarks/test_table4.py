@@ -1,0 +1,56 @@
+"""Table 4: Transformations Used (U) and Needed (N) During the Workshop.
+
+U entries are measured from the transformations the scripted sessions
+actually applied; N entries come from the need detectors (unstructured
+control flow; interprocedural granularity mismatch).
+"""
+
+import pytest
+
+from repro.corpus import ORDER, PROGRAMS, TRANSFORMS
+from repro.corpus.detect import needs_control_flow, needs_interprocedural
+from repro.ped.scripts import run_workshop, table4_used
+
+
+@pytest.fixture(scope="module")
+def measured():
+    reports = run_workshop()
+    used = table4_used(reports)
+    table = {t: {name: "" for name in ORDER} for t in TRANSFORMS}
+    for label, progs in used.items():
+        for p in progs:
+            table[label][p] = "U"
+    for name in ORDER:
+        cp = PROGRAMS[name]
+        if needs_control_flow(cp):
+            table["control flow"][name] = "N"
+        if needs_interprocedural(cp):
+            table["interprocedural"][name] = "N"
+    return table
+
+
+def test_table4_report(measured, reporter):
+    rows = [[t] + [measured[t][name] or "-" for name in ORDER]
+            for t in TRANSFORMS]
+    reporter("Table 4: Transformations Used (U) and Needed (N)",
+             ["transformation"] + list(ORDER), rows)
+    for name in ORDER:
+        expected = PROGRAMS[name].table4
+        for t in TRANSFORMS:
+            assert measured[t][name] == expected.get(t, ""), (name, t)
+
+
+def test_table4_row_totals(measured):
+    totals = {t: sum(1 for name in ORDER if measured[t][name])
+              for t in TRANSFORMS}
+    assert totals == {"loop distribution": 1, "loop interchange": 1,
+                      "loop fusion": 1, "scalar expansion": 3,
+                      "loop unrolling": 2, "control flow": 3,
+                      "interprocedural": 1}
+
+
+def test_table4_benchmark(benchmark):
+    def regenerate():
+        return table4_used(run_workshop())
+    used = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert used["scalar expansion"] == {"spec77", "slab2d", "slalom"}

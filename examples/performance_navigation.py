@@ -1,0 +1,50 @@
+"""Performance-based navigation (paper Section 3.2).
+
+Workshop users relied on external gprof runs to find the loops worth
+parallelizing; ParaScope integrated a static performance estimator.
+This example shows both: the estimator's ranking for arc3d and the
+interpreter's measured profile, side by side.
+
+Run:  python examples/performance_navigation.py
+"""
+
+from repro import PedSession
+from repro.corpus import PROGRAMS
+
+
+def main() -> None:
+    session = PedSession(PROGRAMS["arc3d"].source)
+
+    print("== static performance estimation (no execution) ==")
+    print(session.navigation_report(top=8))
+
+    print()
+    print("== dynamic profile (interpreter run) ==")
+    profile = session.profile()
+    uid_to_key = {}
+    for uname in session.units():
+        uir = session.program.units[uname]
+        for li in uir.loops.all_loops():
+            uid_to_key[li.uid] = (f"{uname}:{li.id}", li.line)
+    ranked = sorted(profile.loop_time.items(), key=lambda kv: -kv[1])
+    print(f"{'rank':>4}  {'loop':<14} {'line':>5} {'time':>12} "
+          f"{'share':>6}  iterations")
+    for rank, (uid, t) in enumerate(ranked[:8], 1):
+        key, line = uid_to_key[uid]
+        share = 100.0 * profile.loop_fraction(uid)
+        iters = profile.loop_iterations.get(uid, 0)
+        print(f"{rank:>4}  {key:<14} {line:>5} {t:>12.0f} "
+              f"{share:>5.1f}%  {iters}")
+
+    print()
+    top = session.hot_loops(1)[0]
+    print(f"navigation: the estimator points at {top.unit}:{top.loop.id} "
+          f"(line {top.loop.line}) -- select it and work there first.")
+    session.select_unit(top.unit)
+    session.select_loop(top.loop.id)
+    print(f"selected loop {top.loop.id}; "
+          f"{len(session.dependences())} dependences to review.")
+
+
+if __name__ == "__main__":
+    main()

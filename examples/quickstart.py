@@ -1,0 +1,58 @@
+"""Quickstart: open a program in PED, inspect a loop, parallelize it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PedSession
+from repro.interp import simulate_speedup
+
+SOURCE = """\
+      PROGRAM DEMO
+      INTEGER I, N
+      REAL A(200), B(200), T
+      N = 200
+      DO 5 I = 1, N
+         A(I) = I * 0.5
+ 5    CONTINUE
+      DO 10 I = 1, N
+         T = A(I) * 2.0
+         B(I) = SQRT(T) + 1.0
+ 10   CONTINUE
+      PRINT *, B(N)
+      END
+"""
+
+
+def main() -> None:
+    session = PedSession(SOURCE)
+
+    print("== the ParaScope Editor window (Figure 1 style) ==")
+    session.select_loop("L2")
+    print(session.render())
+
+    print()
+    print("== variables of the selected loop ==")
+    for row in session.variable_pane.rows():
+        print(f"  {row['name']:<6} dim={row['dim']} kind={row['kind']}")
+
+    print()
+    print("== power steering: is parallelization safe? ==")
+    advice = session.advice("parallelize")
+    print(f"  parallelize: {advice.explain()}")
+
+    before = session.source()
+    result = session.apply("parallelize")
+    print(f"  applied: {result.description}")
+
+    print()
+    print("== transformed source ==")
+    print(session.source())
+
+    timing = simulate_speedup(before, session.source())
+    print(f"simulated fork-join speedup: {timing.speedup:.1f}x "
+          f"(virtual clock {timing.sequential_time:.0f} -> "
+          f"{timing.parallel_time:.0f})")
+
+
+if __name__ == "__main__":
+    main()

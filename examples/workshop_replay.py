@@ -1,0 +1,61 @@
+"""Replay the whole 1991 workshop (paper Section 2) and print the
+regenerated evaluation tables.
+
+Run:  python examples/workshop_replay.py
+"""
+
+from repro.corpus import ANALYSES, ORDER, PROGRAMS, TRANSFORMS
+from repro.corpus.detect import (needs_control_flow, needs_interprocedural,
+                                 table3_row)
+from repro.ped.scripts import (TABLE2_REFERENCE, run_workshop,
+                               table2_used_counts, table4_used)
+
+
+def main() -> None:
+    print("running the seven scripted groups ...")
+    reports = run_workshop()
+    for r in reports:
+        print(f"\n{r.group}: {r.members}")
+        print(f"  features: {', '.join(sorted(r.features_used()))}")
+        for prog, names in r.transformations_applied().items():
+            if names:
+                print(f"  {prog}: applied {', '.join(sorted(names))}")
+        for note in r.notes:
+            print(f"  note: {note}")
+
+    print("\n=== Table 2 (used column measured) ===")
+    used = table2_used_counts(reports)
+    for feature, ref in TABLE2_REFERENCE.items():
+        stars = "*" * used[feature]
+        print(f"  {feature:<26} {stars:<8} (paper: "
+              f"{'*' * ref.get('used', 0)})")
+
+    print("\n=== Table 3 (measured by the need/use detectors) ===")
+    header = "  {:<14}".format("analysis") + "".join(
+        f"{n[:8]:>10}" for n in ORDER)
+    print(header)
+    for a in ANALYSES:
+        row = f"  {a:<14}"
+        for name in ORDER:
+            row += f"{table3_row(PROGRAMS[name])[a] or '-':>10}"
+        print(row)
+
+    print("\n=== Table 4 ===")
+    t4 = table4_used(reports)
+    print("  {:<18}".format("transformation") + "".join(
+        f"{n[:8]:>10}" for n in ORDER))
+    for t in TRANSFORMS:
+        row = f"  {t:<18}"
+        for name in ORDER:
+            mark = "U" if name in t4.get(t, set()) else ""
+            if t == "control flow" and needs_control_flow(PROGRAMS[name]):
+                mark = "N"
+            if t == "interprocedural" and \
+                    needs_interprocedural(PROGRAMS[name]):
+                mark = "N"
+            row += f"{mark or '-':>10}"
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

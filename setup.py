@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim enables legacy editable
+# installs (`pip install -e . --no-use-pep517`) on environments without
+# the `wheel` package.
+setup()

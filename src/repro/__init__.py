@@ -1,0 +1,34 @@
+"""repro: a reproduction of the ParaScope Editor (PED).
+
+``repro`` implements the interactive parallel programming tool described in
+"Experiences Using the ParaScope Editor" (PPoPP 1993): a Fortran 77 front
+end, dependence analysis with scalar/symbolic/interprocedural support, the
+Figure-2 transformation catalog under the power-steering paradigm, the
+user-assertion language of Section 3.3, static performance estimation, a
+profiling interpreter, and the pane-based editor session model.
+
+Quick start::
+
+    from repro import PedSession
+    session = PedSession(fortran_source_text)
+    loop = session.loops()[0]
+    session.select_loop(loop)
+    print(session.render())            # the Figure-1 style window
+    session.classify_variable("T", "private", reason="killed each iter")
+    advice = session.apply("parallelize", loop)
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # PedSession is imported lazily so that low-level subpackages
+    # (repro.fortran, repro.dependence, ...) can be used without pulling in
+    # the whole session stack.
+    if name == "PedSession":
+        from .ped.session import PedSession
+        return PedSession
+    raise AttributeError(name)
+
+
+__all__ = ["PedSession", "__version__"]

@@ -1,0 +1,26 @@
+"""Scalar data-flow, symbolic, and control-dependence analyses."""
+
+from .constants import BOTTOM, TOP, ConstantMap, eval_const, \
+    propagate_constants
+from .controldep import ControlDep, control_dep_map, control_dependences
+from .defuse import DefUse, Definition, SideEffectOracle, VarAccess, \
+    accesses, compute_defuse, compute_liveness, stmt_defs, stmt_must_defs, \
+    stmt_uses
+from .kills import PrivatizableScalar, privatizable_names, scalar_kills, \
+    upward_exposed_uses
+from .linear import LinearExpr, linearize, simplify_expr, to_expr
+from .symbolic import AuxiliaryInduction, auxiliary_inductions, \
+    defined_names_in, invariant_names, symbolic_relations, trip_count
+
+__all__ = [
+    "BOTTOM", "TOP", "ConstantMap", "eval_const", "propagate_constants",
+    "ControlDep", "control_dep_map", "control_dependences",
+    "DefUse", "Definition", "SideEffectOracle", "VarAccess", "accesses",
+    "compute_defuse", "compute_liveness", "stmt_defs", "stmt_must_defs",
+    "stmt_uses",
+    "PrivatizableScalar", "privatizable_names", "scalar_kills",
+    "upward_exposed_uses",
+    "LinearExpr", "linearize", "simplify_expr", "to_expr",
+    "AuxiliaryInduction", "auxiliary_inductions", "defined_names_in",
+    "invariant_names", "symbolic_relations", "trip_count",
+]

@@ -1,0 +1,356 @@
+"""Array kill analysis: array privatization candidates (Section 4.3).
+
+The paper reports that for loops in seven of the eight programs, *array
+kill analysis* -- proving a temporary array is wholly written before being
+read in every iteration of an outer loop -- would eliminate the important
+dependences.  PED did not have it; we implement it as the proposed
+extension.
+
+The algorithm works over bounded regular sections (the same machinery as
+interprocedural side-effect analysis): walk the loop body's top-level
+constructs in textual order, accumulating per-iteration *written* sections
+per array; a read is covered when some previously-written section contains
+it.  An array is a privatization candidate when every read inside the loop
+is covered by earlier same-iteration writes, so no value flows between
+iterations through the array.
+
+Symbolic relations matter here: arc3d's ``WR1(JMAX,K) = WR1(JM,K)`` only
+covers row ``JMAX`` once ``JM = JMAX - 1`` lets the two write sections
+``[1:JM]`` and ``[JMAX:JMAX]`` merge into ``[1:JMAX]`` -- pass the
+relation environment from :func:`repro.analysis.symbolic.
+symbolic_relations` (or a user assertion) as ``env``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast
+from ..ir.symtab import SymbolTable
+from .defuse import SideEffectOracle, accesses
+from .linear import LinearExpr, linearize
+
+# Imported lazily to keep repro.analysis free of package-level dependence
+# on repro.dependence (which itself imports repro.analysis submodules).
+from ..dependence.facts import FactBase  # noqa: E402
+
+
+@dataclass(frozen=True)
+class Bound:
+    lo: LinearExpr | None
+    hi: LinearExpr | None
+
+    @property
+    def known(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+
+@dataclass
+class ArrayKillResult:
+    array: str
+    privatizable: bool
+    #: value may be needed after the loop: privatization requires copy-out
+    live_out_risk: bool
+    reason: str
+
+
+def _expand_subscript(e: ast.Expr, loop_bounds: dict[str, Bound],
+                      env: dict[str, LinearExpr]) -> Bound:
+    le = linearize(e, env)
+    if not le.is_affine:
+        return Bound(None, None)
+    lo = LinearExpr.constant(le.const)
+    hi = LinearExpr.constant(le.const)
+    for v, c in le.terms:
+        if v in loop_bounds:
+            b = loop_bounds[v]
+            if not b.known:
+                return Bound(None, None)
+            tlo, thi = b.lo.scale(c), b.hi.scale(c)
+            if c < 0:
+                tlo, thi = thi, tlo
+            lo = lo + tlo
+            hi = hi + thi
+        else:
+            lo = lo + LinearExpr.var(v, c)
+            hi = hi + LinearExpr.var(v, c)
+    return Bound(lo, hi)
+
+
+def _contains(outer: Bound, inner: Bound, facts: "FactBase") -> bool:
+    """outer.lo <= inner.lo and inner.hi <= outer.hi, decided through the
+    fact base (constants, ranges, and user assertions)."""
+    if not outer.known or not inner.known:
+        return False
+    return facts.known_nonnegative(inner.lo - outer.lo) \
+        and facts.known_nonnegative(outer.hi - inner.hi)
+
+
+def _try_merge(a: Bound, b: Bound, facts: "FactBase") -> Bound | None:
+    """Union of overlapping/adjacent bounds when the fact base can order
+    the endpoints."""
+    if not a.known or not b.known:
+        return None
+    # order so that a starts first when decidable
+    d = b.lo - a.lo
+    if facts.known_positive(-d):
+        a, b = b, a
+    elif not facts.known_nonnegative(d):
+        return None
+    gap = b.lo - a.hi
+    one = LinearExpr.constant(1)
+    if facts.known_nonnegative(one - gap):
+        hi_d = b.hi - a.hi
+        if facts.known_nonnegative(hi_d):
+            return Bound(a.lo, b.hi)
+        if facts.known_nonnegative(-hi_d):
+            return Bound(a.lo, a.hi)
+    return None
+
+
+@dataclass
+class _SectionSet:
+    """Union of written regions for one array (list of per-dim bounds)."""
+
+    facts: "FactBase"
+    regions: list[tuple[Bound, ...]] = field(default_factory=list)
+
+    def add(self, region: tuple[Bound, ...]) -> None:
+        for i, r in enumerate(self.regions):
+            if len(r) != len(region):
+                continue
+            diff_dims = [k for k in range(len(r))
+                         if not (_contains(r[k], region[k], self.facts)
+                                 and _contains(region[k], r[k], self.facts))]
+            if len(diff_dims) == 0:
+                return  # identical
+            if len(diff_dims) == 1:
+                k = diff_dims[0]
+                m = _try_merge(r[k], region[k], self.facts)
+                if m is not None:
+                    new = list(r)
+                    new[k] = m
+                    self.regions[i] = tuple(new)
+                    return
+        self.regions.append(region)
+
+    def covers(self, region: tuple[Bound, ...]) -> bool:
+        for r in self.regions:
+            if len(r) == len(region) and all(
+                    _contains(rk, qk, self.facts)
+                    for rk, qk in zip(r, region)):
+                return True
+        return False
+
+
+class BodyArrayScan:
+    """Textual-order array section scan of a statement list.
+
+    Tracks, per array: the union of unconditionally-written sections
+    visible so far, reads not covered by earlier writes, and writes whose
+    section could not be bounded.  Used both for per-loop array kill
+    analysis and for procedure-level killed-array summaries (the arc3d
+    interprocedural case).
+    """
+
+    def __init__(self, symtab: SymbolTable,
+                 oracle: SideEffectOracle | None = None,
+                 env: dict[str, LinearExpr] | None = None,
+                 call_sections=None,
+                 facts: "FactBase | None" = None):
+        self.symtab = symtab
+        self.oracle = oracle or SideEffectOracle()
+        self.env = env or {}
+        self.call_sections = call_sections
+        self.facts = facts or FactBase()
+        self.written: dict[str, _SectionSet] = {}
+        self.uncovered: dict[str, str] = {}
+        self.arrays_written: set[str] = set()
+        self.arrays_read: set[str] = set()
+        self.unknown_write: set[str] = set()
+
+    # -- recording -----------------------------------------------------------
+
+    def region_of(self, subs, loop_bounds) -> tuple[Bound, ...]:
+        return tuple(_expand_subscript(x, loop_bounds, self.env)
+                     for x in subs)
+
+    def bounds_with(self, lb, lp: ast.DoLoop) -> dict[str, Bound]:
+        lo = linearize(lp.start, self.env)
+        hi = linearize(lp.end, self.env)
+        out = dict(lb)
+        out[lp.var] = Bound(lo if lo.is_affine else None,
+                            hi if hi.is_affine else None)
+        return out
+
+    def record_read(self, name: str, region, line: int) -> None:
+        self.arrays_read.add(name)
+        ws = self.written.get(name)
+        if ws is None or not ws.covers(region):
+            self.uncovered.setdefault(
+                name, f"read at line {line} not covered by earlier "
+                      f"writes")
+
+    def record_write(self, name: str, region) -> None:
+        self.arrays_written.add(name)
+        if region is None or any(not b.known for b in region):
+            self.unknown_write.add(name)
+            return
+        self.written.setdefault(name, _SectionSet(self.facts)).add(region)
+
+    # -- traversal -------------------------------------------------------------
+
+    def scan(self, body: list[ast.Stmt],
+             loop_bounds: dict[str, Bound] | None = None,
+             conditional: bool = False) -> "BodyArrayScan":
+        loop_bounds = loop_bounds or {}
+        for s in body:
+            if isinstance(s, ast.DoLoop):
+                inner = self.bounds_with(loop_bounds, s)
+                for e in s.exprs():
+                    self._expr_reads(e, loop_bounds)
+                self.scan(s.body, inner, conditional)
+                continue
+            if isinstance(s, ast.IfBlock):
+                self._expr_reads(s.cond, loop_bounds)
+                for c, _ in s.elifs:
+                    self._expr_reads(c, loop_bounds)
+                for blk in s.blocks():
+                    self.scan(blk, loop_bounds, True)
+                continue
+            if isinstance(s, ast.LogicalIf):
+                self._expr_reads(s.cond, loop_bounds)
+                self.scan([s.stmt], loop_bounds, True)
+                continue
+            if isinstance(s, ast.CallStmt) and self.call_sections is not None:
+                triples = self.call_sections(s)
+                if triples is None:
+                    for a in accesses(s, self.symtab, self.oracle):
+                        sym = self.symtab.get(a.name)
+                        if sym is not None and sym.is_array:
+                            if a.is_def:
+                                self.record_write(a.name, None)
+                            else:
+                                self.record_read(
+                                    a.name, (Bound(None, None),), s.line)
+                    continue
+                for name, region, is_write in triples:
+                    if is_write:
+                        if conditional:
+                            self.unknown_write.add(name)
+                            self.arrays_written.add(name)
+                        else:
+                            self.record_write(name, region)
+                    else:
+                        self.record_read(
+                            name,
+                            region if region is not None
+                            else (Bound(None, None),), s.line)
+                continue
+            # ordinary statement: reads first, then the write
+            for a in accesses(s, self.symtab, self.oracle):
+                sym = self.symtab.get(a.name)
+                if sym is None or not sym.is_array:
+                    continue
+                if not a.is_def and isinstance(a.ref, ast.ArrayRef):
+                    self.record_read(
+                        a.name, self.region_of(a.ref.subscripts,
+                                               loop_bounds), s.line)
+                elif not a.is_def:
+                    self.record_read(a.name, (Bound(None, None),), s.line)
+            for a in accesses(s, self.symtab, self.oracle):
+                sym = self.symtab.get(a.name)
+                if sym is None or not sym.is_array:
+                    continue
+                if a.is_def:
+                    if conditional:
+                        self.unknown_write.add(a.name)
+                        self.arrays_written.add(a.name)
+                    elif isinstance(a.ref, ast.ArrayRef):
+                        self.record_write(
+                            a.name, self.region_of(a.ref.subscripts,
+                                                   loop_bounds))
+                    else:
+                        self.record_write(a.name, None)
+        return self
+
+    def _expr_reads(self, e: ast.Expr, loop_bounds) -> None:
+        for node in ast.walk_expr(e):
+            if isinstance(node, ast.ArrayRef):
+                sym = self.symtab.get(node.name)
+                if sym is not None and sym.is_array:
+                    self.record_read(
+                        node.name, self.region_of(node.subscripts,
+                                                  loop_bounds), 0)
+
+    # -- results ------------------------------------------------------------------
+
+    def covered_arrays(self) -> set[str]:
+        """Arrays written with every read covered by earlier writes."""
+        return {a for a in self.arrays_written
+                if a not in self.uncovered and a not in self.unknown_write}
+
+    def killed_regions(self, name: str) -> "list[tuple[Bound, ...]] | None":
+        ws = self.written.get(name)
+        return list(ws.regions) if ws is not None else None
+
+
+def array_kills(loop: ast.DoLoop, symtab: SymbolTable,
+                oracle: SideEffectOracle | None = None,
+                env: dict[str, LinearExpr] | None = None,
+                call_sections=None,
+                facts: "FactBase | None" = None) -> list[ArrayKillResult]:
+    """Array privatization candidates for one loop.
+
+    ``call_sections(stmt)`` may supply ``(array, region, is_write)``
+    triples for CALL statements (from interprocedural section analysis),
+    enabling the arc3d pattern of an array killed inside a called
+    procedure.
+    """
+    # The loop variable ranges over [start, end] inside the body: hand
+    # the fact base that range so subscripts like ROW(I) compare against
+    # whole-row sections.
+    facts = facts or FactBase()
+    env = env or {}
+    lo = linearize(loop.start, env)
+    hi = linearize(loop.end, env)
+    step = linearize(loop.step, env).int_const if loop.step is not None \
+        else 1
+    if lo.is_affine and hi.is_affine and step is not None:
+        if step < 0:
+            lo, hi = hi, lo
+        facts = FactBase(list(facts.linear), list(facts.index_arrays),
+                         dict(facts.ranges))
+        iv = LinearExpr.var(loop.var)
+        facts.assert_linear(iv - lo, ">=")
+        facts.assert_linear(hi - iv, ">=")
+    scan = BodyArrayScan(symtab, oracle, env, call_sections, facts)
+    scan.scan(loop.body)
+    results: list[ArrayKillResult] = []
+    for name in sorted(scan.arrays_written):
+        sym = symtab.get(name)
+        live_risk = sym is not None and (sym.storage in ("argument",
+                                                         "common")
+                                         or sym.saved)
+        if name in scan.uncovered:
+            results.append(ArrayKillResult(
+                name, False, live_risk, scan.uncovered[name]))
+        elif name in scan.unknown_write and name in scan.arrays_read:
+            results.append(ArrayKillResult(
+                name, False, live_risk,
+                "conditional or unanalyzable write section"))
+        else:
+            results.append(ArrayKillResult(
+                name, True, live_risk,
+                "every read covered by earlier same-iteration writes"))
+    return results
+
+
+def privatizable_arrays(loop: ast.DoLoop, symtab: SymbolTable,
+                        oracle: SideEffectOracle | None = None,
+                        env: dict[str, LinearExpr] | None = None,
+                        call_sections=None,
+                        facts: "FactBase | None" = None) -> set[str]:
+    return {r.array for r in array_kills(loop, symtab, oracle, env,
+                                         call_sections, facts)
+            if r.privatizable}

@@ -1,0 +1,63 @@
+"""Control dependence via postdominators (Ferrante-Ottenstein-Warren).
+
+A statement *y* is control dependent on *x* when *x* has a successor from
+which *y* is always reached (y postdominates it) but *y* does not
+postdominate *x* itself.  PED displays control dependences alongside data
+dependences; transformations consult them when reordering statements with
+branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cfg import CFG, EXIT, immediate_dominators
+
+
+@dataclass(frozen=True)
+class ControlDep:
+    #: uid of the branch statement
+    source: int
+    #: uid of the controlled statement
+    sink: int
+
+
+def control_dependences(cfg: CFG) -> list[ControlDep]:
+    ipdom = immediate_dominators(cfg, entry=EXIT, backward=True)
+
+    def pdom_chain(n: int):
+        seen = set()
+        cur: int | None = n
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            yield cur
+            cur = ipdom.get(cur)
+
+    deps: set[ControlDep] = set()
+    for a in cfg.nodes:
+        succs = cfg.succs.get(a, set())
+        if len(succs) < 2:
+            continue
+        a_pdoms = set(pdom_chain(a))
+        for b in succs:
+            # Walk b's postdominator chain up to (but excluding) ipdom(a).
+            stop = ipdom.get(a)
+            for n in pdom_chain(b):
+                if n == stop:
+                    break
+                if n == a:
+                    # a postdominates its own successor: loop back-edge;
+                    # a is control dependent on itself -- record and stop.
+                    deps.add(ControlDep(a, a))
+                    break
+                if n != EXIT and n in cfg.stmts:
+                    deps.add(ControlDep(a, n))
+    return sorted(deps, key=lambda d: (d.source, d.sink))
+
+
+def control_dep_map(cfg: CFG) -> dict[int, set[int]]:
+    """sink uid -> uids of branches it is control dependent on."""
+    out: dict[int, set[int]] = {}
+    for d in control_dependences(cfg):
+        out.setdefault(d.sink, set()).add(d.source)
+    return out

@@ -1,0 +1,271 @@
+"""Definition/use extraction and def-use chains.
+
+Each executable statement contributes:
+
+* ``defs``: variables it may define (scalar assignments and READ targets
+  kill; array element assignments are may-defs and do not kill);
+* ``uses``: variables it reads, including subscripts on both sides.
+
+Procedure calls are handled through a pluggable :class:`SideEffectOracle`
+so intraprocedural analysis can run standalone (worst-case assumptions)
+and interprocedural MOD/REF/KILL analysis can sharpen it -- exactly the
+refinement Section 4 of the paper credits for eliminating call-induced
+dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast
+from ..ir.cfg import CFG, ENTRY
+from ..ir.symtab import SymbolTable
+
+
+@dataclass(frozen=True)
+class VarAccess:
+    """One variable access within a statement."""
+
+    name: str
+    is_def: bool
+    #: the reference expression (VarRef/ArrayRef), or None for implied
+    #: accesses such as call side effects
+    ref: ast.Expr | None = None
+    #: True when the access certainly happens and certainly overwrites the
+    #: whole variable (used as the kill condition)
+    must: bool = True
+
+
+class SideEffectOracle:
+    """Worst-case call side effects: every argument and every COMMON
+    variable visible in the caller may be both read and written, and
+    nothing is killed."""
+
+    def call_effects(self, caller_symtab: SymbolTable, callee: str,
+                     args: tuple[ast.Expr, ...]) -> tuple[set[str], set[str], set[str]]:
+        """Return ``(ref_names, mod_names, kill_names)`` for a call."""
+        names: set[str] = set()
+        for a in args:
+            for node in ast.walk_expr(a):
+                if isinstance(node, (ast.VarRef, ast.ArrayRef)):
+                    names.add(node.name)
+        for sym in caller_symtab.symbols.values():
+            if sym.storage == "common":
+                names.add(sym.name)
+        return set(names), set(names), set()
+
+
+def _uses_in(e: ast.Expr) -> list[ast.Expr]:
+    """All variable/array reads inside an expression."""
+    out = []
+    for node in ast.walk_expr(e):
+        if isinstance(node, (ast.VarRef, ast.ArrayRef)):
+            out.append(node)
+    return out
+
+
+def accesses(stmt: ast.Stmt, symtab: SymbolTable,
+             oracle: SideEffectOracle | None = None) -> list[VarAccess]:
+    """All variable accesses of one (non-structured view of a) statement."""
+    oracle = oracle or SideEffectOracle()
+    acc: list[VarAccess] = []
+
+    def use(e: ast.Expr) -> None:
+        for r in _uses_in(e):
+            acc.append(VarAccess(r.name, is_def=False, ref=r))
+
+    if isinstance(stmt, ast.Assign):
+        use(stmt.value)
+        t = stmt.target
+        if isinstance(t, ast.ArrayRef):
+            for sub in t.subscripts:
+                use(sub)
+            acc.append(VarAccess(t.name, is_def=True, ref=t, must=False))
+        elif isinstance(t, ast.VarRef):
+            acc.append(VarAccess(t.name, is_def=True, ref=t, must=True))
+        else:  # FuncRef target should not survive resolution
+            acc.append(VarAccess(getattr(t, "name", "?"), is_def=True,
+                                 ref=None, must=False))
+    elif isinstance(stmt, ast.DoLoop):
+        use(stmt.start)
+        use(stmt.end)
+        if stmt.step is not None:
+            use(stmt.step)
+        acc.append(VarAccess(stmt.var, is_def=True, ref=None, must=True))
+    elif isinstance(stmt, (ast.IfBlock,)):
+        use(stmt.cond)
+        for c, _ in stmt.elifs:
+            use(c)
+    elif isinstance(stmt, ast.LogicalIf):
+        use(stmt.cond)
+    elif isinstance(stmt, ast.ArithIf):
+        use(stmt.expr)
+    elif isinstance(stmt, ast.ComputedGoto):
+        use(stmt.expr)
+    elif isinstance(stmt, ast.CallStmt):
+        refs, mods, kills = oracle.call_effects(symtab, stmt.name, stmt.args)
+        for a in stmt.args:
+            use(a)
+        for name in sorted(mods):
+            acc.append(VarAccess(name, is_def=True, ref=None,
+                                 must=name in kills))
+        for name in sorted(refs):
+            if not any(x.name == name and not x.is_def for x in acc):
+                acc.append(VarAccess(name, is_def=False, ref=None))
+    elif isinstance(stmt, ast.ReadStmt):
+        for it in stmt.items:
+            if isinstance(it, ast.ArrayRef):
+                for sub in it.subscripts:
+                    use(sub)
+                acc.append(VarAccess(it.name, is_def=True, ref=it,
+                                     must=False))
+            elif isinstance(it, ast.VarRef):
+                acc.append(VarAccess(it.name, is_def=True, ref=it, must=True))
+    elif isinstance(stmt, ast.WriteStmt):
+        for it in stmt.items:
+            use(it)
+    # Function calls inside any used expression may also touch globals; we
+    # treat user FuncRefs conservatively as readers of their args only,
+    # which accesses() already records via use().
+    return acc
+
+
+def stmt_defs(stmt: ast.Stmt, symtab: SymbolTable,
+              oracle: SideEffectOracle | None = None) -> set[str]:
+    return {a.name for a in accesses(stmt, symtab, oracle) if a.is_def}
+
+
+def stmt_uses(stmt: ast.Stmt, symtab: SymbolTable,
+              oracle: SideEffectOracle | None = None) -> set[str]:
+    return {a.name for a in accesses(stmt, symtab, oracle) if not a.is_def}
+
+
+def stmt_must_defs(stmt: ast.Stmt, symtab: SymbolTable,
+                   oracle: SideEffectOracle | None = None) -> set[str]:
+    return {a.name for a in accesses(stmt, symtab, oracle)
+            if a.is_def and a.must}
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions and def-use chains over the CFG
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Definition:
+    var: str
+    stmt_uid: int
+
+
+@dataclass
+class DefUse:
+    """Reaching-definition solution plus derived chains."""
+
+    #: statement uid -> definitions reaching its entry
+    reach_in: dict[int, frozenset[Definition]]
+    #: (def statement uid, var) -> uids of statements using that def
+    du_chains: dict[tuple[int, str], set[int]]
+    #: (use statement uid, var) -> uids of defining statements
+    ud_chains: dict[tuple[int, str], set[int]]
+    #: per-statement def/use name sets (cached)
+    defs: dict[int, set[str]]
+    uses: dict[int, set[str]]
+    must_defs: dict[int, set[str]]
+
+
+def compute_defuse(cfg: CFG, symtab: SymbolTable,
+                   oracle: SideEffectOracle | None = None) -> DefUse:
+    oracle = oracle or SideEffectOracle()
+    defs: dict[int, set[str]] = {}
+    uses: dict[int, set[str]] = {}
+    must: dict[int, set[str]] = {}
+    for uid, stmt in cfg.stmts.items():
+        acc = accesses(stmt, symtab, oracle)
+        defs[uid] = {a.name for a in acc if a.is_def}
+        uses[uid] = {a.name for a in acc if not a.is_def}
+        must[uid] = {a.name for a in acc if a.is_def and a.must}
+
+    # ENTRY generates a pseudo-definition for every symbol, modelling
+    # arguments / COMMON / SAVE values flowing in.
+    entry_gen = frozenset(Definition(name, ENTRY)
+                          for name in symtab.symbols)
+
+    gen: dict[int, frozenset[Definition]] = {}
+    for uid in cfg.stmts:
+        gen[uid] = frozenset(Definition(v, uid) for v in defs[uid])
+
+    reach_in: dict[int, set[Definition]] = {n: set() for n in cfg.nodes}
+    reach_out: dict[int, set[Definition]] = {n: set() for n in cfg.nodes}
+    reach_out[ENTRY] = set(entry_gen)
+
+    order = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for n in order:
+            if n == ENTRY:
+                continue
+            new_in: set[Definition] = set()
+            for p in cfg.preds.get(n, ()):
+                new_in |= reach_out[p]
+            killed = must.get(n, set())
+            new_out = {d for d in new_in if d.var not in killed}
+            new_out |= gen.get(n, frozenset())
+            if new_in != reach_in[n] or new_out != reach_out[n]:
+                reach_in[n] = new_in
+                reach_out[n] = new_out
+                changed = True
+
+    du: dict[tuple[int, str], set[int]] = {}
+    ud: dict[tuple[int, str], set[int]] = {}
+    for uid in cfg.stmts:
+        for var in uses[uid]:
+            for d in reach_in[uid]:
+                if d.var == var:
+                    du.setdefault((d.stmt_uid, var), set()).add(uid)
+                    ud.setdefault((uid, var), set()).add(d.stmt_uid)
+
+    return DefUse(
+        reach_in={n: frozenset(v) for n, v in reach_in.items()},
+        du_chains=du, ud_chains=ud, defs=defs, uses=uses, must_defs=must)
+
+
+def compute_liveness(cfg: CFG, symtab: SymbolTable,
+                     oracle: SideEffectOracle | None = None,
+                     live_at_exit: set[str] | None = None
+                     ) -> tuple[dict[int, set[str]], dict[int, set[str]]]:
+    """Backward liveness; returns ``(live_in, live_out)`` per statement.
+
+    ``live_at_exit`` defaults to every argument, COMMON and SAVE variable
+    (their values may be observed by the caller after the unit returns).
+    """
+    oracle = oracle or SideEffectOracle()
+    if live_at_exit is None:
+        live_at_exit = {s.name for s in symtab.symbols.values()
+                        if s.storage in ("argument", "common") or s.saved}
+    use_map: dict[int, set[str]] = {}
+    must: dict[int, set[str]] = {}
+    for uid, stmt in cfg.stmts.items():
+        acc = accesses(stmt, symtab, oracle)
+        use_map[uid] = {a.name for a in acc if not a.is_def}
+        must[uid] = {a.name for a in acc if a.is_def and a.must}
+
+    live_in: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    live_out: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    from ..ir.cfg import EXIT
+    live_in[EXIT] = set(live_at_exit)
+
+    changed = True
+    while changed:
+        changed = False
+        for n in reversed(cfg.rpo()):
+            if n == EXIT:
+                continue
+            new_out: set[str] = set()
+            for s in cfg.succs.get(n, ()):
+                new_out |= live_in[s]
+            new_in = use_map.get(n, set()) | (new_out - must.get(n, set()))
+            if new_out != live_out[n] or new_in != live_in[n]:
+                live_out[n] = new_out
+                live_in[n] = new_in
+                changed = True
+    return live_in, live_out

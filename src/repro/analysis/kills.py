@@ -1,0 +1,115 @@
+"""Scalar kill analysis and privatization.
+
+A scalar is *killed* in a loop iteration when it is (re)defined before any
+use on every path through the body; such scalars carry no value between
+iterations and may be made private, eliminating the loop-carried
+dependences their shared storage would otherwise induce.  The paper
+(Section 4.2) reports this as the single most broadly useful supporting
+analysis: "almost all of the programs contain a loop that becomes
+parallelizable following scalar privatization".
+
+The analysis here is intraprocedural over the loop body's sub-CFG; the
+interprocedural KILL refinement (nxsns's scalar killed inside a called
+procedure) plugs in through the :class:`~repro.analysis.defuse.
+SideEffectOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fortran import ast
+from ..ir.cfg import CFG, build_cfg
+from ..ir.symtab import SymbolTable
+from .defuse import SideEffectOracle, accesses, compute_liveness
+
+
+@dataclass(frozen=True)
+class PrivatizableScalar:
+    name: str
+    #: True when the scalar's value is needed after the loop, requiring a
+    #: last-value copy-out if privatized.
+    live_out: bool
+    reason: str
+
+
+def _body_cfg(loop: ast.DoLoop, unit_name: str) -> CFG:
+    """CFG of the loop body in isolation (one iteration)."""
+    shell = ast.ProgramUnit(kind="subroutine", name=unit_name,
+                            params=(), body=loop.body)
+    return build_cfg(shell)
+
+
+def upward_exposed_uses(loop: ast.DoLoop, symtab: SymbolTable,
+                        oracle: SideEffectOracle | None = None) -> set[str]:
+    """Scalars whose value may be read before being written in an iteration.
+
+    Computed as liveness at the head of the body sub-CFG with nothing live
+    at its exit: any name live on entry has a read-before-write path.
+    """
+    oracle = oracle or SideEffectOracle()
+    try:
+        cfg = _body_cfg(loop, "BODY")
+    except Exception:
+        # A GOTO targeting a label outside the loop body defeats the
+        # isolated sub-CFG; fall back to "every read is exposed".
+        exposed = set()
+        for s, _ in ast.walk_stmts(loop.body):
+            for a in accesses(s, symtab, oracle):
+                if not a.is_def:
+                    exposed.add(a.name)
+        return exposed
+    live_in, _ = compute_liveness(cfg, symtab, oracle, live_at_exit=set())
+    from ..ir.cfg import ENTRY
+    exposed = set()
+    for n in cfg.succs.get(ENTRY, ()):
+        exposed |= live_in.get(n, set())
+    return exposed
+
+
+def scalar_kills(loop: ast.DoLoop, symtab: SymbolTable,
+                 oracle: SideEffectOracle | None = None,
+                 live_after: set[str] | None = None
+                 ) -> list[PrivatizableScalar]:
+    """Scalars killed on every iteration of ``loop``.
+
+    ``live_after`` names values needed after the loop (from a whole-unit
+    liveness solution); when omitted we assume arguments/COMMON/SAVE are
+    live, matching :func:`compute_liveness` defaults.
+    """
+    oracle = oracle or SideEffectOracle()
+    if live_after is None:
+        live_after = {s.name for s in symtab.symbols.values()
+                      if s.storage in ("argument", "common") or s.saved}
+
+    defined: set[str] = set()
+    used_as_array: set[str] = set()
+    for s, _ in ast.walk_stmts(loop.body):
+        for a in accesses(s, symtab, oracle):
+            if a.is_def:
+                defined.add(a.name)
+            sym = symtab.get(a.name)
+            if sym is not None and sym.is_array:
+                used_as_array.add(a.name)
+
+    exposed = upward_exposed_uses(loop, symtab, oracle)
+    out: list[PrivatizableScalar] = []
+    for name in sorted(defined):
+        sym = symtab.get(name)
+        if sym is None or sym.is_array or name in used_as_array:
+            continue
+        if name == loop.var:
+            continue
+        if name in exposed:
+            continue
+        out.append(PrivatizableScalar(
+            name=name,
+            live_out=name in live_after,
+            reason="defined before any use on every path through the "
+                   "loop body"))
+    return out
+
+
+def privatizable_names(loop: ast.DoLoop, symtab: SymbolTable,
+                       oracle: SideEffectOracle | None = None) -> set[str]:
+    return {p.name for p in scalar_kills(loop, symtab, oracle)}

@@ -1,0 +1,12 @@
+"""User assertions: language, fact conversion, runtime verification,
+breaking-condition derivation."""
+
+from .breaking import BreakingCondition, derive_breaking_conditions
+from .lang import Assertion, AssertionError_, AssertionSet, Disjoint, \
+    Monotone, Permutation, Range, Relational, parse_assertion
+
+__all__ = [
+    "Assertion", "AssertionError_", "AssertionSet", "parse_assertion",
+    "Relational", "Range", "Permutation", "Monotone", "Disjoint",
+    "BreakingCondition", "derive_breaking_conditions",
+]

@@ -1,0 +1,206 @@
+"""Breaking-condition derivation (Section 4.3).
+
+"To assist the user in deriving assertions that eliminate spurious
+dependences, the system may be able to derive *breaking conditions* that
+eliminate a particular dependence or class of dependences."
+
+Given a pending dependence, :func:`derive_breaking_conditions` inspects
+its dependence equations and proposes candidate assertions; each
+candidate is *validated* by re-running the dependence test under a trial
+fact base and keeping only those that actually kill the dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.linear import LinearExpr, linearize, to_expr
+from ..dependence.ddg import DependenceAnalyzer, RefSite
+from ..dependence.facts import FactBase
+from ..dependence.model import Dependence
+from ..dependence.tests import SINK, _subscript_equation, test_pair
+from ..fortran import ast
+from ..ir.loops import LoopInfo
+from .lang import AssertionSet, parse_assertion
+
+
+@dataclass(frozen=True)
+class BreakingCondition:
+    """A candidate assertion with its validation status."""
+
+    assertion_text: str
+    eliminates: bool          # re-test confirmed the dependence dies
+    rationale: str
+
+    def __str__(self) -> str:
+        tag = "eliminates" if self.eliminates else "insufficient"
+        return f"ASSERT {self.assertion_text}   [{tag}] {self.rationale}"
+
+
+def _find_sites(analyzer: DependenceAnalyzer, li: LoopInfo,
+                dep: Dependence) -> tuple[RefSite, RefSite] | None:
+    refs = analyzer._collect_refs(li)
+    copies = analyzer._iteration_copies(li)
+    aux_subst, _ = analyzer._aux_subst(li)
+    for r in refs:
+        if r.test_subs is not None:
+            subs = r.test_subs
+            if copies:
+                subs = tuple(analyzer._apply_copies(x, copies, r.order)
+                             for x in subs)
+            if aux_subst:
+                subs = tuple(ast.substitute(x, aux_subst) for x in subs)
+            r.test_subs = subs
+    src = snk = None
+    for r in refs:
+        if r.stmt.uid == dep.source.stmt_uid and r.var == dep.var \
+                and r.is_write == dep.source.is_write \
+                and str(r.expr) == str(dep.source.expr or r.expr):
+            src = r
+        if r.stmt.uid == dep.sink.stmt_uid and r.var == dep.sink.var \
+                and r.is_write == dep.sink.is_write \
+                and str(r.expr) == str(dep.sink.expr or r.expr):
+            snk = r
+    if src is None or snk is None:
+        return None
+    return src, snk
+
+
+def derive_breaking_conditions(analyzer: DependenceAnalyzer,
+                               loop: "LoopInfo | str",
+                               dep: Dependence,
+                               max_candidates: int = 6
+                               ) -> list[BreakingCondition]:
+    """Propose and validate assertions that would eliminate ``dep``."""
+    li = analyzer.uir.loops.find(loop)
+    pair = _find_sites(analyzer, li, dep)
+    if pair is None:
+        return []
+    src, snk = pair
+    if src.test_subs is None or snk.test_subs is None:
+        return []
+    env = analyzer._env_at(li)
+    chain: list[int] = []
+    for x, y in zip(src.chain, snk.chain):
+        if x == y:
+            chain.append(x)
+        else:
+            break
+    loops = analyzer._loop_ctxs(li, tuple(chain), env)
+    loop_vars = {lp.var for lp in loops}
+
+    # Assertions must be over loop-invariant quantities: exclude every
+    # induction variable in the unit (inner-loop indices show up as
+    # symbolic terms in outer-level equations but are iteration-variant).
+    variant = {l.var for l in analyzer.uir.loops.all_loops()}
+    candidates: list[tuple[str, str]] = []
+    for s_sub, k_sub in zip(src.test_subs, snk.test_subs):
+        h = _subscript_equation(s_sub, k_sub, loop_vars, env)
+        candidates.extend(_candidates_for_equation(
+            h, loops, loop_vars, variant - loop_vars))
+        if len(candidates) >= max_candidates:
+            break
+
+    out: list[BreakingCondition] = []
+    seen: set[str] = set()
+    base_facts = analyzer.facts
+    for text, rationale in candidates[:max_candidates]:
+        if text in seen:
+            continue
+        seen.add(text)
+        try:
+            aset = AssertionSet([parse_assertion(text)])
+        except Exception:
+            continue
+        trial = base_facts.merged_with(aset.to_facts())
+        result = test_pair(src.test_subs, snk.test_subs, loops, env, trial)
+        # The dependence dies when no vector matching its direction
+        # survives.
+        alive = _matches_direction(result.vectors, dep)
+        out.append(BreakingCondition(
+            assertion_text=text, eliminates=not alive, rationale=rationale))
+    out.sort(key=lambda b: not b.eliminates)
+    return out
+
+
+def _matches_direction(vectors, dep: Dependence) -> bool:
+    from ..dependence.model import ANY, EQ
+    if not vectors:
+        return False
+    want = dep.vector
+    for v in vectors:
+        rev = tuple({"<": ">", ">": "<"}.get(d, d) for d in v)
+        for cand in (v, rev):
+            if len(cand) == len(want) and all(
+                    w == ANY or c == ANY or w == c
+                    for w, c in zip(want, cand)):
+                return True
+    return False
+
+
+def _candidates_for_equation(h: LinearExpr, loops, loop_vars,
+                             variant: set[str] = frozenset()
+                             ) -> list[tuple[str, str]]:
+    """Heuristic assertion proposals from one dependence equation.
+
+    ``variant`` names iteration-variant symbols outside the common nest
+    (inner-loop indices): an equation mentioning one cannot be broken by
+    a static assertion, so no symbolic-offset candidates are proposed
+    for it (index-array candidates are still meaningful).
+    """
+    out: list[tuple[str, str]] = []
+
+    # Split h into loop part and symbolic part.
+    sym = LinearExpr.constant(h.const)
+    has_variant = False
+    for v, c in h.terms:
+        base = v[:-len(SINK)] if v.endswith(SINK) else v
+        if base in variant:
+            has_variant = True
+        elif base not in loop_vars:
+            sym = sym + LinearExpr.var(v, c)
+    index_arrays = {e.name for _, e in h.residue
+                    if isinstance(e, ast.ArrayRef)
+                    and len(e.subscripts) == 1}
+
+    if not has_variant and (not sym.is_constant or sym.const != 0):
+        try:
+            s_expr = str(to_expr(sym))
+        except AssertionError:  # pragma: no cover
+            s_expr = None
+        if s_expr is not None:
+            # the loop iteration span, when expressible
+            span = None
+            for lp in loops:
+                if lp.span is not None:
+                    try:
+                        span = str(to_expr(lp.span))
+                    except AssertionError:
+                        span = None
+                    break
+            if span is not None:
+                out.append((
+                    f"{s_expr} .GT. {span}",
+                    "symbolic offset larger than the iteration range "
+                    "leaves no overlapping instances"))
+                out.append((
+                    f"{s_expr} .LT. -({span})",
+                    "symbolic offset below the negative iteration range"))
+            out.append((
+                f"{s_expr} .NE. 0",
+                "non-zero symbolic difference kills the loop-independent "
+                "dependence"))
+    for arr in sorted(index_arrays):
+        out.append((
+            f"PERMUTATION({arr})",
+            f"distinct iterations index distinct {arr} values"))
+        out.append((
+            f"MONOTONE({arr}, 3)",
+            f"{arr} strictly increasing with gap covers offset "
+            "differences"))
+    arrs = sorted(index_arrays)
+    if len(arrs) == 2:
+        out.append((
+            f"DISJOINT({arrs[0]}, {arrs[1]}, 3)",
+            "value ranges of the two index arrays never collide"))
+    return out

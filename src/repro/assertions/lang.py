@@ -1,0 +1,267 @@
+"""The user-assertion language of Section 3.3.
+
+Design follows the paper's three requirements: (1) assertions express
+properties natural to a user, in familiar Fortran syntax; (2) they feed
+the dependence analyzer (through the
+:class:`~repro.dependence.facts.FactBase`); (3) they are verifiable at
+run time (the interpreter evaluates them against concrete storage).
+
+Grammar (case-insensitive)::
+
+    assertion := relational | RANGE(v, lo, hi) | PERMUTATION(a)
+               | MONOTONE(a [, gap]) | DISJOINT(a, b [, gap])
+    relational := expr relop expr        e.g.  MCN .GT. IENDV(IR)-ISTRT(IR)
+
+Relational assertions with ``.EQ.`` between a variable and an expression
+double as *symbolic relations* (arc3d's ``JM .EQ. JMAX - 1``) and are
+offered to the linearizer's substitution environment as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.linear import LinearExpr, linearize
+from ..dependence.facts import FactBase
+from ..fortran import ast
+from ..fortran.parser import ParseError, parse_expr_text
+
+
+class AssertionError_(Exception):
+    """Raised for malformed assertion text."""
+
+
+@dataclass(frozen=True)
+class Assertion:
+    text: str
+
+    def kind(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Relational(Assertion):
+    left: ast.Expr
+    op: str            # .GT. .GE. .LT. .LE. .EQ. .NE.
+    right: ast.Expr
+
+    def kind(self) -> str:
+        return "relational"
+
+    def normalized(self) -> tuple[LinearExpr, str]:
+        """As ``expr REL 0`` with REL in {'>', '>=', '=', '!='}."""
+        d = linearize(self.left) - linearize(self.right)
+        if self.op == ".GT.":
+            return d, ">"
+        if self.op == ".GE.":
+            return d, ">="
+        if self.op == ".LT.":
+            return -d, ">"
+        if self.op == ".LE.":
+            return -d, ">="
+        if self.op == ".EQ.":
+            return d, "="
+        return d, "!="
+
+
+@dataclass(frozen=True)
+class Range(Assertion):
+    var: str
+    lo: int
+    hi: int
+
+    def kind(self) -> str:
+        return "range"
+
+
+@dataclass(frozen=True)
+class Permutation(Assertion):
+    array: str
+
+    def kind(self) -> str:
+        return "permutation"
+
+
+@dataclass(frozen=True)
+class Monotone(Assertion):
+    array: str
+    gap: int = 1
+
+    def kind(self) -> str:
+        return "monotone"
+
+
+@dataclass(frozen=True)
+class Disjoint(Assertion):
+    a: str
+    b: str
+    gap: int = 1
+
+    def kind(self) -> str:
+        return "disjoint"
+
+
+_RELOPS = (".GT.", ".GE.", ".LT.", ".LE.", ".EQ.", ".NE.")
+
+
+def parse_assertion(text: str) -> Assertion:
+    """Parse one assertion from its textual form."""
+    raw = text.strip()
+    up = raw.upper()
+    for head, cls in (("RANGE", Range), ("PERMUTATION", Permutation),
+                      ("MONOTONE", Monotone), ("DISJOINT", Disjoint)):
+        if up.startswith(head):
+            rest = raw[len(head):].strip()
+            if not (rest.startswith("(") and rest.endswith(")")):
+                raise AssertionError_(f"{head} needs parenthesized args: "
+                                      f"{text!r}")
+            args = [a.strip().upper() for a in rest[1:-1].split(",")]
+            try:
+                if cls is Range:
+                    if len(args) != 3:
+                        raise AssertionError_("RANGE(v, lo, hi)")
+                    return Range(raw, args[0], int(args[1]), int(args[2]))
+                if cls is Permutation:
+                    if len(args) != 1:
+                        raise AssertionError_("PERMUTATION(a)")
+                    return Permutation(raw, args[0])
+                if cls is Monotone:
+                    if len(args) not in (1, 2):
+                        raise AssertionError_("MONOTONE(a[, gap])")
+                    gap = int(args[1]) if len(args) == 2 else 1
+                    return Monotone(raw, args[0], gap)
+                if len(args) not in (2, 3):
+                    raise AssertionError_("DISJOINT(a, b[, gap])")
+                gap = int(args[2]) if len(args) == 3 else 1
+                return Disjoint(raw, args[0], args[1], gap)
+            except ValueError as e:
+                raise AssertionError_(f"bad numeric argument in {text!r}") \
+                    from e
+    # relational: find the top-level relop
+    try:
+        expr = parse_expr_text(raw)
+    except ParseError as e:
+        raise AssertionError_(f"cannot parse assertion {text!r}: {e}") from e
+    if isinstance(expr, ast.BinOp) and expr.op in _RELOPS:
+        return Relational(raw, expr.left, expr.op, expr.right)
+    raise AssertionError_(
+        f"assertion must be relational or RANGE/PERMUTATION/MONOTONE/"
+        f"DISJOINT: {text!r}")
+
+
+@dataclass
+class AssertionSet:
+    """An ordered collection of assertions with derived artifacts."""
+
+    assertions: list[Assertion]
+
+    def __init__(self, assertions=()):
+        self.assertions = list(assertions)
+
+    def add(self, assertion: "Assertion | str") -> Assertion:
+        if isinstance(assertion, str):
+            assertion = parse_assertion(assertion)
+        self.assertions.append(assertion)
+        return assertion
+
+    def to_facts(self) -> FactBase:
+        fb = FactBase()
+        for a in self.assertions:
+            if isinstance(a, Relational):
+                le, rel = a.normalized()
+                if rel == "!=":
+                    continue  # no direct FactBase form; skip (sound)
+                fb.assert_linear(le, rel)
+            elif isinstance(a, Range):
+                fb.assert_range(a.var, a.lo, a.hi)
+            elif isinstance(a, Permutation):
+                fb.assert_permutation(a.array)
+            elif isinstance(a, Monotone):
+                fb.assert_monotone(a.array, a.gap)
+            elif isinstance(a, Disjoint):
+                fb.assert_disjoint(a.a, a.b, a.gap)
+        return fb
+
+    def relations_env(self) -> dict[str, LinearExpr]:
+        """Equality assertions usable as linearizer substitutions:
+        ``JM .EQ. JMAX - 1`` yields ``JM -> JMAX - 1``."""
+        env: dict[str, LinearExpr] = {}
+        for a in self.assertions:
+            if isinstance(a, Relational) and a.op == ".EQ." \
+                    and isinstance(a.left, ast.VarRef):
+                le = linearize(a.right)
+                if le.is_affine and a.left.name not in le.variables():
+                    env[a.left.name] = le
+        return env
+
+    # -- runtime verification ------------------------------------------------
+
+    def verify_against(self, frame, interp) -> list[str]:
+        """Evaluate every assertion against live interpreter storage.
+
+        Returns violation messages (empty = all hold).  Used both by the
+        interpreter's ASSERT statement hook and by tests.
+        """
+        failures: list[str] = []
+        for a in self.assertions:
+            ok, why = _verify_one(a, frame, interp)
+            if not ok:
+                failures.append(f"{a.text}: {why}")
+        return failures
+
+    def checker(self):
+        """An ``assertion_checker`` callable for the Interpreter."""
+        def check(text: str, frame, interp) -> bool:
+            try:
+                a = parse_assertion(text)
+            except AssertionError_:
+                return False
+            ok, _ = _verify_one(a, frame, interp)
+            return ok
+        return check
+
+
+def _array_values(name: str, frame, interp) -> np.ndarray | None:
+    st = frame.arrays.get(name.upper())
+    if st is None:
+        return None
+    return st.data.reshape(-1, order="F")
+
+
+def _verify_one(a: Assertion, frame, interp) -> tuple[bool, str]:
+    if isinstance(a, Relational):
+        cond = ast.BinOp(a.op, a.left, a.right)
+        try:
+            v = interp._eval_in(cond, frame)
+        except Exception as e:  # storage missing etc.
+            return False, f"not evaluable: {e}"
+        return bool(v), "condition is false"
+    if isinstance(a, Range):
+        v = frame.scalars.get(a.var)
+        if v is None:
+            return False, f"{a.var} has no value"
+        return (a.lo <= v <= a.hi), f"{a.var} = {v} outside [{a.lo},{a.hi}]"
+    vals = _array_values(getattr(a, "array", getattr(a, "a", "")), frame,
+                         interp)
+    if isinstance(a, Permutation):
+        if vals is None:
+            return False, f"{a.array} has no storage"
+        used = vals[vals != 0] if np.all(vals >= 0) else vals
+        return (len(np.unique(vals)) == len(vals)), "values repeat"
+    if isinstance(a, Monotone):
+        if vals is None:
+            return False, f"{a.array} has no storage"
+        d = np.diff(vals.astype(np.float64))
+        return bool(np.all(d >= a.gap)), \
+            f"adjacent difference below gap {a.gap}"
+    if isinstance(a, Disjoint):
+        va = _array_values(a.a, frame, interp)
+        vb = _array_values(a.b, frame, interp)
+        if va is None or vb is None:
+            return False, "array has no storage"
+        return bool(va.max() + a.gap <= vb.min()
+                    or vb.max() + a.gap <= va.min()), \
+            "value ranges overlap (within gap)"
+    return False, "unknown assertion kind"

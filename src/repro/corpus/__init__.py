@@ -1,0 +1,22 @@
+"""The synthetic workshop corpus: eight programs standing in for Table 1.
+
+``PROGRAMS`` preserves the paper's Table 1 ordering.
+"""
+
+from . import arc3d, dpmin, neoss, nxsns, pueblo3d, slab2d, slalom, spec77
+from .base import ANALYSES, TRANSFORMS, CorpusProgram
+
+PROGRAMS: dict[str, CorpusProgram] = {
+    m.PROGRAM.name: m.PROGRAM
+    for m in (spec77, neoss, nxsns, dpmin, slab2d, slalom, pueblo3d, arc3d)
+}
+
+ORDER = tuple(PROGRAMS)
+
+
+def get(name: str) -> CorpusProgram:
+    return PROGRAMS[name.lower()]
+
+
+__all__ = ["CorpusProgram", "PROGRAMS", "ORDER", "get", "ANALYSES",
+           "TRANSFORMS"]

@@ -1,0 +1,147 @@
+"""arc3d: 3-D hydrodynamics code (Doreen Cheng, NASA Ames).
+
+Features mirrored from the paper:
+
+* the filter3d fragment of Section 4.3 appears verbatim: the DO 15 loop
+  writes WR1 over ``J = 1..JM`` and patches row ``JMAX``, where the
+  initialization established ``JM = JMAX - 1``; carrying that symbolic
+  relation into array kill analysis privatizes WR1 (and two siblings)
+  and parallelizes DO 15 (Table 3: array kills = N, via symbolic
+  relation);
+* an array killed inside a procedure invoked in a loop (the paper's
+  "in arc3d, an array is killed inside a procedure invoked in a loop,
+  so interprocedural array kill analysis is required");
+* the residual smoother is the imperfect nest the workshop interchanged
+  (Table 4: loop interchange = U);
+* a killed scalar in the metric sweep (scalar kills = U) and an
+  unrecognized sum reduction in the norm (reductions = N);
+* per-plane routines with row sections (sections = U).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM ARC3D
+C     implicit finite-difference fluid code, filter + smoother
+      INTEGER JMAXP, KMP, LP
+      PARAMETER (JMAXP = 30, KMP = 20, LP = 3)
+      REAL Q(30, 20, 3, 5)
+      INTEGER JMAX, KM, JM
+      COMMON /MESH/ Q, JMAX, KM, JM
+      INTEGER J, K, L, N
+      REAL RNORM
+      JMAX = 30
+      KM = 20
+C     the initialization relation the paper highlights: it holds for
+C     the rest of the program and is what analysis must propagate
+      JM = JMAX - 1
+      DO 5 N = 1, 5
+         DO 5 L = 1, LP
+            DO 5 K = 1, KMP
+               DO 5 J = 1, JMAXP
+                  Q(J, K, L, N) = 1.0 + 0.01 * J + 0.02 * K
+ 5    CONTINUE
+      DO 10 L = 1, LP
+         CALL FILTER(L)
+ 10   CONTINUE
+      CALL SMOOTH
+      RNORM = 0.0
+      CALL NORM(RNORM)
+      PRINT *, RNORM
+      END
+
+      SUBROUTINE FILTER(L)
+C     the paper's filter3d fragment, verbatim structure
+      INTEGER L, N, J, K
+      REAL Q(30, 20, 3, 5)
+      INTEGER JMAX, KM, JM
+      COMMON /MESH/ Q, JMAX, KM, JM
+      REAL WR1(30, 20)
+      DO 15 N = 1, 5
+         DO 16 J = 1, JM
+            DO 16 K = 2, KM
+               WR1(J, K) = Q(J + 1, K, L, N) - Q(J, K, L, N)
+ 16      CONTINUE
+         DO 76 K = 2, KM
+            WR1(JMAX, K) = WR1(JM, K)
+ 76      CONTINUE
+         DO 17 J = 1, JMAX
+            DO 17 K = 2, KM
+               Q(J, K, L, N) = Q(J, K, L, N) + 0.1 * WR1(J, K)
+ 17      CONTINUE
+ 15   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE SMOOTH
+C     residual smoother: the imperfect nest needing interchange; the
+C     inner K recurrence forces K outermost for parallel J iterations.
+C     ZCOL is killed inside WIPE, which DO 80 invokes each plane --
+C     the interprocedural array kill case.
+      INTEGER J, K, L
+      REAL Q(30, 20, 3, 5)
+      INTEGER JMAX, KM, JM
+      COMMON /MESH/ Q, JMAX, KM, JM
+      REAL ZCOL(20)
+      COMMON /WORK/ ZCOL
+      REAL W
+      DO 80 L = 1, 3
+         CALL WIPE(L)
+ 80   CONTINUE
+      DO 90 J = 2, JMAX - 1
+         DO 91 K = 2, KM
+            W = Q(J, K, 1, 1) * 0.5
+            Q(J, K, 1, 1) = W + Q(J, K - 1, 1, 1) * 0.5
+ 91      CONTINUE
+ 90   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE WIPE(L)
+C     wholly rewrites the shared column buffer, then folds it into Q:
+C     ZCOL is KILLed here on every path
+      INTEGER L, K
+      REAL Q(30, 20, 3, 5)
+      INTEGER JMAX, KM, JM
+      COMMON /MESH/ Q, JMAX, KM, JM
+      REAL ZCOL(20)
+      COMMON /WORK/ ZCOL
+      DO 85 K = 1, 20
+         ZCOL(K) = Q(1, K, L, 1)
+ 85   CONTINUE
+      DO 86 K = 2, 20
+         Q(2, K, L, 1) = Q(2, K, L, 1) + 0.05 * ZCOL(K)
+ 86   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE NORM(RNORM)
+C     solution norm: the unrecognized sum reduction
+      REAL RNORM
+      INTEGER J, K
+      REAL Q(30, 20, 3, 5)
+      INTEGER JMAX, KM, JM
+      COMMON /MESH/ Q, JMAX, KM, JM
+      DO 95 J = 1, JMAX
+         DO 95 K = 1, KM
+            RNORM = RNORM + Q(J, K, 1, 1) * Q(J, K, 1, 1)
+ 95   CONTINUE
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="arc3d",
+    description="3-D hydrodynamics code",
+    contributor="Doreen Cheng, NASA Ames Research Center",
+    source=SOURCE,
+    paper_lines=3600,
+    paper_procedures=25,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "N", "reductions": "N", "index arrays": ""},
+    table4={"loop interchange": "U"},
+    notes="FILTER holds the Section 4.3 fragment; DO 15 parallelizes "
+          "once JM = JMAX - 1 reaches array kill analysis.  SMOOTH's "
+          "DO 90/91 nest interchanges so the parallel J dimension moves "
+          "inside the sequential K recurrence.",
+)

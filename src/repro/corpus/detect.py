@@ -1,0 +1,292 @@
+"""Need/use detectors that regenerate Tables 3 and 4 from the corpus.
+
+Each detector answers the question behind one row of Table 3:
+
+* **dependence** (U): does dependence analysis locate parallel loops?
+* **scalar kills** (U): does some loop parallelize only once scalar kill
+  analysis privatizes its temporaries?
+* **sections** (U): does interprocedural MOD/REF + section analysis
+  reduce the dependences of a call-containing loop? (The paper counts a
+  program even when the loop does not become fully parallel.)
+* **array kills** (N): is there a loop whose blocking dependences all
+  fall to array privatization -- directly, or after distributing an
+  inner loop (the slab2d combination)?
+* **reductions** (N): does an unrecognized reduction block a loop?
+* **index arrays** (N): do index-array subscripts or bounds defeat
+  dependence testing on a non-parallel loop?
+
+Table 4's *needed* rows have their own detectors (control-flow webs,
+interprocedural granularity mismatch); its *used* rows come from the
+scripted sessions (:mod:`repro.ped.scripts`).
+"""
+
+from __future__ import annotations
+
+from ..analysis.arraykills import array_kills
+from ..analysis.defuse import SideEffectOracle
+from ..dependence.ddg import DependenceAnalyzer
+from ..dependence.model import DepType
+from ..fortran import ast, parse_program
+from ..interproc import InterproceduralOracle, SummaryBuilder
+from ..ir.program import AnalyzedProgram
+from .base import ANALYSES, CorpusProgram
+
+
+def _fresh(cp: CorpusProgram) -> tuple[AnalyzedProgram,
+                                       InterproceduralOracle]:
+    program = AnalyzedProgram(parse_program(cp.source))
+    oracle = InterproceduralOracle(SummaryBuilder(program).build())
+    return program, oracle
+
+
+def _loops_with_analyzers(program, oracle, **kw):
+    from ..interproc.symbolic import global_relations
+    kw.setdefault("extra_env", global_relations(program))
+    for name, uir in program.units.items():
+        an = DependenceAnalyzer(uir, oracle=oracle, **kw)
+        for li in uir.loops.all_loops():
+            yield name, uir, an, li
+
+
+def detect_dependence(cp: CorpusProgram) -> bool:
+    """Dependence analysis finds at least one parallel loop."""
+    program, oracle = _fresh(cp)
+    for _, _, an, li in _loops_with_analyzers(program, oracle):
+        if an.analyze_loop(li).parallelizable():
+            return True
+    return False
+
+
+def detect_scalar_kills(cp: CorpusProgram) -> bool:
+    """Some loop is parallel with scalar kill analysis, sequential
+    without it."""
+    program, oracle = _fresh(cp)
+    for name, uir, an, li in _loops_with_analyzers(program, oracle):
+        with_k = an.analyze_loop(li).parallelizable()
+        if not with_k:
+            continue
+        an2 = DependenceAnalyzer(uir, oracle=oracle,
+                                 use_scalar_kills=False,
+                                 extra_env=an.extra_env)
+        if not an2.analyze_loop(li).parallelizable():
+            return True
+    return False
+
+
+def _has_call(li) -> bool:
+    return any(isinstance(s, ast.CallStmt) for s in li.statements())
+
+
+def detect_sections(cp: CorpusProgram) -> bool:
+    """Interprocedural side-effect/section analysis strictly reduces the
+    active dependences of some call-containing loop."""
+    program, oracle = _fresh(cp)
+    worst = SideEffectOracle()
+    for name, uir, an, li in _loops_with_analyzers(program, oracle):
+        if not _has_call(li):
+            continue
+        refined = len([d for d in an.analyze_loop(li).dependences
+                       if d.dtype is not DepType.INPUT])
+        an2 = DependenceAnalyzer(uir, oracle=worst)
+        base = len([d for d in an2.analyze_loop(li).dependences
+                    if d.dtype is not DepType.INPUT])
+        if refined < base:
+            return True
+    return False
+
+
+def _blocking_vars(ld) -> set[str]:
+    return {d.var for d in ld.carried()
+            if d.level == 1 and d.dtype is not DepType.INPUT}
+
+
+def _array_kill_fixes(uir, an, li, oracle) -> bool:
+    """Would array privatization eliminate important (blocking)
+    dependences of this loop?
+
+    Matches the paper's criterion -- "array kill analysis would eliminate
+    important dependences" -- which does not require the loop to become
+    fully parallel (other obstacles may remain)."""
+    ld = an.analyze_loop(li)
+    if ld.parallelizable():
+        return False
+    blocking = _blocking_vars(ld)
+    st = uir.symtab
+    arrays = {v for v in blocking if st.is_array(v)}
+    if not arrays:
+        return False
+    env = an._env_at(li)
+    facts = an._facts_with_ranges(env)
+    cb = oracle.call_sections_for(st) \
+        if hasattr(oracle, "call_sections_for") else None
+    cands = {r.array for r in array_kills(li.loop, st, oracle, env,
+                                          call_sections=cb, facts=facts)
+             if r.privatizable}
+    return bool(arrays & cands)
+
+
+def detect_array_kills(cp: CorpusProgram) -> bool:
+    """Array kill analysis (alone, or combined with inner-loop
+    distribution) would reveal parallelism."""
+    program, oracle = _fresh(cp)
+    for name, uir, an, li in _loops_with_analyzers(program, oracle):
+        if _array_kill_fixes(uir, an, li, oracle):
+            return True
+    # slab2d combination: distribute inner loops first, then retry.
+    program, oracle = _fresh(cp)
+    from ..interproc.symbolic import global_relations
+    from ..transform import TContext, get
+    genv = global_relations(program)
+    for name, uir in program.units.items():
+        an = DependenceAnalyzer(uir, oracle=oracle, extra_env=genv)
+        changed = False
+        for li in list(uir.loops.all_loops()):
+            if li.depth == 0:
+                continue
+            t = get("loop_distribution")
+            ctx = TContext(uir=uir, analyzer=an, loop=li)
+            try:
+                if t.check(ctx).ok:
+                    t.apply(ctx)
+                    changed = True
+                    an = DependenceAnalyzer(uir, oracle=oracle,
+                                            extra_env=genv)
+            except Exception:
+                continue
+        if not changed:
+            continue
+        oracle2 = InterproceduralOracle(SummaryBuilder(program).build())
+        an = DependenceAnalyzer(uir, oracle=oracle2, extra_env=genv)
+        for li in uir.loops.all_loops():
+            if li.depth == 0 and _array_kill_fixes(uir, an, li, oracle2):
+                return True
+    return False
+
+
+def detect_reductions(cp: CorpusProgram) -> bool:
+    """An unrecognized reduction blocks some loop."""
+    program, oracle = _fresh(cp)
+    for _, _, an, li in _loops_with_analyzers(program, oracle):
+        ld = an.analyze_loop(li)
+        if ld.reductions and not ld.parallelizable():
+            blocked_by_red = any(
+                d.var in ld.reductions for d in ld.carried()
+                if d.level == 1)
+            if blocked_by_red:
+                return True
+    return False
+
+
+def _has_index_array_subscript(an, li) -> bool:
+    refs = an._collect_refs(li)
+    copies = an._iteration_copies(li)
+    for r in refs:
+        if r.test_subs is None:
+            continue
+        for sub in r.test_subs:
+            sub = an._apply_copies(sub, copies, r.order)
+            for node in ast.walk_expr(sub):
+                if isinstance(node, ast.ArrayRef) \
+                        and "%" not in node.name:
+                    return True
+    return False
+
+
+def _has_index_array_bounds(li) -> bool:
+    lp = li.loop
+    exprs = [lp.start, lp.end] + ([lp.step] if lp.step is not None else [])
+    for e in exprs:
+        for node in ast.walk_expr(e):
+            if isinstance(node, (ast.ArrayRef, ast.NameRef)):
+                return True
+    return False
+
+
+def detect_index_arrays(cp: CorpusProgram) -> bool:
+    """Index arrays in subscripts (or symbolic array bounds) defeat
+    dependence testing on a non-parallel loop."""
+    program, oracle = _fresh(cp)
+    for _, _, an, li in _loops_with_analyzers(program, oracle):
+        ld = an.analyze_loop(li)
+        if ld.parallelizable():
+            continue
+        if _has_index_array_subscript(an, li) or _has_index_array_bounds(li):
+            return True
+    return False
+
+
+def table3_row(cp: CorpusProgram) -> dict[str, str]:
+    """Measured Table 3 row for one corpus program."""
+    return {
+        "dependence": "U" if detect_dependence(cp) else "",
+        "scalar kills": "U" if detect_scalar_kills(cp) else "",
+        "sections": "U" if detect_sections(cp) else "",
+        "array kills": "N" if detect_array_kills(cp) else "",
+        "reductions": "N" if detect_reductions(cp) else "",
+        "index arrays": "N" if detect_index_arrays(cp) else "",
+    }
+
+
+# -- Table 4 need detectors ---------------------------------------------------
+
+def needs_control_flow(cp: CorpusProgram) -> bool:
+    """Unstructured control flow (arithmetic IFs / GOTO webs) present."""
+    program = AnalyzedProgram(parse_program(cp.source))
+    for uir in program.units.values():
+        for s, _ in ast.walk_stmts(uir.unit.body):
+            if isinstance(s, ast.ArithIf):
+                return True
+            if isinstance(s, ast.Goto):
+                return True
+            if isinstance(s, ast.LogicalIf) and isinstance(s.stmt,
+                                                           ast.Goto):
+                return True
+    return False
+
+
+def needs_interprocedural(cp: CorpusProgram,
+                          granularity_threshold: int = 16,
+                          min_inner_trip: int = 64) -> bool:
+    """A small-trip-count loop whose body is a single call to a procedure
+    containing substantially larger loops: the spec77 embedding /
+    extraction case.  The inner loop must offer enough parallelism to be
+    worth moving (>= ``min_inner_trip`` iterations and more than the
+    outer loop has)."""
+    from ..analysis.symbolic import trip_count
+    from ..interproc.constants import interprocedural_constants
+    from ..interproc.symbolic import global_relations
+    from ..analysis.linear import LinearExpr
+    program, oracle = _fresh(cp)
+    genv = global_relations(program)
+
+    def env_for(uir):
+        env = dict(genv)
+        for sym in uir.symtab.symbols.values():
+            if sym.storage == "parameter" and sym.param_value is not None:
+                from ..analysis.constants import eval_const
+                v = eval_const(sym.param_value, {})
+                if isinstance(v, int):
+                    env[sym.name] = LinearExpr.constant(v)
+        return env
+
+    for name, uir in program.units.items():
+        env = env_for(uir)
+        for li in uir.loops.all_loops():
+            body = [s for s in li.loop.body
+                    if not isinstance(s, ast.Continue)]
+            if len(body) != 1 or not isinstance(body[0], ast.CallStmt):
+                continue
+            callee = body[0].name
+            if callee not in program.units:
+                continue
+            outer_trip = trip_count(li.loop, env) or 0
+            if outer_trip == 0 or outer_trip > granularity_threshold:
+                continue
+            cuir = program.units[callee]
+            cenv = env_for(cuir)
+            for cli in cuir.loops.all_loops():
+                inner_trip = trip_count(cli.loop, cenv)
+                if inner_trip and inner_trip >= min_inner_trip \
+                        and inner_trip > outer_trip:
+                    return True
+    return False

@@ -1,0 +1,160 @@
+"""dpmin: molecular mechanics and dynamics (Marcia Pottle, Cornell).
+
+Features mirrored from the paper:
+
+* the DO 300 force-update loop from Section 4.3 appears **verbatim**
+  (all nine updates through the IT/JT/KT index arrays read from input) --
+  the index-array obstacle (Table 3: index arrays = N) resolved only by
+  the monotone/disjoint assertions the paper derives;
+* dialect control flow (arithmetic IF) in the line-search
+  (Table 4: control flow = N);
+* an energy sum reduction (reductions = N);
+* a killed scalar in the pair-interaction loop (scalar kills = U);
+* a bond-table procedure called from a loop with column sections
+  (sections = U);
+* loop distribution opportunity in the update loop (Section 5.3 notes
+  distribution opportunities in dpmin, not taken at the workshop).
+
+dpmin is the corpus program whose obstacles do *not* include array
+kills: its temporaries are all scalars or index-array-addressed.
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM DPMIN
+C     molecular mechanics energy minimization driver
+      INTEGER NAT, NBA
+      PARAMETER (NAT = 120, NBA = 36)
+      REAL F(363), X(363), E
+      INTEGER IT(36), JT(36), KT(36)
+      COMMON /MOL/ F, X, IT, JT, KT
+      INTEGER I, N
+      DO 5 I = 1, 3 * NAT + 3
+         F(I) = 0.0
+         X(I) = 0.001 * I
+ 5    CONTINUE
+C     index arrays are read from input in the original program; the
+C     synthetic equivalent has the same gap-3 monotone structure:
+C     IT(N) = 3*N - 2 grows by 3, JT and KT follow in disjoint ranges.
+      DO 6 N = 1, NBA
+         IT(N) = 3 * N - 2
+         JT(N) = 108 + 3 * N - 2
+         KT(N) = 216 + 3 * N - 2
+ 6    CONTINUE
+      CALL FORCES
+      CALL LSRCH(E)
+      PRINT *, E, F(10)
+      END
+
+      SUBROUTINE FORCES
+C     the paper's DO 300 loop, verbatim modulo the DT* definitions
+      INTEGER NBA
+      PARAMETER (NBA = 36)
+      REAL F(363), X(363)
+      INTEGER IT(36), JT(36), KT(36)
+      COMMON /MOL/ F, X, IT, JT, KT
+      INTEGER N, I3, J3, K3
+      REAL DT1, DT2, DT3, DT4, DT5, DT6, DT7, DT8, DT9
+      DO 300 N = 1, NBA
+         I3 = IT(N)
+         J3 = JT(N)
+         K3 = KT(N)
+         DT1 = X(I3 + 1) * 0.1
+         DT2 = X(I3 + 2) * 0.1
+         DT3 = X(I3 + 3) * 0.1
+         DT4 = X(J3 + 1) * 0.1
+         DT5 = X(J3 + 2) * 0.1
+         DT6 = X(J3 + 3) * 0.1
+         DT7 = X(K3 + 1) * 0.1
+         DT8 = X(K3 + 2) * 0.1
+         DT9 = X(K3 + 3) * 0.1
+         F(I3 + 1) = F(I3 + 1) - DT1
+         F(I3 + 2) = F(I3 + 2) - DT2
+         F(I3 + 3) = F(I3 + 3) - DT3
+         F(J3 + 1) = F(J3 + 1) - DT4
+         F(J3 + 2) = F(J3 + 2) - DT5
+         F(J3 + 3) = F(J3 + 3) - DT6
+         F(K3 + 1) = F(K3 + 1) - DT7
+         F(K3 + 2) = F(K3 + 2) - DT8
+         F(K3 + 3) = F(K3 + 3) - DT9
+ 300  CONTINUE
+      CALL BONDS
+      RETURN
+      END
+
+      SUBROUTINE BONDS
+C     pair interactions: R is killed every iteration (scalar kills = U);
+C     the BTAB call's effects are confined to one table column
+      INTEGER NAT
+      PARAMETER (NAT = 120)
+      REAL F(363), X(363)
+      INTEGER IT(36), JT(36), KT(36)
+      COMMON /MOL/ F, X, IT, JT, KT
+      REAL R
+      INTEGER I
+      DO 310 I = 1, 3 * NAT - 3
+         R = X(I + 3) - X(I)
+         F(I) = F(I) + 0.5 * R
+ 310  CONTINUE
+      DO 320 I = 1, 36
+         CALL BTAB(I)
+ 320  CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE BTAB(COL)
+C     bond table column update (section: one column of BT)
+      INTEGER COL, K
+      REAL BT(8, 36)
+      COMMON /TAB/ BT
+      DO 330 K = 1, 8
+         BT(K, COL) = 0.25 * K + COL
+ 330  CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE LSRCH(E)
+C     line search written in dialect Fortran: arithmetic IF + GOTO
+      REAL E
+      INTEGER NAT
+      PARAMETER (NAT = 120)
+      REAL F(363), X(363)
+      INTEGER IT(36), JT(36), KT(36)
+      COMMON /MOL/ F, X, IT, JT, KT
+      REAL STEP
+      INTEGER I
+      E = 0.0
+      DO 340 I = 1, 3 * NAT
+         E = E + F(I) * F(I)
+ 340  CONTINUE
+      STEP = 1.0
+      I = 0
+ 350  CONTINUE
+      I = I + 1
+      IF (E - 100.0) 360, 360, 370
+ 360  STEP = STEP * 0.5
+      GOTO 380
+ 370  STEP = STEP * 2.0
+ 380  CONTINUE
+      IF (I .LT. 4) GOTO 350
+      E = E * STEP
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="dpmin",
+    description="molecular mechanics and dynamics program",
+    contributor="Marcia Pottle, Cornell Theory Center",
+    source=SOURCE,
+    paper_lines=5000,
+    paper_procedures=52,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "", "reductions": "N", "index arrays": "N"},
+    table4={"control flow": "N"},
+    notes="FORCES holds the Section 4.3 DO 300 loop verbatim; the "
+          "paper's breaking conditions IT(N)+3 <= IT(N+1), "
+          "IT(NBA)+3 <= JT(1), JT(NBA)+3 <= KT(1) hold by construction "
+          "and are checkable at run time.",
+)

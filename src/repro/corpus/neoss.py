@@ -1,0 +1,136 @@
+"""neoss: thermodynamics code (Mary Zosel, LLNL).
+
+Features mirrored from the paper:
+
+* the DO 50 loop with an arithmetic IF and GOTO web, quoted in Section
+  5.3, appears verbatim (with concrete blocks) -- control-flow
+  simplification is *needed* (Table 4: control flow = N);
+* a density-table update loop whose important dependences fall to array
+  kill analysis (Table 3: array kills = N);
+* a sum reduction in the equation-of-state accumulation (reductions = N);
+* a call-containing loop whose callee's write section cannot be analyzed
+  (the subscript comes through a table lookup), so interprocedural
+  section analysis fails to help -- neoss is the program where "analysis
+  failed" (Table 3: sections blank);
+* no loop gains from scalar privatization: the only carried scalars are
+  genuine recurrences (Table 3: scalar kills blank).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM NEOSS
+C     thermodynamic equation-of-state driver
+      INTEGER NR, NK
+      PARAMETER (NR = 40, NK = 60)
+      REAL DENV(60), RES(41), PRES(60), ETAB(60)
+      COMMON /STATE/ DENV, RES, PRES, ETAB
+      INTEGER K
+      REAL EOUT
+      DO 5 K = 1, NK
+         DENV(K) = 0.5 + 0.01 * K
+         PRES(K) = 0.0
+         ETAB(K) = 0.0
+ 5    CONTINUE
+      DO 6 K = 1, NR + 1
+         RES(K) = 0.02 * K
+ 6    CONTINUE
+      CALL REGIME(NR)
+      CALL EUPD(NR)
+      EOUT = 0.0
+      CALL ETOT(EOUT)
+      PRINT *, EOUT
+      END
+
+      SUBROUTINE REGIME(NR)
+C     the paper's DO 50 loop: dialect Fortran without structured IF.
+C     <b1> computes a trial pressure, the arithmetic IF selects the
+C     high- or low-density branch, <b4> commits the update.
+      INTEGER NR, K, NK
+      PARAMETER (NK = 60)
+      REAL DENV(60), RES(41), PRES(60), ETAB(60)
+      COMMON /STATE/ DENV, RES, PRES, ETAB
+      REAL P
+      P = 1.0
+      DO 50 K = 1, NK
+C     P is a genuine recurrence (damped trial pressure), NOT a killed
+C     scalar: neoss is the corpus program without privatizable scalars.
+      P = 0.5 * P + DENV(K) * 1.4
+      IF (DENV(K) - RES(NR + 1)) 100, 10, 10
+ 10   CONTINUE
+      P = P + 0.5 * DENV(K)
+      GOTO 101
+ 100  P = P - 0.25 * DENV(K)
+ 101  PRES(K) = P
+ 50   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE EUPD(NR)
+C     energy-table update: TMP is wholly written, then read, every
+C     iteration of the outer loop -- array kill analysis (not yet in
+C     PED) is what would reveal the outer parallelism.  The LOOKUP call
+C     writes through a table-driven subscript the analysis cannot bound.
+      INTEGER NR, NK
+      PARAMETER (NK = 60)
+      REAL DENV(60), RES(41), PRES(60), ETAB(60)
+      COMMON /STATE/ DENV, RES, PRES, ETAB
+      REAL TMP(60)
+      INTEGER ITER, K
+      DO 60 ITER = 1, 4
+         DO 61 K = 1, NK
+            TMP(K) = PRES(K) + 0.1 * ITER
+ 61      CONTINUE
+         DO 62 K = 1, NK
+            ETAB(K) = ETAB(K) + 0.25 * TMP(K)
+ 62      CONTINUE
+         CALL LOOKUP(ITER)
+ 60   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE LOOKUP(ITER)
+C     data-dependent table maintenance: every state array is read and
+C     written through computed slots, so regular section analysis can
+C     do no better than worst-case MOD/REF -- neoss is the program on
+C     which the analysis "failed" (Section 4.2)
+      INTEGER ITER, SLOT, NK
+      PARAMETER (NK = 60)
+      REAL DENV(60), RES(41), PRES(60), ETAB(60)
+      COMMON /STATE/ DENV, RES, PRES, ETAB
+      SLOT = INT(DENV(ITER) * 10.0) + 1
+      PRES(SLOT) = PRES(SLOT) * 0.99
+      ETAB(SLOT) = ETAB(SLOT) + PRES(SLOT)
+      DENV(SLOT) = DENV(SLOT) * 1.0001
+      RES(INT(PRES(SLOT)) + 1) = RES(INT(PRES(SLOT)) + 1) * 0.999
+      RETURN
+      END
+
+      SUBROUTINE ETOT(EOUT)
+C     total energy: a sum reduction PED does not recognize (Table 3)
+      REAL EOUT
+      INTEGER K, NK
+      PARAMETER (NK = 60)
+      REAL DENV(60), RES(41), PRES(60), ETAB(60)
+      COMMON /STATE/ DENV, RES, PRES, ETAB
+      DO 70 K = 1, NK
+         EOUT = EOUT + ETAB(K) * DENV(K)
+ 70   CONTINUE
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="neoss",
+    description="thermodynamics code",
+    contributor="Mary Zosel, Lawrence Livermore National Laboratory",
+    source=SOURCE,
+    paper_lines=350,
+    paper_procedures=5,
+    table3={"dependence": "U", "scalar kills": "", "sections": "",
+            "array kills": "N", "reductions": "N", "index arrays": ""},
+    table4={"control flow": "N"},
+    notes="REGIME holds the Section 5.3 GOTO loop verbatim; EUPD's TMP "
+          "needs array kill analysis; LOOKUP defeats section analysis "
+          "(the 'analysis failed' program).",
+)

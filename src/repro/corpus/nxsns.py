@@ -1,0 +1,120 @@
+"""nxsns: quantum mechanics code (John Engle, LLNL).
+
+Features mirrored from the paper:
+
+* a scalar killed inside a procedure invoked from a loop --
+  *interprocedural* scalar KILL analysis is what reveals the outer loop
+  is parallelizable (Section 4.2 cites nxsns for exactly this;
+  Table 3: scalar kills = U);
+* loops containing procedure calls whose side effects are confined to
+  one matrix column by regular section analysis (sections = U);
+* an overlap integral accumulated by an unrecognized sum reduction
+  (reductions = N);
+* state indices permuted through an index array read from input
+  (index arrays = N);
+* dialect control flow with GOTOs in the convergence loop
+  (Table 4: control flow = N);
+* per-state work vectors wholly rewritten each outer iteration
+  (array kills = N).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM NXSNS
+C     quantum state relaxation driver
+      INTEGER NS, NB
+      PARAMETER (NS = 24, NB = 16)
+      REAL PSI(24, 24), HAM(24, 24), OVL(24)
+      INTEGER MAP(24)
+      COMMON /QM/ PSI, HAM, OVL, MAP
+      INTEGER I, J
+      REAL TOTAL
+      DO 5 J = 1, NS
+         DO 5 I = 1, NS
+            PSI(I, J) = 1.0 / (I + J)
+            HAM(I, J) = 0.01 * (I - J)
+ 5    CONTINUE
+      DO 6 I = 1, NS
+C        MAP is a permutation of the state indices (read from input in
+C        the original; synthesized here with the same property)
+         MAP(I) = NS + 1 - I
+         OVL(I) = 0.0
+ 6    CONTINUE
+      DO 10 J = 1, NS
+         CALL RELAX(J)
+ 10   CONTINUE
+      CALL OVERLAP
+      TOTAL = 0.0
+      DO 20 I = 1, NS
+         TOTAL = 0.75 * TOTAL + OVL(I)
+ 20   CONTINUE
+      PRINT *, TOTAL
+      END
+
+      SUBROUTINE RELAX(J)
+C     relaxes one state column.  The scalar ACC is KILLed here on every
+C     path, so a caller loop over J carries nothing through it:
+C     interprocedural scalar KILL analysis (nxsns's headline feature).
+      INTEGER J, I, NS
+      PARAMETER (NS = 24)
+      REAL PSI(24, 24), HAM(24, 24), OVL(24)
+      INTEGER MAP(24)
+      COMMON /QM/ PSI, HAM, OVL, MAP
+      REAL ACC
+      COMMON /WK/ ACC
+      ACC = 0.0
+      DO 30 I = 1, NS
+         ACC = ACC + HAM(I, J) * PSI(I, J)
+ 30   CONTINUE
+      DO 40 I = 1, NS
+         PSI(I, J) = PSI(I, J) - 0.05 * ACC
+ 40   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE OVERLAP
+C     overlap integrals; the convergence loop uses dialect GOTO flow and
+C     a permutation-array subscript that blocks dependence analysis.
+      INTEGER NS
+      PARAMETER (NS = 24)
+      REAL PSI(24, 24), HAM(24, 24), OVL(24)
+      INTEGER MAP(24)
+      COMMON /QM/ PSI, HAM, OVL, MAP
+      REAL WRK(24), S
+      INTEGER I, K, IT
+      DO 50 IT = 1, 3
+C        WRK wholly written before its uses each IT (array kills)
+         DO 51 I = 1, NS
+            WRK(I) = PSI(I, IT) * 2.0
+ 51      CONTINUE
+         DO 52 I = 1, NS
+            OVL(MAP(I)) = OVL(MAP(I)) + WRK(I)
+ 52      CONTINUE
+ 50   CONTINUE
+C     dialect-style convergence test with GOTOs
+      I = 1
+ 60   CONTINUE
+      IF (OVL(I) .GT. 1000.0) GOTO 70
+      OVL(I) = OVL(I) * 1.0
+ 70   CONTINUE
+      I = I + 1
+      IF (I .LE. NS) GOTO 60
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="nxsns",
+    description="quantum mechanics code",
+    contributor="John Engle, Lawrence Livermore National Laboratory",
+    source=SOURCE,
+    paper_lines=1400,
+    paper_procedures=11,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "N", "reductions": "N", "index arrays": "N"},
+    table4={"control flow": "N"},
+    notes="RELAX kills the COMMON scalar ACC on every path, so DO 10 in "
+          "the main program parallelizes only with interprocedural KILL; "
+          "OVERLAP's DO 52 subscripts through the MAP permutation.",
+)

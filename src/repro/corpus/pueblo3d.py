@@ -1,0 +1,137 @@
+"""pueblo3d: hydrodynamics benchmark (Ralph Brickner, LANL).
+
+Features mirrored from the paper:
+
+* the Section 3.3 kernel appears verbatim: loops over
+  ``ISTRT(IR)..IENDV(IR)`` reading ``UF(I + MCN, *)`` and writing
+  ``UF(I, *)``, where ``MCN`` ("my current neighbor") indexes linearized
+  3-D arrays.  The construction appears in several loop nests consuming
+  most of the execution time; the assertion
+  ``MCN .GT. IENDV(IR) - ISTRT(IR)`` eliminates all carried dependences
+  (Table 3: index arrays = N, via ISTRT/IENDV/MCN);
+* per-cell temporaries wholly rewritten each outer iteration
+  (array kills = N) and killed scalars (scalar kills = U);
+* the flux and update sweeps are adjacent conformable loops the
+  workshop fused, and the small accumulation loop was unrolled
+  (Table 4: loop fusion = U, loop unrolling = U);
+* boundary-zone routines called from sweeps with row sections
+  (sections = U).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM PUEBLO
+C     3-D hydro on linearized arrays with neighbor offsets
+      INTEGER NZONE, NREG
+      PARAMETER (NZONE = 512, NREG = 4)
+      REAL UF(640, 5), WF(640, 5)
+      INTEGER ISTRT(4), IENDV(4)
+      INTEGER MCN, M
+      COMMON /HYD/ UF, WF, ISTRT, IENDV, MCN, M
+      INTEGER I, K, IR
+      REAL CHK
+      DO 5 K = 1, 5
+         DO 5 I = 1, 640
+            UF(I, K) = 0.001 * I + 0.1 * K
+            WF(I, K) = 0.0
+ 5    CONTINUE
+C     regions are disjoint 128-zone blocks; the neighbor offset MCN
+C     exceeds every region's extent (the paper's key invariant)
+      DO 6 IR = 1, NREG
+         ISTRT(IR) = (IR - 1) * 128 + 1
+         IENDV(IR) = (IR - 1) * 128 + 127
+ 6    CONTINUE
+C     MCN and M vary across sweep phases (as in the original, where the
+C     neighbor offset and field index are set per direction), so no
+C     static analysis can resolve them -- only the user assertion can
+      MCN = 128
+      M = 2
+      DO 10 IR = 1, NREG
+         CALL SWEEP(IR)
+ 10   CONTINUE
+      MCN = 127
+      M = 3
+      DO 11 IR = 1, NREG
+         CALL SWEEP(IR)
+ 11   CONTINUE
+      CALL BDRY
+      CHK = 0.0
+      DO 20 I = 1, 640
+         CHK = 0.98 * CHK + UF(I, 2) + WF(I, 3)
+ 20   CONTINUE
+      PRINT *, CHK
+      END
+
+      SUBROUTINE SWEEP(IR)
+C     the paper's kernel, three instances (several of the ten nests)
+      INTEGER IR
+      REAL UF(640, 5), WF(640, 5)
+      INTEGER ISTRT(4), IENDV(4)
+      INTEGER MCN, M
+      COMMON /HYD/ UF, WF, ISTRT, IENDV, MCN, M
+      REAL X, Y
+      INTEGER I
+      DO 30 I = ISTRT(IR), IENDV(IR)
+         X = UF(I + MCN, 3)
+         UF(I, M) = X * 0.5 + UF(I, M) * 0.5
+ 30   CONTINUE
+      DO 40 I = ISTRT(IR), IENDV(IR)
+         Y = UF(I + MCN, 4)
+         WF(I, M) = Y - UF(I, M)
+ 40   CONTINUE
+      DO 50 I = ISTRT(IR), IENDV(IR)
+         WF(I, M + 1) = WF(I, M) * 1.25
+ 50   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE BDRY
+C     boundary flux: TMP is wholly written then read per zone row
+C     (array kills); EDGE updates one row per call (sections)
+      REAL UF(640, 5), WF(640, 5)
+      INTEGER ISTRT(4), IENDV(4)
+      INTEGER MCN, M
+      COMMON /HYD/ UF, WF, ISTRT, IENDV, MCN, M
+      REAL TMP(128)
+      INTEGER IR, I
+      DO 60 IR = 1, 4
+         DO 61 I = 1, 127
+            TMP(I) = UF(128 * IR - 128 + I, 2) * 0.5
+ 61      CONTINUE
+         TMP(128) = TMP(127)
+         DO 62 I = 1, 127
+            WF(128 * IR - 128 + I, 5) = TMP(I) + TMP(I + 1)
+ 62      CONTINUE
+         CALL EDGE(IR)
+ 60   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE EDGE(IR)
+C     one region's first edge zone
+      INTEGER IR
+      REAL UF(640, 5), WF(640, 5)
+      INTEGER ISTRT(4), IENDV(4)
+      INTEGER MCN, M
+      COMMON /HYD/ UF, WF, ISTRT, IENDV, MCN, M
+      UF(128 * IR - 127, 5) = UF(128 * IR - 127, 5) * 0.9
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="pueblo3d",
+    description="hydrodynamics benchmark program",
+    contributor="Ralph Brickner, Los Alamos National Laboratory",
+    source=SOURCE,
+    paper_lines=4000,
+    paper_procedures=50,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "N", "reductions": "", "index arrays": "N"},
+    table4={"loop fusion": "U", "loop unrolling": "U"},
+    notes="SWEEP holds the Section 3.3 UF kernel; the assertion "
+          "MCN .GT. IENDV(IR) - ISTRT(IR) holds by construction "
+          "(MCN = 128, region extent 126) and parallelizes DO 30/40; "
+          "DO 30 and DO 40 fuse after the assertion.",
+)

@@ -1,0 +1,105 @@
+"""slab2d: 2-D severe storm fluid flow prototype (Roy Heimbach, NCSA).
+
+Features mirrored from the paper:
+
+* the flux sweep interleaves producing the row buffer BUF and consuming
+  it inside one inner loop, so section-based array kill analysis cannot
+  see the per-iteration kill; **distributing the inner loop** separates
+  producer and consumer, after which kill analysis proves BUF private
+  and the row loop parallelizes -- the paper's "to perform array
+  privatization in slab2d, kill analysis must be combined with loop
+  transformations" (Table 3: array kills = N; Table 4: loop
+  distribution = U);
+* a killed scalar in the advection sweep (scalar kills = U) and the
+  shared temporary the workshop removed by scalar expansion
+  (Table 4: scalar expansion = U);
+* no procedure calls inside loops: slab2d is the Table-3 program for
+  which interprocedural section analysis had nothing to contribute
+  (sections blank).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM SLAB2D
+C     2-D storm slab prototype: advection + diffusion on a small grid
+      INTEGER NX, NY, NT
+      PARAMETER (NX = 32, NY = 24, NT = 4)
+      REAL U(32, 24), V(32, 24), H(32, 24), G(32, 24)
+      COMMON /FLOW/ U, V, H, G
+      INTEGER I, J
+      REAL CHK
+      DO 5 J = 1, NY
+         DO 5 I = 1, NX
+            U(I, J) = 0.1 * I
+            V(I, J) = 0.05 * J
+            H(I, J) = 10.0 + 0.01 * I * J
+            G(I, J) = 0.0
+ 5    CONTINUE
+C     the time march is inherently sequential and appears unrolled --
+C     slab2d has no procedure calls inside loops (Table 3)
+      CALL STEP
+      CALL STEP
+      CALL STEP
+      CALL STEP
+      CHK = 0.0
+      DO 20 J = 1, NY
+         DO 20 I = 1, NX
+            CHK = 0.99 * CHK + H(I, J) + V(I, J)
+ 20   CONTINUE
+      PRINT *, CHK
+      END
+
+      SUBROUTINE STEP
+      INTEGER NX, NY
+      PARAMETER (NX = 32, NY = 24)
+      REAL U(32, 24), V(32, 24), H(32, 24), G(32, 24)
+      COMMON /FLOW/ U, V, H, G
+      REAL BUF(32), D, TMP
+      INTEGER I, J
+C     --- flux sweep over rows: BUF production and consumption are
+C     interleaved in one inner loop, hiding the per-row kill ---
+      DO 30 J = 2, NY
+         BUF(1) = H(1, J) - H(1, J - 1)
+         DO 31 I = 2, NX
+            BUF(I) = H(I, J) - H(I, J - 1)
+            G(I, J) = BUF(I) - BUF(I - 1)
+ 31      CONTINUE
+ 30   CONTINUE
+C     --- apply fluxes (Jacobi update keeps rows independent) ---
+      DO 35 J = 2, NY
+         DO 36 I = 2, NX
+            H(I, J) = H(I, J) - 0.1 * G(I, J)
+ 36      CONTINUE
+ 35   CONTINUE
+C     --- advection sweep: D is killed each iteration (scalar kills) ---
+      DO 40 J = 1, NY
+         DO 41 I = 2, NX - 1
+            D = U(I, J) * 0.5
+            V(I, J) = V(I, J) + D * (H(I + 1, J) - H(I - 1, J))
+ 41      CONTINUE
+ 40   CONTINUE
+C     --- boundary smoothing: TMP is the scalar-expansion temporary ---
+      DO 50 I = 2, NX - 1
+         TMP = U(I - 1, 1) + U(I + 1, 1)
+         U(I, 1) = 0.5 * TMP
+ 50   CONTINUE
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="slab2d",
+    description="2-D severe storm fluid flow prototype",
+    contributor="Roy Heimbach, National Center for Supercomputing "
+                "Applications",
+    source=SOURCE,
+    paper_lines=550,
+    paper_procedures=9,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "",
+            "array kills": "N", "reductions": "", "index arrays": ""},
+    table4={"loop distribution": "U", "scalar expansion": "U"},
+    notes="STEP's DO 30 parallelizes only after distributing the inner "
+          "DO 31 (separating BUF's producer from its consumer) and then "
+          "privatizing BUF via array kill analysis.",
+)

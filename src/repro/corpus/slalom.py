@@ -1,0 +1,166 @@
+"""slalom: benchmark program (Roy Heimbach, NCSA).
+
+SLALOM was a radiosity solver benchmark; the stand-in mirrors the
+features the paper attributes:
+
+* matrix set-up and back-substitution kernels whose sum reductions go
+  unrecognized by PED (Table 3: reductions = N);
+* killed scalars in the decomposition sweep (scalar kills = U);
+* the coupling-matrix loops call a geometry routine whose side effects
+  are confined to one patch row (sections = U);
+* unrolling the daxpy-style inner loop and expanding its scalar
+  temporary were the workshop edits (Table 4: loop unrolling = U,
+  scalar expansion = U -- slalom is one of the three expansion users).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM SLALOM
+C     radiosity benchmark: set up coupling matrix, factor, solve
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      INTEGER I, J
+      REAL RES
+      DO 5 J = 1, NP
+         DO 5 I = 1, NP
+            COEF(I, J) = 1.0 / (I + J + 1)
+ 5    CONTINUE
+      DO 6 I = 1, NP
+         COEF(I, I) = COEF(I, I) + 2.0
+         RHS(I) = 1.0 + 0.1 * I
+         SOL(I) = 0.0
+ 6    CONTINUE
+      CALL SETUP
+      CALL SCALE
+      CALL FACTOR
+      CALL SOLVE
+      RES = 0.0
+      CALL RESID(RES)
+      PRINT *, RES
+      END
+
+      SUBROUTINE SETUP
+C     per-patch geometry: GEOM's effects are one row of COEF (sections)
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      INTEGER I
+      DO 10 I = 1, NP
+         CALL GEOM(I)
+ 10   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE GEOM(IP)
+      INTEGER IP, J, NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      DO 20 J = 1, NP
+         COEF(IP, J) = COEF(IP, J) * (1.0 + 0.01 * IP)
+ 20   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE SCALE
+C     column equilibration: ROW is wholly rewritten, then read, every
+C     iteration of the column loop -- the privatization that array kill
+C     analysis (not in PED) would discover (Table 3: array kills = N)
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      INTEGER I, J
+      DO 60 I = 1, NP
+         DO 61 J = 1, NP
+            ROW(J) = COEF(J, I)
+ 61      CONTINUE
+         DO 62 J = 1, NP
+            COEF(J, I) = ROW(J) / (1.0 + ABS(ROW(I)))
+ 62      CONTINUE
+ 60   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE FACTOR
+C     Gauss-like sweep: PIV is killed every iteration (scalar kills);
+C     the elimination update is the daxpy kernel the workshop unrolled,
+C     with the multiplier T expanded to an array.
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      REAL PIV, T
+      INTEGER I, J, K
+      DO 30 K = 1, NP - 1
+         PIV = 1.0 / COEF(K, K)
+         DO 31 I = K + 1, NP
+            T = COEF(I, K) * PIV
+            DO 32 J = K + 1, NP
+               COEF(I, J) = COEF(I, J) - T * COEF(K, J)
+ 32         CONTINUE
+            RHS(I) = RHS(I) - T * RHS(K)
+ 31      CONTINUE
+ 30   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE SOLVE
+C     back substitution: S accumulates a dot product (sum reduction)
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      REAL S
+      INTEGER I, J
+      DO 40 I = NP, 1, -1
+         S = 0.0
+         DO 41 J = I + 1, NP
+            S = S + COEF(I, J) * SOL(J)
+ 41      CONTINUE
+         SOL(I) = (RHS(I) - S) / COEF(I, I)
+ 40   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE RESID(RES)
+C     residual norm: the benchmark's headline sum reduction
+      REAL RES
+      INTEGER NP
+      PARAMETER (NP = 24)
+      REAL COEF(24, 24), RHS(24), SOL(24), ROW(24)
+      COMMON /RAD/ COEF, RHS, SOL, ROW
+      REAL S
+      INTEGER I, J
+      DO 50 I = 1, NP
+         S = 0.0
+         DO 51 J = 1, NP
+            S = S + COEF(I, J) * SOL(J)
+ 51      CONTINUE
+         ROW(I) = S - RHS(I)
+ 50   CONTINUE
+      DO 52 I = 1, NP
+         RES = RES + ROW(I) * ROW(I)
+ 52   CONTINUE
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="slalom",
+    description="benchmark program",
+    contributor="Roy Heimbach, National Center for Supercomputing "
+                "Applications",
+    source=SOURCE,
+    paper_lines=1200,
+    paper_procedures=13,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "N", "reductions": "N", "index arrays": ""},
+    table4={"scalar expansion": "U", "loop unrolling": "U"},
+    notes="FACTOR's DO 31 is the expansion/unrolling target; SOLVE and "
+          "RESID hold the unrecognized sum reductions.",
+)

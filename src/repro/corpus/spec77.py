@@ -1,0 +1,184 @@
+"""spec77: weather simulation (Steve Poole / Lo Hsieh, IBM).
+
+Features mirrored from the paper:
+
+* the key procedure GLOOP runs a latitude loop containing procedure
+  calls; interprocedural MOD/REF + regular section analysis reveals the
+  calls write disjoint columns, so the loop may run in parallel
+  (Table 3: sections = U);
+* GLOOP's loops have at most 12 iterations while the called procedures
+  contain long longitude loops -- the granularity mismatch motivating
+  loop embedding / extraction (Table 4: interprocedural = N);
+* a temporary scalar killed each iteration (scalar kills = U) and a loop
+  needing scalar expansion (Table 4: scalar expansion = U);
+* a per-latitude work array wholly rewritten each outer iteration
+  (array kills = N).
+"""
+
+from .base import CorpusProgram
+
+SOURCE = """\
+      PROGRAM SPEC77
+C     weather simulation driver: spectral transform + grid physics
+      INTEGER NLAT, NLON, NLEV
+      PARAMETER (NLAT = 12, NLON = 96, NLEV = 4)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      INTEGER NSTEP, ISTEP
+      REAL CHECK
+      NSTEP = 3
+      CALL SETUP
+      DO 10 ISTEP = 1, NSTEP
+         CALL GLOOP
+         CALL SMOOTH
+ 10   CONTINUE
+      CHECK = 0.0
+      CALL NORM(CHECK)
+      PRINT *, CHECK
+      END
+
+      SUBROUTINE SETUP
+      INTEGER NLAT, NLON
+      PARAMETER (NLAT = 12, NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      INTEGER I, J
+      DO 20 J = 1, NLAT
+         DO 20 I = 1, NLON
+            FLD(I, J) = 1.0 + 0.01 * I + 0.1 * J
+            FLX(I, J) = 0.0
+            DIV(I, J) = 0.0
+            VOR(I, J) = 0.5
+            TEN(I, J) = 0.0
+ 20   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE GLOOP
+C     the key procedure: latitude loops containing procedure calls.
+C     interprocedural sections prove each call touches only its own
+C     latitude row, so these 12-iteration loops can run in parallel --
+C     but 12 threads is poor granularity; the real parallelism is the
+C     96-iteration longitude loops inside PHYS and DYN (embedding!).
+      INTEGER NLAT
+      PARAMETER (NLAT = 12)
+      INTEGER LAT
+      DO 30 LAT = 1, NLAT
+         CALL PHYS(LAT)
+ 30   CONTINUE
+      DO 40 LAT = 1, NLAT
+         CALL DYN(LAT)
+         CALL TEND(LAT)
+ 40   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE PHYS(LAT)
+C     grid-point physics for one latitude row
+      INTEGER LAT, I, NLON
+      PARAMETER (NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      REAL Q
+      DO 50 I = 1, NLON
+         Q = FLD(I, LAT) * 0.5
+         FLX(I, LAT) = Q + VOR(I, LAT)
+ 50   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE DYN(LAT)
+C     dynamics for one latitude row
+      INTEGER LAT, I, NLON
+      PARAMETER (NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      DO 60 I = 2, NLON
+         DIV(I, LAT) = FLX(I, LAT) - FLX(I - 1, LAT)
+ 60   CONTINUE
+      DIV(1, LAT) = FLX(1, LAT)
+      RETURN
+      END
+
+      SUBROUTINE TEND(LAT)
+C     tendency accumulation for one latitude row
+      INTEGER LAT, I, NLON
+      PARAMETER (NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      DO 70 I = 1, NLON
+         TEN(I, LAT) = TEN(I, LAT) + 0.1 * DIV(I, LAT)
+ 70   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE SMOOTH
+C     longitude smoothing; T is the classic expandable scalar: it
+C     carries a value along the longitude sweep, creating anti/output
+C     dependences that scalar expansion removes (Table 4).
+      INTEGER NLAT, NLON
+      PARAMETER (NLAT = 12, NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      REAL WORK(96), T
+      INTEGER I, J
+      DO 80 J = 1, NLAT
+C        WORK is wholly written then read each iteration of J:
+C        array kill analysis would privatize it (Table 3: N)
+         DO 81 I = 1, NLON
+            WORK(I) = FLD(I, J) + TEN(I, J)
+ 81      CONTINUE
+         DO 82 I = 2, NLON - 1
+            FLD(I, J) = 0.25 * WORK(I - 1) + 0.5 * WORK(I)
+     &                + 0.25 * WORK(I + 1)
+ 82      CONTINUE
+ 80   CONTINUE
+      DO 90 J = 1, NLAT
+         T = VOR(1, J)
+         DO 91 I = 2, NLON
+            T = 0.9 * T + 0.1 * VOR(I, J)
+            VOR(I, J) = T
+ 91      CONTINUE
+ 90   CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE NORM(CHECK)
+      REAL CHECK
+      INTEGER NLAT, NLON
+      PARAMETER (NLAT = 12, NLON = 96)
+      REAL FLD(96, 12), FLX(96, 12), DIV(96, 12)
+      REAL VOR(96, 12), TEN(96, 12)
+      COMMON /GRID/ FLD, FLX, DIV, VOR, TEN
+      INTEGER I, J
+      CHECK = 0.0
+      DO 95 J = 1, NLAT
+         DO 95 I = 1, NLON
+C           damped checksum (deliberately order-dependent: spec77 is the
+C           corpus program without reduction candidates in Table 3)
+            CHECK = 0.9 * CHECK + ABS(FLD(I, J)) + ABS(TEN(I, J))
+ 95   CONTINUE
+      RETURN
+      END
+"""
+
+PROGRAM = CorpusProgram(
+    name="spec77",
+    description="weather simulation code",
+    contributor="Steve Poole, IBM Kingston & Lo Hsieh, IBM Palo Alto",
+    source=SOURCE,
+    paper_lines=5600,
+    paper_procedures=67,
+    table3={"dependence": "U", "scalar kills": "U", "sections": "U",
+            "array kills": "N", "reductions": "", "index arrays": ""},
+    table4={"scalar expansion": "U", "interprocedural": "N"},
+    notes="GLOOP's 12-iteration call-containing loops parallelize only "
+          "through interprocedural section analysis; the 96-iteration "
+          "loops live inside the callees, motivating loop embedding.",
+)

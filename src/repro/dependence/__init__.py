@@ -1,0 +1,15 @@
+"""Dependence analysis: tests, fact base, and the dependence graph."""
+
+from .ddg import DependenceAnalyzer, LoopDependences, RefSite, merge_vectors
+from .facts import FactBase, IndexArrayFact, LinearFact
+from .model import ANY, EQ, GT, LT, DepType, Dependence, DirectionVector, \
+    Mark, Reference, carrier_level, direction_str, is_forward
+from .tests import LoopCtx, PairResult, test_pair
+
+__all__ = [
+    "DependenceAnalyzer", "LoopDependences", "RefSite", "merge_vectors",
+    "FactBase", "IndexArrayFact", "LinearFact",
+    "DepType", "Dependence", "DirectionVector", "Mark", "Reference",
+    "ANY", "EQ", "GT", "LT", "carrier_level", "direction_str", "is_forward",
+    "LoopCtx", "PairResult", "test_pair",
+]

@@ -1,0 +1,142 @@
+"""Dependence model: the records PED's dependence pane displays.
+
+A dependence connects a *source* reference to a *sink* reference and
+carries the classification PED shows in Figure 1: type (true / anti /
+output / input / control), direction vector per common loop level,
+distance when known, the carrier level, and the editing mark
+(proven / pending / accepted / rejected) with a reason string.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..fortran import ast
+
+
+class DepType(Enum):
+    TRUE = "True"        # write -> read (flow)
+    ANTI = "Anti"        # read -> write
+    OUTPUT = "Output"    # write -> write
+    INPUT = "Input"      # read -> read (for locality views)
+    CONTROL = "Control"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Mark(Enum):
+    """Dependence editing state (Section 3.1, "dependence marking")."""
+
+    PROVEN = "proven"      # exact test proved the dependence exists
+    PENDING = "pending"    # assumed; user may accept or reject
+    ACCEPTED = "accepted"  # user confirmed it is real
+    REJECTED = "rejected"  # user asserted it is spurious (kept, disregarded)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: One direction per common loop level.
+LT, EQ, GT, ANY = "<", "=", ">", "*"
+Direction = str
+DirectionVector = tuple[Direction, ...]
+
+
+def direction_str(dv: DirectionVector) -> str:
+    return "(" + ",".join(dv) + ")"
+
+
+def expand_vector(dv: DirectionVector):
+    """All concrete <,=,> vectors covered by a (possibly *) vector."""
+    choices = [(LT, EQ, GT) if d == ANY else (d,) for d in dv]
+    yield from itertools.product(*choices)
+
+
+def is_forward(dv: DirectionVector) -> bool:
+    """Lexicographically non-negative: a valid source->sink execution
+    ordering (the first non-'=' entry is '<')."""
+    for d in dv:
+        if d == LT:
+            return True
+        if d == GT:
+            return False
+        if d == ANY:
+            return True  # contains a forward component
+    return True  # all '=' -> loop independent
+
+
+def carrier_level(dv: DirectionVector) -> int | None:
+    """1-based loop level carrying the dependence; None if loop-independent.
+
+    The carrier is the outermost level whose direction can be '<'.
+    """
+    for i, d in enumerate(dv):
+        if d == LT or d == ANY:
+            return i + 1
+        if d == GT:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One variable reference participating in a dependence."""
+
+    var: str
+    stmt_uid: int
+    line: int
+    is_write: bool
+    #: the textual form shown in the pane, e.g. "COEFF(I, J)"
+    text: str
+    #: original expression (None for implied accesses e.g. call effects)
+    expr: ast.Expr | None = None
+
+    def __str__(self) -> str:
+        return self.text
+
+
+_dep_ids = itertools.count(1)
+
+
+@dataclass
+class Dependence:
+    dtype: DepType
+    source: Reference
+    sink: Reference
+    #: direction per common loop level, outermost first
+    vector: DirectionVector
+    #: distance per level where constant (None entries unknown)
+    distances: tuple[int | None, ...] = ()
+    #: 1-based carrying loop level; None = loop independent
+    level: int | None = None
+    mark: Mark = Mark.PENDING
+    reason: str = ""
+    #: ids of the loops (LoopInfo.id) forming the common nest
+    nest_ids: tuple[str, ...] = ()
+    id: int = field(default_factory=lambda: next(_dep_ids))
+
+    @property
+    def var(self) -> str:
+        return self.source.var
+
+    @property
+    def loop_carried(self) -> bool:
+        return self.level is not None
+
+    @property
+    def active(self) -> bool:
+        """Rejected dependences stay listed but are disregarded for
+        transformation safety (Section 3.1)."""
+        return self.mark is not Mark.REJECTED
+
+    def describe(self) -> str:
+        lvl = f"carried level {self.level}" if self.level is not None \
+            else "loop independent"
+        return (f"{self.dtype} {self.source} -> {self.sink} "
+                f"{direction_str(self.vector)} {lvl} [{self.mark}]")
+
+    def __str__(self) -> str:
+        return self.describe()

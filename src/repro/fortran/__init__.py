@@ -1,0 +1,20 @@
+"""Fortran 77 front end: fixed-form source handling, lexer, parser, AST,
+and pretty-printer."""
+
+from . import ast
+from .parser import ParseError, parse_expr_text, parse_program
+from .printer import print_program, print_stmt, print_unit
+from .source import SourceError, count_code_lines, read_logical_lines
+
+__all__ = [
+    "ast",
+    "ParseError",
+    "SourceError",
+    "parse_program",
+    "parse_expr_text",
+    "print_program",
+    "print_unit",
+    "print_stmt",
+    "read_logical_lines",
+    "count_code_lines",
+]

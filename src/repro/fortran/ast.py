@@ -1,0 +1,592 @@
+"""Abstract syntax tree for the Fortran 77 subset PED operates on.
+
+Design notes
+------------
+* Expression nodes are immutable in spirit (we never mutate them in place;
+  transformations build new trees), which lets analyses hash and compare
+  them structurally.
+* ``NameRef`` with arguments is ambiguous at parse time between an array
+  element and a function call; name resolution (``repro.ir.symtab``)
+  rewrites these into :class:`ArrayRef` / :class:`FuncRef` once declarations
+  are known.
+* Every statement carries ``label`` (the numeric Fortran label, if any) and
+  ``line`` (the first physical source line), which the PED panes use for
+  display and navigation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+
+
+_node_ids = itertools.count(1)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # Structural equality / hashing are supplied by the dataclass decorators
+    # on subclasses (eq=True, frozen=True).
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealConst(Expr):
+    #: Original textual spelling, e.g. ``1.5D0`` (kept for round-tripping).
+    text: str
+
+    @property
+    def value(self) -> float:
+        return float(self.text.upper().replace("D", "E"))
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class LogicalConst(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return ".TRUE." if self.value else ".FALSE."
+
+
+@dataclass(frozen=True)
+class StringConst(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return "'" + self.value.replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NameRef(Expr):
+    """``NAME(args)`` before resolution: array element or function call."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    name: str
+    subscripts: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.subscripts
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.subscripts))})"
+
+
+@dataclass(frozen=True)
+class FuncRef(Expr):
+    name: str
+    args: tuple[Expr, ...]
+    intrinsic: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * / ** // .AND. .OR. .EQ. ...
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        op = self.op if self.op.startswith(".") else f" {self.op} ".replace("  ", " ")
+        if self.op in ("+", "-", "*", "/", "**"):
+            return f"{_paren(self.left, self)} {self.op} {_paren(self.right, self, right=True)}"
+        return f"{_paren(self.left, self)} {self.op} {_paren(self.right, self, right=True)}"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # - + .NOT.
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        sep = " " if self.op.startswith(".") else ""
+        if self.op in "+-":
+            # The parser binds unary minus tighter than * and / but looser
+            # than **: only primaries and ** chains may go bare.
+            s = str(self.operand)
+            if _prec(self.operand) < 7:
+                s = f"({s})"
+            return f"{self.op}{s}"
+        return f"{self.op}{sep}{_paren(self.operand, self)}"
+
+
+_PREC = {
+    ".OR.": 1, ".AND.": 2, ".NOT.": 3,
+    ".EQ.": 4, ".NE.": 4, ".LT.": 4, ".LE.": 4, ".GT.": 4, ".GE.": 4,
+    ".EQV.": 1, ".NEQV.": 1,
+    "+": 5, "-": 5, "*": 6, "/": 6, "**": 7,
+}
+
+
+def _prec(e: Expr) -> int:
+    if isinstance(e, BinOp):
+        return _PREC.get(e.op, 8)
+    if isinstance(e, UnOp):
+        return 5 if e.op in "+-" else _PREC.get(e.op, 8)
+    return 9
+
+
+def _paren(child: Expr, parent: Expr, right: bool = False) -> str:
+    # A same-precedence right child is always parenthesized: besides the
+    # non-associative operators (-, /, **), Fortran integer division makes
+    # even a * (b / c) differ from a * b / c.
+    cp, pp = _prec(child), _prec(parent)
+    need = cp < pp or (cp == pp and right and isinstance(parent, BinOp))
+    s = str(child)
+    return f"({s})" if need else s
+
+
+def walk_expr(e: Expr):
+    """Yield ``e`` and every sub-expression, pre-order."""
+    yield e
+    for c in e.children():
+        yield from walk_expr(c)
+
+
+def variables_in(e: Expr) -> set[str]:
+    """All scalar/array names referenced in an expression."""
+    out: set[str] = set()
+    for node in walk_expr(e):
+        if isinstance(node, VarRef):
+            out.add(node.name)
+        elif isinstance(node, (ArrayRef, NameRef)):
+            out.add(node.name)
+        elif isinstance(node, FuncRef) and not node.intrinsic:
+            out.add(node.name)
+    return out
+
+
+def map_expr(e: Expr, fn) -> Expr:
+    """Rebuild ``e`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been rewritten and
+    returns a replacement (or the node unchanged).
+    """
+    if isinstance(e, BinOp):
+        e = BinOp(e.op, map_expr(e.left, fn), map_expr(e.right, fn))
+    elif isinstance(e, UnOp):
+        e = UnOp(e.op, map_expr(e.operand, fn))
+    elif isinstance(e, (NameRef,)):
+        e = NameRef(e.name, tuple(map_expr(a, fn) for a in e.args))
+    elif isinstance(e, ArrayRef):
+        e = ArrayRef(e.name, tuple(map_expr(s, fn) for s in e.subscripts))
+    elif isinstance(e, FuncRef):
+        e = FuncRef(e.name, tuple(map_expr(a, fn) for a in e.args), e.intrinsic)
+    return fn(e)
+
+
+def substitute(e: Expr, env: dict[str, Expr]) -> Expr:
+    """Replace scalar variable references by expressions from ``env``."""
+
+    def repl(node: Expr) -> Expr:
+        if isinstance(node, VarRef) and node.name in env:
+            return env[node.name]
+        return node
+
+    return map_expr(e, repl)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    """Base class for statements.
+
+    ``uid`` is a process-unique id used by analyses as a stable key; it is
+    regenerated when transformations clone statements.
+    """
+
+    label: int | None = field(default=None, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+    uid: int = field(default_factory=lambda: next(_node_ids), kw_only=True)
+
+    def blocks(self) -> list[list["Stmt"]]:
+        """Nested statement lists (overridden by structured statements)."""
+        return []
+
+    def exprs(self) -> list[Expr]:
+        """Top-level expressions read by this statement (for analyses)."""
+        return []
+
+    def clone(self) -> "Stmt":
+        """Deep-copy with fresh uids (expressions are shared: immutable)."""
+        kwargs = {}
+        for f in fields(self):
+            if f.name == "uid":
+                continue
+            v = getattr(self, f.name)
+            if f.name in ("body", "then_body", "else_body", "stmts"):
+                v = [s.clone() for s in v]
+            elif f.name == "elifs":
+                v = [(c, [s.clone() for s in b]) for c, b in v]
+            kwargs[f.name] = v
+        return type(self)(**kwargs)
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr  # VarRef or ArrayRef (NameRef before resolution)
+    value: Expr
+
+    def exprs(self) -> list[Expr]:
+        return [self.value]
+
+
+@dataclass
+class DoLoop(Stmt):
+    var: str
+    start: Expr
+    end: Expr
+    step: Expr | None
+    body: list[Stmt]
+    #: Label of the terminating statement for label-form DO (``DO 10 I=...``).
+    term_label: int | None = None
+    #: PED annotation: loop runs its iterations concurrently.
+    parallel: bool = False
+    #: Variables the user or privatization analysis marked private.
+    private_vars: set[str] = field(default_factory=set)
+
+    def blocks(self) -> list[list[Stmt]]:
+        return [self.body]
+
+    def exprs(self) -> list[Expr]:
+        out = [self.start, self.end]
+        if self.step is not None:
+            out.append(self.step)
+        return out
+
+
+@dataclass
+class IfBlock(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    elifs: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+    def blocks(self) -> list[list[Stmt]]:
+        out = [self.then_body]
+        out.extend(b for _, b in self.elifs)
+        out.append(self.else_body)
+        return out
+
+    def exprs(self) -> list[Expr]:
+        return [self.cond] + [c for c, _ in self.elifs]
+
+
+@dataclass
+class LogicalIf(Stmt):
+    """``IF (cond) stmt`` one-armed form."""
+
+    cond: Expr
+    stmt: Stmt
+
+    def blocks(self) -> list[list[Stmt]]:
+        return [[self.stmt]]
+
+    def exprs(self) -> list[Expr]:
+        return [self.cond]
+
+    def clone(self) -> "LogicalIf":
+        return LogicalIf(self.cond, self.stmt.clone(),
+                         label=self.label, line=self.line)
+
+
+@dataclass
+class ArithIf(Stmt):
+    """``IF (e) l1, l2, l3`` three-way arithmetic IF."""
+
+    expr: Expr
+    neg_label: int
+    zero_label: int
+    pos_label: int
+
+    def exprs(self) -> list[Expr]:
+        return [self.expr]
+
+
+@dataclass
+class Goto(Stmt):
+    target: int
+
+
+@dataclass
+class ComputedGoto(Stmt):
+    targets: list[int]
+    expr: Expr
+
+    def exprs(self) -> list[Expr]:
+        return [self.expr]
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def exprs(self) -> list[Expr]:
+        return list(self.args)
+
+
+@dataclass
+class Return(Stmt):
+    pass
+
+
+@dataclass
+class Stop(Stmt):
+    message: str | None = None
+
+
+@dataclass
+class ReadStmt(Stmt):
+    """Simplified list-directed / unit READ; items are targets."""
+
+    items: tuple[Expr, ...] = ()
+    unit: str = "*"
+
+    def exprs(self) -> list[Expr]:
+        # subscripts of the targets are *read*
+        out = []
+        for it in self.items:
+            if isinstance(it, (ArrayRef, NameRef)):
+                out.extend(it.children())
+        return out
+
+
+@dataclass
+class WriteStmt(Stmt):
+    items: tuple[Expr, ...] = ()
+    unit: str = "*"
+
+    def exprs(self) -> list[Expr]:
+        return list(self.items)
+
+
+@dataclass
+class FormatStmt(Stmt):
+    text: str = ""
+
+
+@dataclass
+class SaveStmt(Stmt):
+    names: tuple[str, ...] = ()
+
+
+@dataclass
+class ExternalStmt(Stmt):
+    names: tuple[str, ...] = ()
+
+
+@dataclass
+class IntrinsicStmt(Stmt):
+    names: tuple[str, ...] = ()
+
+
+@dataclass
+class ImplicitStmt(Stmt):
+    #: ``None`` means IMPLICIT NONE; otherwise list of (type, letter-ranges).
+    rules: list[tuple[str, list[tuple[str, str]]]] | None = None
+
+
+# Declarations -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DimSpec:
+    """One array dimension: ``lower:upper`` (lower defaults to 1).
+
+    ``upper`` may be ``None`` for assumed-size ``*`` dimensions.
+    """
+
+    lower: Expr
+    upper: Expr | None
+
+    def __str__(self) -> str:
+        up = "*" if self.upper is None else str(self.upper)
+        if isinstance(self.lower, IntConst) and self.lower.value == 1:
+            return up
+        return f"{self.lower}:{up}"
+
+
+@dataclass(frozen=True)
+class Entity:
+    name: str
+    dims: tuple[DimSpec, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.dims:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.dims))})"
+
+
+@dataclass
+class TypeDecl(Stmt):
+    type_name: str  # INTEGER REAL DOUBLE_PRECISION LOGICAL CHARACTER
+    entities: tuple[Entity, ...] = ()
+    #: CHARACTER*n length (None otherwise).
+    length: Expr | None = None
+
+
+@dataclass
+class DimensionStmt(Stmt):
+    entities: tuple[Entity, ...] = ()
+
+
+@dataclass
+class CommonStmt(Stmt):
+    #: (block-name or "" for blank common, entities)
+    blocks_: tuple[tuple[str, tuple[Entity, ...]], ...] = ()
+
+
+@dataclass
+class ParameterStmt(Stmt):
+    defs: tuple[tuple[str, Expr], ...] = ()
+
+
+@dataclass
+class DataStmt(Stmt):
+    #: (targets, values) pairs; values may include repeat counts r*v
+    groups: tuple[tuple[tuple[Expr, ...], tuple[Expr, ...]], ...] = ()
+
+
+@dataclass
+class AssertStmt(Stmt):
+    """PED extension: a user assertion embedded in the source.
+
+    ``CASSERT``-style directive parsed from comments or inserted through
+    the session API.  ``text`` holds the assertion-language source; the
+    parsed form lives in :mod:`repro.assertions`.
+    """
+
+    text: str = ""
+
+
+# --------------------------------------------------------------------------
+# Program units
+# --------------------------------------------------------------------------
+
+@dataclass
+class ProgramUnit:
+    """A PROGRAM, SUBROUTINE or FUNCTION with its body."""
+
+    kind: str                      # "program" | "subroutine" | "function"
+    name: str
+    params: tuple[str, ...]
+    body: list[Stmt]
+    result_type: str | None = None  # for functions
+    line: int = 0
+
+    def walk(self):
+        """Yield every statement in the unit, pre-order, with nesting depth."""
+        yield from walk_stmts(self.body)
+
+
+@dataclass
+class Program:
+    """A whole Fortran file: a collection of program units."""
+
+    units: list[ProgramUnit]
+    source: str = ""
+
+    def unit(self, name: str) -> ProgramUnit:
+        for u in self.units:
+            if u.name == name.upper():
+                return u
+        raise KeyError(name)
+
+    @property
+    def main(self) -> ProgramUnit | None:
+        for u in self.units:
+            if u.kind == "program":
+                return u
+        return None
+
+
+def walk_stmts(body: list[Stmt], depth: int = 0):
+    """Pre-order traversal of a statement list: yields ``(stmt, depth)``."""
+    for s in body:
+        yield s, depth
+        for blk in s.blocks():
+            yield from walk_stmts(blk, depth + 1)
+
+
+def find_loops(body: list[Stmt]) -> list[DoLoop]:
+    """All DO loops in a statement list, outermost-first pre-order."""
+    return [s for s, _ in walk_stmts(body) if isinstance(s, DoLoop)]
+
+
+def loop_depth_map(body: list[Stmt]) -> dict[int, int]:
+    """Map loop uid -> nesting depth (0 = outermost) considering only DOs."""
+    out: dict[int, int] = {}
+
+    def rec(stmts: list[Stmt], d: int) -> None:
+        for s in stmts:
+            if isinstance(s, DoLoop):
+                out[s.uid] = d
+                rec(s.body, d + 1)
+            else:
+                for blk in s.blocks():
+                    rec(blk, d)
+
+    rec(body, 0)
+    return out
+
+
+def statements_of(loop: DoLoop) -> list[Stmt]:
+    """Flat list of all statements inside a loop (pre-order, incl. nested)."""
+    return [s for s, _ in walk_stmts(loop.body)]

@@ -1,0 +1,801 @@
+"""Recursive-descent parser for the Fortran 77 subset.
+
+The parser runs in three stages:
+
+1. :func:`repro.fortran.source.read_logical_lines` assembles fixed-form
+   text into logical lines;
+2. each logical line is classified and parsed into a flat statement
+   (``_parse_statement``);
+3. a structurer nests flat statements into DO loops and IF blocks,
+   resolving label-terminated DO loops (including shared terminal labels,
+   as in ``DO 16 J`` / ``DO 16 K`` / ``16 CONTINUE``).
+
+Multi-word keywords (``GO TO``, ``END IF``, ``ELSE IF``, ``DOUBLE
+PRECISION``, ``END DO``) are joined during classification so both
+spellings parse identically.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .source import LogicalLine, read_logical_lines
+from .tokens import LexError, TokKind, Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int | None = None):
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+_TYPE_KEYWORDS = {"INTEGER", "REAL", "LOGICAL", "CHARACTER", "DOUBLEPRECISION",
+                  "COMPLEX"}
+
+_INTRINSICS = {
+    "ABS", "IABS", "DABS", "SQRT", "DSQRT", "EXP", "DEXP", "LOG", "ALOG",
+    "DLOG", "LOG10", "ALOG10", "SIN", "DSIN", "COS", "DCOS", "TAN", "ATAN",
+    "DATAN", "ATAN2", "DATAN2", "MAX", "AMAX1", "MAX0", "DMAX1", "MIN",
+    "AMIN1", "MIN0", "DMIN1", "MOD", "AMOD", "DMOD", "INT", "IFIX", "IDINT",
+    "NINT", "REAL", "FLOAT", "SNGL", "DBLE", "SIGN", "ISIGN", "DSIGN",
+    "DIM", "IDIM", "LEN", "ICHAR", "CHAR", "ASIN", "ACOS", "SINH", "COSH",
+    "TANH",
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    return name.upper() in _INTRINSICS
+
+
+class _TokenStream:
+    """Cursor over a token list with small lookahead helpers."""
+
+    def __init__(self, toks: list[Token], line: int):
+        self.toks = toks
+        self.i = 0
+        self.line = line
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.i]
+
+    def peek(self, k: int = 1) -> Token:
+        j = min(self.i + k, len(self.toks) - 1)
+        return self.toks[j]
+
+    def advance(self) -> Token:
+        t = self.toks[self.i]
+        if t.kind is not TokKind.EOF:
+            self.i += 1
+        return t
+
+    def expect_op(self, value: str) -> Token:
+        t = self.cur
+        if not t.is_op(value):
+            raise ParseError(f"expected {value!r}, got {t.value!r}", self.line)
+        return self.advance()
+
+    def expect_name(self) -> str:
+        t = self.cur
+        if t.kind is not TokKind.NAME:
+            raise ParseError(f"expected a name, got {t.value!r}", self.line)
+        self.advance()
+        return t.value
+
+    def expect_int(self) -> int:
+        t = self.cur
+        if t.kind is not TokKind.INT:
+            raise ParseError(f"expected an integer, got {t.value!r}", self.line)
+        self.advance()
+        return int(t.value)
+
+    def at_end(self) -> bool:
+        return self.cur.kind is TokKind.EOF
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise ParseError(f"trailing tokens starting at {self.cur.value!r}",
+                             self.line)
+
+
+# --------------------------------------------------------------------------
+# Expression parsing (precedence climbing)
+# --------------------------------------------------------------------------
+
+_BIN_PREC = {
+    ".EQV.": 1, ".NEQV.": 1,
+    ".OR.": 2,
+    ".AND.": 3,
+    ".EQ.": 5, ".NE.": 5, ".LT.": 5, ".LE.": 5, ".GT.": 5, ".GE.": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7,
+    "**": 9,
+}
+_RIGHT_ASSOC = {"**"}
+
+
+def parse_expression(ts: _TokenStream, min_prec: int = 0) -> ast.Expr:
+    left = _parse_unary(ts)
+    while True:
+        t = ts.cur
+        if t.kind is not TokKind.OP:
+            break
+        prec = _BIN_PREC.get(t.value)
+        if prec is None or prec < min_prec:
+            break
+        ts.advance()
+        nxt = prec if t.value in _RIGHT_ASSOC else prec + 1
+        right = parse_expression(ts, nxt)
+        left = ast.BinOp(t.value, left, right)
+    return left
+
+
+def _parse_unary(ts: _TokenStream) -> ast.Expr:
+    t = ts.cur
+    if t.is_op("-", "+"):
+        ts.advance()
+        operand = parse_expression(ts, 8)  # binds tighter than * but below **
+        if t.value == "+":
+            return operand
+        return ast.UnOp("-", operand)
+    if t.is_op(".NOT."):
+        ts.advance()
+        return ast.UnOp(".NOT.", parse_expression(ts, 4))
+    return _parse_primary(ts)
+
+
+def _parse_primary(ts: _TokenStream) -> ast.Expr:
+    t = ts.cur
+    if t.kind is TokKind.INT:
+        ts.advance()
+        return ast.IntConst(int(t.value))
+    if t.kind is TokKind.REAL:
+        ts.advance()
+        return ast.RealConst(t.value)
+    if t.kind is TokKind.STRING:
+        ts.advance()
+        return ast.StringConst(t.value)
+    if t.is_op(".TRUE."):
+        ts.advance()
+        return ast.LogicalConst(True)
+    if t.is_op(".FALSE."):
+        ts.advance()
+        return ast.LogicalConst(False)
+    if t.is_op("("):
+        ts.advance()
+        inner = parse_expression(ts)
+        ts.expect_op(")")
+        return inner
+    if t.kind is TokKind.NAME:
+        name = ts.expect_name()
+        if ts.cur.is_op("("):
+            ts.advance()
+            args: list[ast.Expr] = []
+            if not ts.cur.is_op(")"):
+                args.append(parse_expression(ts))
+                while ts.cur.is_op(","):
+                    ts.advance()
+                    args.append(parse_expression(ts))
+            ts.expect_op(")")
+            if is_intrinsic(name):
+                return ast.FuncRef(name, tuple(args), intrinsic=True)
+            return ast.NameRef(name, tuple(args))
+        return ast.VarRef(name)
+    raise ParseError(f"unexpected token {t.value!r} in expression", ts.line)
+
+
+def parse_expr_text(text: str) -> ast.Expr:
+    """Parse a standalone expression string (used by assertions & tests)."""
+    ts = _TokenStream(tokenize(text), 0)
+    e = parse_expression(ts)
+    ts.expect_end()
+    return e
+
+
+# --------------------------------------------------------------------------
+# Statement classification and parsing
+# --------------------------------------------------------------------------
+
+def _join_keywords(ts: _TokenStream) -> str | None:
+    """Return the statement keyword, consuming its tokens.
+
+    Handles two-word forms by peeking.  Returns ``None`` when the statement
+    does not start with a recognized keyword (i.e. it is an assignment or a
+    statement-function definition).
+    """
+    t = ts.cur
+    if t.kind is not TokKind.NAME:
+        return None
+    kw = t.value
+    two = {
+        ("GO", "TO"): "GOTO",
+        ("END", "IF"): "ENDIF",
+        ("END", "DO"): "ENDDO",
+        ("ELSE", "IF"): "ELSEIF",
+        ("DOUBLE", "PRECISION"): "DOUBLEPRECISION",
+        ("IMPLICIT", "NONE"): "IMPLICITNONE",
+        ("PARALLEL", "DO"): "PARALLELDO",
+    }
+    nxt = ts.peek()
+    if nxt.kind is TokKind.NAME and (kw, nxt.value) in two:
+        ts.advance()
+        ts.advance()
+        return two[(kw, nxt.value)]
+    keywords = {
+        "PROGRAM", "SUBROUTINE", "FUNCTION", "END", "ENDDO", "ENDIF",
+        "DO", "IF", "ELSE", "ELSEIF", "GOTO", "CONTINUE", "CALL", "RETURN",
+        "STOP", "READ", "WRITE", "PRINT", "FORMAT", "DIMENSION", "COMMON",
+        "PARAMETER", "DATA", "SAVE", "EXTERNAL", "INTRINSIC", "IMPLICIT",
+        "IMPLICITNONE", "INTEGER", "REAL", "LOGICAL", "CHARACTER",
+        "DOUBLEPRECISION", "COMPLEX", "ASSERT", "PARALLELDO",
+    }
+    if kw in keywords:
+        # Guard: "IF" could legitimately start an assignment to a variable
+        # named IF -- we do not support that; likewise for others.  But
+        # "REAL = 3" style is caught by checking the following token.
+        if kw in _TYPE_KEYWORDS and ts.peek().is_op("="):
+            return None
+        if kw in ("DATA", "SAVE", "END") and ts.peek().is_op("="):
+            return None
+        ts.advance()
+        return kw
+    return None
+
+
+def _parse_statement(ll: LogicalLine) -> ast.Stmt:
+    """Parse one logical line into a flat statement node."""
+    line = ll.first_line
+    try:
+        toks = tokenize(ll.text)
+    except LexError as e:
+        raise ParseError(str(e), line) from e
+    ts = _TokenStream(toks, line)
+    if ts.at_end():
+        return ast.Continue(label=ll.label, line=line)
+    kw = _join_keywords(ts)
+    stmt = _parse_keyword_statement(ts, kw, line) if kw else _parse_assignment(ts, line)
+    stmt.label = ll.label
+    stmt.line = line
+    return stmt
+
+
+def _parse_assignment(ts: _TokenStream, line: int) -> ast.Stmt:
+    target = _parse_primary(ts)
+    if not isinstance(target, (ast.VarRef, ast.NameRef)):
+        raise ParseError("bad assignment target", line)
+    ts.expect_op("=")
+    value = parse_expression(ts)
+    ts.expect_end()
+    return ast.Assign(target, value)
+
+
+def _parse_keyword_statement(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
+    if kw == "DO":
+        return _parse_do(ts, line)
+    if kw == "PARALLELDO":
+        return _parse_do(ts, line, parallel=True)
+    if kw == "IF":
+        return _parse_if(ts, line)
+    if kw == "ELSEIF":
+        ts.expect_op("(")
+        cond = parse_expression(ts)
+        ts.expect_op(")")
+        then = ts.expect_name()
+        if then != "THEN":
+            raise ParseError("ELSE IF requires THEN", line)
+        return _Marker("elseif", cond=cond)
+    if kw == "ELSE":
+        return _Marker("else")
+    if kw == "ENDIF":
+        return _Marker("endif")
+    if kw == "ENDDO":
+        return _Marker("enddo")
+    if kw == "END":
+        return _Marker("end")
+    if kw == "GOTO":
+        if ts.cur.is_op("("):
+            ts.advance()
+            labels = [ts.expect_int()]
+            while ts.cur.is_op(","):
+                ts.advance()
+                labels.append(ts.expect_int())
+            ts.expect_op(")")
+            if ts.cur.is_op(","):
+                ts.advance()
+            expr = parse_expression(ts)
+            ts.expect_end()
+            return ast.ComputedGoto(labels, expr)
+        lab = ts.expect_int()
+        ts.expect_end()
+        return ast.Goto(lab)
+    if kw == "CONTINUE":
+        ts.expect_end()
+        return ast.Continue()
+    if kw == "CALL":
+        name = ts.expect_name()
+        args: list[ast.Expr] = []
+        if ts.cur.is_op("("):
+            ts.advance()
+            if not ts.cur.is_op(")"):
+                args.append(parse_expression(ts))
+                while ts.cur.is_op(","):
+                    ts.advance()
+                    args.append(parse_expression(ts))
+            ts.expect_op(")")
+        ts.expect_end()
+        return ast.CallStmt(name, tuple(args))
+    if kw == "RETURN":
+        return ast.Return()
+    if kw == "STOP":
+        msg = None
+        if not ts.at_end():
+            msg = ts.advance().value
+        return ast.Stop(msg)
+    if kw in ("READ", "WRITE", "PRINT"):
+        return _parse_io(ts, kw, line)
+    if kw == "FORMAT":
+        return ast.FormatStmt(text=_rest_text(ts))
+    if kw == "DIMENSION":
+        return ast.DimensionStmt(entities=tuple(_parse_entity_list(ts)))
+    if kw == "COMMON":
+        return _parse_common(ts, line)
+    if kw == "PARAMETER":
+        ts.expect_op("(")
+        defs = []
+        while True:
+            name = ts.expect_name()
+            ts.expect_op("=")
+            defs.append((name, parse_expression(ts)))
+            if not ts.cur.is_op(","):
+                break
+            ts.advance()
+        ts.expect_op(")")
+        ts.expect_end()
+        return ast.ParameterStmt(tuple(defs))
+    if kw == "DATA":
+        return _parse_data(ts, line)
+    if kw == "SAVE":
+        names = []
+        while ts.cur.kind is TokKind.NAME:
+            names.append(ts.expect_name())
+            if ts.cur.is_op(","):
+                ts.advance()
+        return ast.SaveStmt(tuple(names))
+    if kw == "EXTERNAL":
+        names = [ts.expect_name()]
+        while ts.cur.is_op(","):
+            ts.advance()
+            names.append(ts.expect_name())
+        return ast.ExternalStmt(tuple(names))
+    if kw == "INTRINSIC":
+        names = [ts.expect_name()]
+        while ts.cur.is_op(","):
+            ts.advance()
+            names.append(ts.expect_name())
+        return ast.IntrinsicStmt(tuple(names))
+    if kw == "IMPLICITNONE":
+        return ast.ImplicitStmt(rules=None)
+    if kw == "IMPLICIT":
+        return _parse_implicit(ts, line)
+    if kw in _TYPE_KEYWORDS:
+        return _parse_type_decl(ts, kw, line)
+    if kw == "PROGRAM":
+        return _Marker("program", name=ts.expect_name())
+    if kw == "SUBROUTINE":
+        name = ts.expect_name()
+        params = _parse_param_list(ts)
+        return _Marker("subroutine", name=name, params=params)
+    if kw == "FUNCTION":
+        name = ts.expect_name()
+        params = _parse_param_list(ts)
+        return _Marker("function", name=name, params=params, rtype=None)
+    if kw == "ASSERT":
+        return ast.AssertStmt(text=_rest_text(ts))
+    raise ParseError(f"unsupported statement keyword {kw}", line)
+
+
+def _rest_text(ts: _TokenStream) -> str:
+    parts = []
+    while not ts.at_end():
+        t = ts.advance()
+        if t.kind is TokKind.STRING:
+            parts.append("'" + t.value + "'")
+        else:
+            parts.append(t.value)
+    return " ".join(parts)
+
+
+def _parse_param_list(ts: _TokenStream) -> tuple[str, ...]:
+    if not ts.cur.is_op("("):
+        return ()
+    ts.advance()
+    params: list[str] = []
+    if not ts.cur.is_op(")"):
+        params.append(ts.expect_name())
+        while ts.cur.is_op(","):
+            ts.advance()
+            params.append(ts.expect_name())
+    ts.expect_op(")")
+    return tuple(params)
+
+
+def _parse_do(ts: _TokenStream, line: int, parallel: bool = False) -> ast.Stmt:
+    term_label = None
+    if ts.cur.kind is TokKind.INT:
+        term_label = ts.expect_int()
+        if ts.cur.is_op(","):
+            ts.advance()
+    var = ts.expect_name()
+    ts.expect_op("=")
+    start = parse_expression(ts)
+    ts.expect_op(",")
+    end = parse_expression(ts)
+    step = None
+    if ts.cur.is_op(","):
+        ts.advance()
+        step = parse_expression(ts)
+    private: set[str] = set()
+    if ts.cur.is_name("PRIVATE"):
+        ts.advance()
+        ts.expect_op("(")
+        private.add(ts.expect_name())
+        while ts.cur.is_op(","):
+            ts.advance()
+            private.add(ts.expect_name())
+        ts.expect_op(")")
+    ts.expect_end()
+    return ast.DoLoop(var=var, start=start, end=end, step=step, body=[],
+                      term_label=term_label, parallel=parallel,
+                      private_vars=private)
+
+
+def _parse_if(ts: _TokenStream, line: int) -> ast.Stmt:
+    ts.expect_op("(")
+    cond = parse_expression(ts)
+    ts.expect_op(")")
+    if ts.cur.is_name("THEN") and ts.peek().kind is TokKind.EOF:
+        ts.advance()
+        return _Marker("ifthen", cond=cond)
+    if ts.cur.kind is TokKind.INT:
+        # Arithmetic IF: IF (e) l1, l2, l3
+        l1 = ts.expect_int()
+        ts.expect_op(",")
+        l2 = ts.expect_int()
+        ts.expect_op(",")
+        l3 = ts.expect_int()
+        ts.expect_end()
+        return ast.ArithIf(cond, l1, l2, l3)
+    # Logical IF: IF (cond) stmt
+    kw = _join_keywords(ts)
+    if kw in ("DO", "PARALLELDO", "IF", "ELSE", "ELSEIF", "ENDIF", "ENDDO",
+              "END"):
+        raise ParseError(f"statement {kw} not allowed in logical IF", line)
+    inner = (_parse_keyword_statement(ts, kw, line) if kw
+             else _parse_assignment(ts, line))
+    inner.line = line
+    return ast.LogicalIf(cond, inner)
+
+
+def _parse_io(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
+    unit = "*"
+    if kw == "PRINT":
+        # PRINT *, items  or PRINT fmt, items
+        if ts.cur.is_op("*"):
+            ts.advance()
+        elif ts.cur.kind is TokKind.INT:
+            ts.advance()
+        if ts.cur.is_op(","):
+            ts.advance()
+        items = _parse_io_items(ts)
+        return ast.WriteStmt(tuple(items), unit)
+    # READ/WRITE (unit[, fmt]) items  |  READ *, items
+    if ts.cur.is_op("("):
+        ts.advance()
+        specs = []
+        depth = 0
+        # collect control list tokens naively: unit [, fmt] possibly key=val
+        while not (ts.cur.is_op(")") and depth == 0):
+            if ts.cur.is_op("("):
+                depth += 1
+            elif ts.cur.is_op(")"):
+                depth -= 1
+            specs.append(ts.advance().value)
+            if ts.at_end():
+                raise ParseError("unterminated I/O control list", line)
+        ts.expect_op(")")
+        unit = specs[0] if specs else "*"
+    elif ts.cur.is_op("*"):
+        ts.advance()
+        if ts.cur.is_op(","):
+            ts.advance()
+    items = _parse_io_items(ts)
+    cls = ast.ReadStmt if kw == "READ" else ast.WriteStmt
+    return cls(tuple(items), unit)
+
+
+def _parse_io_items(ts: _TokenStream) -> list[ast.Expr]:
+    items: list[ast.Expr] = []
+    if ts.at_end():
+        return items
+    items.append(parse_expression(ts))
+    while ts.cur.is_op(","):
+        ts.advance()
+        items.append(parse_expression(ts))
+    ts.expect_end()
+    return items
+
+
+def _parse_dims(ts: _TokenStream, line: int) -> tuple[ast.DimSpec, ...]:
+    ts.expect_op("(")
+    dims: list[ast.DimSpec] = []
+    while True:
+        if ts.cur.is_op("*"):
+            ts.advance()
+            dims.append(ast.DimSpec(ast.IntConst(1), None))
+        else:
+            first = parse_expression(ts)
+            if ts.cur.is_op(":"):
+                ts.advance()
+                if ts.cur.is_op("*"):
+                    ts.advance()
+                    dims.append(ast.DimSpec(first, None))
+                else:
+                    dims.append(ast.DimSpec(first, parse_expression(ts)))
+            else:
+                dims.append(ast.DimSpec(ast.IntConst(1), first))
+        if not ts.cur.is_op(","):
+            break
+        ts.advance()
+    ts.expect_op(")")
+    return tuple(dims)
+
+
+def _parse_entity(ts: _TokenStream, line: int) -> ast.Entity:
+    name = ts.expect_name()
+    dims: tuple[ast.DimSpec, ...] = ()
+    if ts.cur.is_op("("):
+        dims = _parse_dims(ts, line)
+    return ast.Entity(name, dims)
+
+
+def _parse_entity_list(ts: _TokenStream) -> list[ast.Entity]:
+    ents = [_parse_entity(ts, ts.line)]
+    while ts.cur.is_op(","):
+        ts.advance()
+        ents.append(_parse_entity(ts, ts.line))
+    ts.expect_end()
+    return ents
+
+
+def _parse_type_decl(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
+    length = None
+    if kw == "CHARACTER" and ts.cur.is_op("*"):
+        ts.advance()
+        if ts.cur.is_op("("):
+            ts.advance()
+            if ts.cur.is_op("*"):
+                ts.advance()
+                length = None
+            else:
+                length = parse_expression(ts)
+            ts.expect_op(")")
+        else:
+            length = ast.IntConst(ts.expect_int())
+    # FUNCTION with a result type: "REAL FUNCTION F(X)"
+    if ts.cur.is_name("FUNCTION"):
+        ts.advance()
+        name = ts.expect_name()
+        params = _parse_param_list(ts)
+        return _Marker("function", name=name, params=params, rtype=kw)
+    ents = _parse_entity_list(ts)
+    return ast.TypeDecl(kw, tuple(ents), length)
+
+
+def _parse_common(ts: _TokenStream, line: int) -> ast.Stmt:
+    blocks: list[tuple[str, tuple[ast.Entity, ...]]] = []
+    while not ts.at_end():
+        name = ""
+        if ts.cur.is_op("/"):
+            ts.advance()
+            if not ts.cur.is_op("/"):
+                name = ts.expect_name()
+            ts.expect_op("/")
+        ents: list[ast.Entity] = [_parse_entity(ts, line)]
+        while ts.cur.is_op(","):
+            ts.advance()
+            if ts.cur.is_op("/"):
+                break
+            ents.append(_parse_entity(ts, line))
+        blocks.append((name, tuple(ents)))
+        if not (ts.cur.is_op("/") or ts.cur.is_op(",")):
+            break
+    return ast.CommonStmt(tuple(blocks))
+
+
+def _parse_data_value(ts: _TokenStream) -> ast.Expr:
+    """A DATA value: an optionally-signed constant (never an expression,
+    or the closing ``/`` would parse as division)."""
+    neg = False
+    if ts.cur.is_op("-"):
+        ts.advance()
+        neg = True
+    elif ts.cur.is_op("+"):
+        ts.advance()
+    v = _parse_primary(ts)
+    return ast.UnOp("-", v) if neg else v
+
+
+def _parse_data(ts: _TokenStream, line: int) -> ast.Stmt:
+    groups = []
+    while not ts.at_end():
+        targets = [_parse_primary(ts)]
+        while ts.cur.is_op(","):
+            ts.advance()
+            targets.append(_parse_primary(ts))
+        ts.expect_op("/")
+        values: list[ast.Expr] = []
+        while not ts.cur.is_op("/"):
+            v = _parse_data_value(ts)
+            if ts.cur.is_op("*") and isinstance(v, ast.IntConst):
+                ts.advance()
+                rep = _parse_data_value(ts)
+                values.extend([rep] * v.value)
+            else:
+                values.append(v)
+            if ts.cur.is_op(","):
+                ts.advance()
+        ts.expect_op("/")
+        groups.append((tuple(targets), tuple(values)))
+        if ts.cur.is_op(","):
+            ts.advance()
+    return ast.DataStmt(tuple(groups))
+
+
+def _parse_implicit(ts: _TokenStream, line: int) -> ast.Stmt:
+    rules: list[tuple[str, list[tuple[str, str]]]] = []
+    while not ts.at_end():
+        tname = ts.expect_name()
+        if tname == "DOUBLE":
+            nxt = ts.expect_name()
+            if nxt != "PRECISION":
+                raise ParseError("bad IMPLICIT type", line)
+            tname = "DOUBLEPRECISION"
+        ts.expect_op("(")
+        ranges: list[tuple[str, str]] = []
+        while True:
+            a = ts.expect_name()
+            if ts.cur.is_op("-"):
+                ts.advance()
+                b = ts.expect_name()
+            else:
+                b = a
+            ranges.append((a, b))
+            if not ts.cur.is_op(","):
+                break
+            ts.advance()
+        ts.expect_op(")")
+        rules.append((tname, ranges))
+        if ts.cur.is_op(","):
+            ts.advance()
+    return ast.ImplicitStmt(rules=rules)
+
+
+# --------------------------------------------------------------------------
+# Structurer: markers and nesting
+# --------------------------------------------------------------------------
+
+class _Marker(ast.Stmt):
+    """Internal pseudo-statement for block delimiters and unit headers."""
+
+    def __init__(self, kind: str, **attrs):
+        super().__init__()
+        self.marker = kind
+        self.attrs = attrs
+
+
+class _Frame:
+    """Open block during structuring."""
+
+    def __init__(self, kind: str, stmt: ast.Stmt | None, sink: list[ast.Stmt]):
+        self.kind = kind            # "do" | "if"
+        self.stmt = stmt
+        self.sink = sink            # list currently receiving statements
+
+
+def _structure_unit(stmts: list[ast.Stmt], line: int) -> list[ast.Stmt]:
+    """Nest a flat statement list into DO/IF block structure."""
+    body: list[ast.Stmt] = []
+    stack: list[_Frame] = [_Frame("top", None, body)]
+
+    def close_do_frames_for_label(label: int) -> None:
+        while (len(stack) > 1 and stack[-1].kind == "do"
+               and stack[-1].stmt.term_label == label):  # type: ignore[union-attr]
+            stack.pop()
+
+    for s in stmts:
+        if isinstance(s, _Marker):
+            m = s.marker
+            if m == "ifthen":
+                blk = ast.IfBlock(cond=s.attrs["cond"], then_body=[],
+                                  label=s.label, line=s.line)
+                stack[-1].sink.append(blk)
+                stack.append(_Frame("if", blk, blk.then_body))
+            elif m == "elseif":
+                fr = stack[-1]
+                if fr.kind != "if":
+                    raise ParseError("ELSE IF outside IF block", s.line)
+                arm: list[ast.Stmt] = []
+                fr.stmt.elifs.append((s.attrs["cond"], arm))  # type: ignore[union-attr]
+                fr.sink = arm
+            elif m == "else":
+                fr = stack[-1]
+                if fr.kind != "if":
+                    raise ParseError("ELSE outside IF block", s.line)
+                fr.sink = fr.stmt.else_body  # type: ignore[union-attr]
+            elif m == "endif":
+                if stack[-1].kind != "if":
+                    raise ParseError("END IF without IF", s.line)
+                stack.pop()
+            elif m == "enddo":
+                if stack[-1].kind != "do":
+                    raise ParseError("END DO without DO", s.line)
+                stack.pop()
+            else:  # pragma: no cover - headers handled by caller
+                raise ParseError(f"unexpected {m} inside a unit", s.line)
+            continue
+        if isinstance(s, ast.DoLoop):
+            stack[-1].sink.append(s)
+            stack.append(_Frame("do", s, s.body))
+            continue
+        stack[-1].sink.append(s)
+        if s.label is not None:
+            close_do_frames_for_label(s.label)
+    if len(stack) != 1:
+        kind = stack[-1].kind.upper()
+        raise ParseError(f"unterminated {kind} block", line)
+    return body
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse a complete fixed-form Fortran source file."""
+    logical = read_logical_lines(text)
+    flat = [_parse_statement(ll) for ll in logical]
+    units: list[ast.ProgramUnit] = []
+    i = 0
+    n = len(flat)
+    while i < n:
+        s = flat[i]
+        kind, name, params, rtype, hline = "program", "MAIN", (), None, s.line
+        if isinstance(s, _Marker) and s.marker in ("program", "subroutine",
+                                                   "function"):
+            kind = s.marker
+            name = s.attrs["name"]
+            params = s.attrs.get("params", ())
+            rtype = s.attrs.get("rtype")
+            i += 1
+        # Collect statements until the matching END at nesting level 0.
+        unit_stmts: list[ast.Stmt] = []
+        depth = 0
+        while i < n:
+            s = flat[i]
+            if isinstance(s, _Marker):
+                if s.marker in ("ifthen",):
+                    depth += 1
+                elif s.marker in ("endif",):
+                    depth -= 1
+                elif s.marker == "end" and depth == 0:
+                    i += 1
+                    break
+                elif s.marker in ("program", "subroutine", "function"):
+                    raise ParseError(
+                        f"nested program unit {s.attrs['name']}", s.line)
+            unit_stmts.append(s)
+            i += 1
+        else:
+            if unit_stmts and not isinstance(unit_stmts[-1], _Marker):
+                raise ParseError(f"missing END for unit {name}", hline)
+        body = _structure_unit(unit_stmts, hline)
+        units.append(ast.ProgramUnit(kind=kind, name=name, params=params,
+                                     body=body, result_type=rtype, line=hline))
+    return ast.Program(units=units, source=text)

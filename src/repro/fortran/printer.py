@@ -1,0 +1,215 @@
+"""Pretty-printer: AST back to fixed-form Fortran 77 text.
+
+This is the text the PED source pane displays and what transformations
+emit.  Output is valid input to :func:`repro.fortran.parser.parse_program`,
+which the property-based round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+INDENT = "  "
+
+
+def _stmt_field(text: str, label: int | None, indent: int) -> str:
+    """Lay out one statement line in fixed form (label cols 1-5, body 7+)."""
+    lab = f"{label:<5d}" if label is not None else "     "
+    line = f"{lab} {INDENT * indent}{text}"
+    return _wrap(line)
+
+
+def _wrap(line: str) -> str:
+    """Split lines longer than 72 columns using continuation cards."""
+    if len(line) <= 72:
+        return line
+    pieces = []
+    body = line
+    first = True
+    while body:
+        if first:
+            take = body[:72]
+            # try to break at the last space before col 72 that is outside
+            # a trivial position
+            cut = take.rfind(" ", 40, 72)
+            if cut <= 6:
+                cut = 72
+            pieces.append(body[:cut])
+            body = body[cut:]
+            first = False
+        else:
+            chunk = body[:60]
+            cut = chunk.rfind(" ", 20, 60) if len(body) > 60 else len(body)
+            if cut <= 0:
+                cut = min(60, len(body))
+            pieces.append("     & " + body[:cut].lstrip())
+            body = body[cut:]
+    return "\n".join(pieces)
+
+
+def print_expr(e: ast.Expr) -> str:
+    return str(e)
+
+
+def _has_terminal(body: list[ast.Stmt], label: int) -> bool:
+    """True if the loop body already ends with the terminal label statement.
+
+    Loops that share a terminal label (``DO 10 I`` / ``DO 10 J`` /
+    ``10 CONTINUE``) hold the labelled statement in the innermost body, so
+    we descend through trailing same-label loops.
+    """
+    if not body:
+        return False
+    last = body[-1]
+    if last.label == label:
+        return True
+    if isinstance(last, ast.DoLoop) and last.term_label == label:
+        return _has_terminal(last.body, label)
+    return False
+
+
+def print_stmt(s: ast.Stmt, indent: int = 0) -> list[str]:
+    """Render one statement (possibly structured) as fixed-form lines."""
+    out: list[str] = []
+    emit = lambda text, label=None, ind=indent: out.append(
+        _stmt_field(text, label, ind))
+
+    if isinstance(s, ast.Assign):
+        emit(f"{s.target} = {s.value}", s.label)
+    elif isinstance(s, ast.DoLoop):
+        head = "PARALLEL DO" if s.parallel else "DO"
+        rng = f"{s.var} = {s.start}, {s.end}"
+        if s.step is not None:
+            rng += f", {s.step}"
+        if s.private_vars:
+            rng += f" PRIVATE({', '.join(sorted(s.private_vars))})"
+        if s.term_label is not None:
+            emit(f"{head} {s.term_label} {rng}", s.label)
+        else:
+            emit(f"{head} {rng}", s.label)
+        for st in s.body:
+            out.extend(print_stmt(st, indent + 1))
+        if s.term_label is None:
+            emit("ENDDO", None)
+        elif not _has_terminal(s.body, s.term_label):
+            emit("CONTINUE", s.term_label)
+    elif isinstance(s, ast.IfBlock):
+        emit(f"IF ({s.cond}) THEN", s.label)
+        for st in s.then_body:
+            out.extend(print_stmt(st, indent + 1))
+        for cond, arm in s.elifs:
+            emit(f"ELSE IF ({cond}) THEN", None)
+            for st in arm:
+                out.extend(print_stmt(st, indent + 1))
+        if s.else_body:
+            emit("ELSE", None)
+            for st in s.else_body:
+                out.extend(print_stmt(st, indent + 1))
+        emit("ENDIF", None)
+    elif isinstance(s, ast.LogicalIf):
+        inner = print_stmt(s.stmt, 0)[0][6:].strip()
+        emit(f"IF ({s.cond}) {inner}", s.label)
+    elif isinstance(s, ast.ArithIf):
+        emit(f"IF ({s.expr}) {s.neg_label}, {s.zero_label}, {s.pos_label}",
+             s.label)
+    elif isinstance(s, ast.Goto):
+        emit(f"GOTO {s.target}", s.label)
+    elif isinstance(s, ast.ComputedGoto):
+        labs = ", ".join(str(t) for t in s.targets)
+        emit(f"GOTO ({labs}), {s.expr}", s.label)
+    elif isinstance(s, ast.Continue):
+        emit("CONTINUE", s.label)
+    elif isinstance(s, ast.CallStmt):
+        if s.args:
+            emit(f"CALL {s.name}({', '.join(map(str, s.args))})", s.label)
+        else:
+            emit(f"CALL {s.name}", s.label)
+    elif isinstance(s, ast.Return):
+        emit("RETURN", s.label)
+    elif isinstance(s, ast.Stop):
+        emit("STOP" if s.message is None else f"STOP {s.message}", s.label)
+    elif isinstance(s, ast.ReadStmt):
+        items = ", ".join(map(str, s.items))
+        if s.unit == "*":
+            emit(f"READ *, {items}" if items else "READ *", s.label)
+        else:
+            emit(f"READ ({s.unit}) {items}", s.label)
+    elif isinstance(s, ast.WriteStmt):
+        items = ", ".join(map(str, s.items))
+        if s.unit == "*":
+            emit(f"PRINT *, {items}" if items else "PRINT *", s.label)
+        else:
+            emit(f"WRITE ({s.unit}) {items}", s.label)
+    elif isinstance(s, ast.FormatStmt):
+        emit(f"FORMAT {s.text}", s.label)
+    elif isinstance(s, ast.TypeDecl):
+        tname = ("DOUBLE PRECISION" if s.type_name == "DOUBLEPRECISION"
+                 else s.type_name)
+        if s.type_name == "CHARACTER" and s.length is not None:
+            tname += f"*{s.length}"
+        emit(f"{tname} {', '.join(map(str, s.entities))}", s.label)
+    elif isinstance(s, ast.DimensionStmt):
+        emit(f"DIMENSION {', '.join(map(str, s.entities))}", s.label)
+    elif isinstance(s, ast.CommonStmt):
+        parts = []
+        for name, ents in s.blocks_:
+            blk = f"/{name}/ " if name else ""
+            parts.append(f"{blk}{', '.join(map(str, ents))}")
+        emit("COMMON " + ", ".join(parts), s.label)
+    elif isinstance(s, ast.ParameterStmt):
+        defs = ", ".join(f"{n} = {v}" for n, v in s.defs)
+        emit(f"PARAMETER ({defs})", s.label)
+    elif isinstance(s, ast.DataStmt):
+        parts = []
+        for targets, values in s.groups:
+            t = ", ".join(map(str, targets))
+            v = ", ".join(map(str, values))
+            parts.append(f"{t} /{v}/")
+        emit("DATA " + ", ".join(parts), s.label)
+    elif isinstance(s, ast.SaveStmt):
+        emit("SAVE " + ", ".join(s.names) if s.names else "SAVE", s.label)
+    elif isinstance(s, ast.ExternalStmt):
+        emit("EXTERNAL " + ", ".join(s.names), s.label)
+    elif isinstance(s, ast.IntrinsicStmt):
+        emit("INTRINSIC " + ", ".join(s.names), s.label)
+    elif isinstance(s, ast.ImplicitStmt):
+        if s.rules is None:
+            emit("IMPLICIT NONE", s.label)
+        else:
+            parts = []
+            for tname, ranges in s.rules:
+                t = ("DOUBLE PRECISION" if tname == "DOUBLEPRECISION"
+                     else tname)
+                rs = ", ".join(a if a == b else f"{a}-{b}" for a, b in ranges)
+                parts.append(f"{t} ({rs})")
+            emit("IMPLICIT " + ", ".join(parts), s.label)
+    elif isinstance(s, ast.AssertStmt):
+        emit(f"ASSERT {s.text}", s.label)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"cannot print {type(s).__name__}")
+    return out
+
+
+def print_unit(unit: ast.ProgramUnit) -> str:
+    lines: list[str] = []
+    if unit.kind == "program":
+        lines.append(_stmt_field(f"PROGRAM {unit.name}", None, 0))
+    elif unit.kind == "subroutine":
+        params = f"({', '.join(unit.params)})" if unit.params else ""
+        lines.append(_stmt_field(f"SUBROUTINE {unit.name}{params}", None, 0))
+    else:
+        rt = ("DOUBLE PRECISION" if unit.result_type == "DOUBLEPRECISION"
+              else unit.result_type)
+        prefix = f"{rt} " if rt else ""
+        params = f"({', '.join(unit.params)})" if unit.params else "()"
+        lines.append(_stmt_field(f"{prefix}FUNCTION {unit.name}{params}",
+                                 None, 0))
+    for s in unit.body:
+        lines.extend(print_stmt(s, 1))
+    lines.append(_stmt_field("END", None, 0))
+    return "\n".join(lines)
+
+
+def print_program(prog: ast.Program) -> str:
+    return "\n".join(print_unit(u) for u in prog.units) + "\n"

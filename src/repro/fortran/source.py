@@ -1,0 +1,136 @@
+"""Fixed-form Fortran 77 source handling.
+
+Classic Fortran 77 source is column-oriented:
+
+* column 1: ``C``, ``c`` or ``*`` marks a comment line;
+* columns 1-5: an optional numeric statement label;
+* column 6: any non-blank, non-zero character marks a continuation line;
+* columns 7-72: the statement field (columns beyond 72 are sequence
+  numbers and are ignored).
+
+This module turns raw text into :class:`LogicalLine` objects -- label,
+statement text and the physical line numbers that produced it -- which is
+what the lexer and parser consume.  We are deliberately tolerant of the
+"relaxed" fixed form found in real codes: tabs in the label field, blank
+lines, lowercase comment markers, and ``!`` trailing comments (a common
+vendor extension, also used by our corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SourceError(Exception):
+    """Raised for malformed fixed-form input (e.g. a dangling continuation)."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass
+class LogicalLine:
+    """One logical Fortran statement, possibly assembled from continuations."""
+
+    label: int | None
+    text: str
+    #: 1-based physical line numbers contributing to this logical line.
+    physical_lines: list[int] = field(default_factory=list)
+
+    @property
+    def first_line(self) -> int:
+        return self.physical_lines[0] if self.physical_lines else 0
+
+
+def is_comment_line(raw: str) -> bool:
+    """True for full-line comments (including blank lines)."""
+    if not raw.strip():
+        return True
+    c0 = raw[0]
+    if c0 in "Cc*!":
+        return True
+    return False
+
+
+def _strip_inline_comment(stmt: str) -> str:
+    """Remove a trailing ``!`` comment, respecting character literals."""
+    out = []
+    in_string = False
+    quote = ""
+    for ch in stmt:
+        if in_string:
+            out.append(ch)
+            if ch == quote:
+                in_string = False
+            continue
+        if ch in "'\"":
+            in_string = True
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "!":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def split_line(raw: str, line_number: int) -> tuple[int | None, bool, str]:
+    """Split a physical line into ``(label, is_continuation, statement_text)``.
+
+    Tabs in the first six columns are expanded per the common DEC
+    convention: a tab skips directly to the statement field.
+    """
+    if "\t" in raw[:6]:
+        head, _, rest = raw.partition("\t")
+        label_field = head[:5]
+        # A digit immediately after the tab is a continuation marker.
+        cont = bool(rest) and rest[0].isdigit() and rest[0] != "0"
+        stmt = rest[1:] if cont else rest
+    else:
+        label_field = raw[:5]
+        cont_field = raw[5:6]
+        cont = cont_field not in ("", " ", "0")
+        stmt = raw[6:72]
+    label_field = label_field.strip()
+    label: int | None = None
+    if label_field:
+        if not label_field.isdigit():
+            raise SourceError(f"bad label field {label_field!r}", line_number)
+        label = int(label_field)
+    return label, cont, _strip_inline_comment(stmt)
+
+
+def read_logical_lines(text: str) -> list[LogicalLine]:
+    """Assemble fixed-form source text into logical lines.
+
+    Comment lines interspersed among continuations are skipped, as the
+    standard allows.
+    """
+    lines: list[LogicalLine] = []
+    current: LogicalLine | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if is_comment_line(raw):
+            continue
+        label, cont, stmt = split_line(raw, lineno)
+        if cont:
+            if current is None:
+                raise SourceError("continuation with no initial line", lineno)
+            if label is not None:
+                raise SourceError("continuation line carries a label", lineno)
+            current.text += stmt
+            current.physical_lines.append(lineno)
+            continue
+        if current is not None:
+            lines.append(current)
+        current = LogicalLine(label=label, text=stmt, physical_lines=[lineno])
+    if current is not None:
+        lines.append(current)
+    return [ln for ln in lines if ln.text.strip() or ln.label is not None]
+
+
+def count_code_lines(text: str) -> int:
+    """Number of non-comment, non-blank physical lines (Table 1's metric)."""
+    return sum(1 for raw in text.splitlines() if not is_comment_line(raw))

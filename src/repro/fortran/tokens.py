@@ -1,0 +1,170 @@
+"""Token definitions and the statement-field lexer.
+
+Fortran 77 is case-insensitive; the lexer upper-cases everything except
+character literals.  Blanks are treated as token separators (the corpus and
+pretty-printer always emit them), but the parser additionally re-joins
+multi-word keywords (``GO TO``, ``END IF``, ``DOUBLE PRECISION``, ...) so
+both spellings work.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokKind(Enum):
+    NAME = auto()
+    INT = auto()
+    REAL = auto()
+    STRING = auto()
+    OP = auto()       # + - * / ** ( ) , = : relational/logical dot-ops
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    value: str
+    pos: int = 0
+
+    def is_op(self, *values: str) -> bool:
+        return self.kind is TokKind.OP and self.value in values
+
+    def is_name(self, *values: str) -> bool:
+        return self.kind is TokKind.NAME and self.value in values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name},{self.value!r})"
+
+
+class LexError(Exception):
+    pass
+
+
+#: Dot-delimited operators, longest first so .GE. wins over a hypothetical .G.
+_DOT_OPS = [
+    ".NEQV.", ".EQV.", ".AND.", ".OR.", ".NOT.",
+    ".TRUE.", ".FALSE.",
+    ".LE.", ".LT.", ".GE.", ".GT.", ".EQ.", ".NE.",
+]
+
+_NAME_START = set(string.ascii_uppercase + "_")
+_NAME_CHARS = _NAME_START | set(string.digits)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize the statement field of one logical line."""
+    toks: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+        up = ch.upper()
+        if ch in "'\"":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise LexError(f"unterminated string at col {i}")
+                if text[j] == ch:
+                    # doubled quote is an escaped quote
+                    if j + 1 < n and text[j + 1] == ch:
+                        buf.append(ch)
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            toks.append(Token(TokKind.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch == ".":
+            rest = text[i:].upper()
+            matched = False
+            for op in _DOT_OPS:
+                if rest.startswith(op):
+                    toks.append(Token(TokKind.OP, op, i))
+                    i += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+            # fall through: part of a real constant like .5 or 1.
+        if up.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            tok, i = _lex_number(text, i)
+            toks.append(tok)
+            continue
+        if ch == "." and toks and toks[-1].kind is TokKind.INT:
+            # "1." trailing dot handled inside _lex_number; a lone '.' here
+            # means something like "X1." which _lex_number already consumed.
+            pass
+        if up in _NAME_START:
+            j = i
+            while j < n and text[j].upper() in _NAME_CHARS:
+                j += 1
+            name = text[i:j].upper()
+            # D/E-exponent reals like 1.5D0 are lexed by _lex_number; a NAME
+            # here is a genuine identifier or keyword.
+            toks.append(Token(TokKind.NAME, name, i))
+            i = j
+            continue
+        if ch == "*" and i + 1 < n and text[i + 1] == "*":
+            toks.append(Token(TokKind.OP, "**", i))
+            i += 2
+            continue
+        if ch in "<>=/" and i + 1 < n and text[i + 1] == "=":
+            # F90-style relationals, accepted as a convenience.
+            mapped = {"<=": ".LE.", ">=": ".GE.", "==": ".EQ.", "/=": ".NE."}
+            toks.append(Token(TokKind.OP, mapped[text[i:i + 2]], i))
+            i += 2
+            continue
+        if ch == "<":
+            toks.append(Token(TokKind.OP, ".LT.", i))
+            i += 1
+            continue
+        if ch == ">":
+            toks.append(Token(TokKind.OP, ".GT.", i))
+            i += 1
+            continue
+        if ch in "+-*/(),=:$%":
+            toks.append(Token(TokKind.OP, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at col {i} in {text!r}")
+    toks.append(Token(TokKind.EOF, "", n))
+    return toks
+
+
+def _lex_number(text: str, i: int) -> tuple[Token, int]:
+    """Lex an integer or real constant starting at ``i``."""
+    n = len(text)
+    j = i
+    while j < n and text[j].isdigit():
+        j += 1
+    is_real = False
+    if j < n and text[j] == ".":
+        # Guard against "1.EQ.2": a dot followed by a dot-operator letter
+        # sequence ending in '.' is an operator, not a decimal point.
+        rest = text[j:].upper()
+        if not any(rest.startswith(op) for op in _DOT_OPS):
+            is_real = True
+            j += 1
+            while j < n and text[j].isdigit():
+                j += 1
+    if j < n and text[j].upper() in "ED":
+        k = j + 1
+        if k < n and text[k] in "+-":
+            k += 1
+        if k < n and text[k].isdigit():
+            is_real = True
+            j = k
+            while j < n and text[j].isdigit():
+                j += 1
+    value = text[i:j].upper()
+    kind = TokKind.REAL if is_real else TokKind.INT
+    return Token(kind, value, i), j

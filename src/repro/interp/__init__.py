@@ -1,0 +1,14 @@
+"""Fortran interpreter: execution, profiling, parallel simulation,
+transformation verification."""
+
+from .machine import ArrayStorage, AssertionViolated, Interpreter, Profile, \
+    RuntimeFault, StepLimitExceeded
+from .verify import ParallelTiming, compare_runs, run_program, \
+    simulate_speedup, verify_equivalence
+
+__all__ = [
+    "Interpreter", "Profile", "ArrayStorage",
+    "RuntimeFault", "StepLimitExceeded", "AssertionViolated",
+    "run_program", "compare_runs", "verify_equivalence",
+    "simulate_speedup", "ParallelTiming",
+]

@@ -1,0 +1,94 @@
+"""Run-and-compare helpers: transformation verification and parallel
+speedup simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fortran import parse_program
+from ..ir.program import AnalyzedProgram
+from .machine import Interpreter, Profile
+
+
+def run_program(source_or_program, inputs=None, max_steps: int = 5_000_000,
+                assertion_checker=None) -> Interpreter:
+    """Parse (if needed) and execute; returns the finished interpreter."""
+    if isinstance(source_or_program, str):
+        program = AnalyzedProgram(parse_program(source_or_program))
+    else:
+        program = source_or_program
+    interp = Interpreter(program, inputs=inputs, max_steps=max_steps,
+                         assertion_checker=assertion_checker)
+    interp.run()
+    return interp
+
+
+def compare_runs(a: Interpreter, b: Interpreter,
+                 rtol: float = 1e-9) -> list[str]:
+    """Differences in observable state between two finished runs."""
+    diffs: list[str] = []
+    sa, sb = a.snapshot(), b.snapshot()
+    keys = sorted(set(sa) | set(sb))
+    for k in keys:
+        va, vb = sa.get(k), sb.get(k)
+        if va is None or vb is None:
+            diffs.append(f"{k}: present in only one run")
+            continue
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not np.allclose(va, vb, rtol=rtol, equal_nan=True):
+                diffs.append(f"{k}: arrays differ")
+            continue
+        if isinstance(va, list):
+            if len(va) != len(vb):
+                diffs.append(f"{k}: output lengths differ "
+                             f"({len(va)} vs {len(vb)})")
+                continue
+            for i, (x, y) in enumerate(zip(va, vb)):
+                if isinstance(x, float) or isinstance(y, float):
+                    if not np.isclose(x, y, rtol=rtol):
+                        diffs.append(f"{k}[{i}]: {x} != {y}")
+                elif x != y:
+                    diffs.append(f"{k}[{i}]: {x} != {y}")
+            continue
+        if va != vb:
+            diffs.append(f"{k}: {va} != {vb}")
+    return diffs
+
+
+def verify_equivalence(original: str, transformed: str,
+                       inputs=None, rtol: float = 1e-9) -> list[str]:
+    """Run both sources on the same inputs; return observable diffs
+    (empty list = equivalent on this input)."""
+    ra = run_program(original, inputs=list(inputs or []))
+    rb = run_program(transformed, inputs=list(inputs or []))
+    return compare_runs(ra, rb, rtol=rtol)
+
+
+@dataclass
+class ParallelTiming:
+    sequential_time: float
+    parallel_time: float
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time <= 0:
+            return float("inf")
+        return self.sequential_time / self.parallel_time
+
+
+def simulate_speedup(sequential_source: str, parallel_source: str,
+                     inputs=None) -> ParallelTiming:
+    """Virtual-clock comparison of a program before/after parallelization.
+
+    The interpreter's fork-join model charges a PARALLEL DO the maximum
+    iteration time plus a fixed overhead, so the ratio reflects exposed
+    granularity rather than real hardware."""
+    ra = run_program(sequential_source, inputs=list(inputs or []))
+    rb = run_program(parallel_source, inputs=list(inputs or []))
+    diffs = compare_runs(ra, rb)
+    if diffs:
+        raise AssertionError(
+            "parallel version changes results: " + "; ".join(diffs[:5]))
+    return ParallelTiming(sequential_time=ra.clock, parallel_time=rb.clock)

@@ -1,0 +1,16 @@
+"""Interprocedural analysis: MOD/REF/KILL summaries, regular sections,
+inherited constants, and the Composition-Editor consistency checks."""
+
+from .compose import Diagnostic, check_array_bounds, check_call_interfaces, \
+    check_common_blocks, check_program
+from .constants import interprocedural_constants
+from .oracle import CallArrayAccess, InterproceduralOracle
+from .summary import ArraySection, ProcSummary, SectionDim, SummaryBuilder
+
+__all__ = [
+    "ArraySection", "ProcSummary", "SectionDim", "SummaryBuilder",
+    "CallArrayAccess", "InterproceduralOracle",
+    "interprocedural_constants",
+    "Diagnostic", "check_array_bounds", "check_call_interfaces",
+    "check_common_blocks", "check_program",
+]

@@ -1,0 +1,181 @@
+"""Composition-Editor checks (Section 3.2, "Other").
+
+The ParaScope Composition Editor compares procedure definitions against
+their call sites.  Workshop users found several real bugs this way, and
+asked for two more checks, all implemented here:
+
+* call/definition agreement: argument count and (simple) type matching;
+* COMMON block shape consistency across the units that declare it;
+* static array bounds checking for constant subscripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.constants import eval_const
+from ..fortran import ast
+from ..ir.program import AnalyzedProgram
+from ..ir.symtab import SymbolTable
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    kind: str      # "arg-count" | "arg-type" | "common-shape" | "bounds"
+    unit: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.unit}:{self.line}: {self.message}"
+
+
+_NUMERIC = {"INTEGER", "REAL", "DOUBLEPRECISION"}
+
+
+def _expr_type(e: ast.Expr, st: SymbolTable) -> str | None:
+    if isinstance(e, ast.IntConst):
+        return "INTEGER"
+    if isinstance(e, ast.RealConst):
+        return "DOUBLEPRECISION" if "D" in e.text.upper() else "REAL"
+    if isinstance(e, ast.LogicalConst):
+        return "LOGICAL"
+    if isinstance(e, ast.StringConst):
+        return "CHARACTER"
+    if isinstance(e, (ast.VarRef, ast.ArrayRef)):
+        sym = st.get(e.name)
+        return sym.type_name if sym else None
+    if isinstance(e, ast.UnOp):
+        return _expr_type(e.operand, st)
+    if isinstance(e, ast.BinOp):
+        if e.op.startswith("."):
+            return "LOGICAL"
+        lt = _expr_type(e.left, st)
+        rt = _expr_type(e.right, st)
+        order = ["INTEGER", "REAL", "DOUBLEPRECISION"]
+        if lt in order and rt in order:
+            return order[max(order.index(lt), order.index(rt))]
+        return lt or rt
+    if isinstance(e, ast.FuncRef):
+        return None  # would need result types; skip
+    return None
+
+
+def check_call_interfaces(program: AnalyzedProgram) -> list[Diagnostic]:
+    """Verify every call site against its callee's definition."""
+    out: list[Diagnostic] = []
+    for cs in program.callgraph.sites:
+        if cs.callee not in program.units:
+            continue
+        callee = program.units[cs.callee].unit
+        callee_st = program.units[cs.callee].symtab
+        caller_st = program.units[cs.caller].symtab
+        if len(cs.args) != len(callee.params):
+            out.append(Diagnostic(
+                "arg-count", cs.caller, cs.line,
+                f"call to {cs.callee} passes {len(cs.args)} argument(s); "
+                f"definition has {len(callee.params)}"))
+            continue
+        for i, (actual, formal) in enumerate(zip(cs.args, callee.params), 1):
+            at = _expr_type(actual, caller_st)
+            fsym = callee_st.get(formal)
+            ft = fsym.type_name if fsym else None
+            if at is None or ft is None:
+                continue
+            if at != ft and not (at in _NUMERIC and ft in _NUMERIC
+                                 and at == ft):
+                if at != ft:
+                    out.append(Diagnostic(
+                        "arg-type", cs.caller, cs.line,
+                        f"call to {cs.callee}: argument {i} is {at} "
+                        f"but formal {formal} is {ft}"))
+    return out
+
+
+def _common_shape(st: SymbolTable, block: str) -> list[tuple[str, int]]:
+    """(member name, element count or -1 if symbolic) for a COMMON block."""
+    shape: list[tuple[str, int]] = []
+    for member in st.common_blocks.get(block, []):
+        sym = st.get(member)
+        count = 1
+        if sym is not None and sym.is_array:
+            count = 1
+            for d in sym.dims:
+                lo = eval_const(d.lower, {})
+                hi = eval_const(d.upper, {}) if d.upper is not None else None
+                if isinstance(lo, int) and isinstance(hi, int):
+                    count *= (hi - lo + 1)
+                else:
+                    count = -1
+                    break
+        shape.append((member, count))
+    return shape
+
+
+def check_common_blocks(program: AnalyzedProgram) -> list[Diagnostic]:
+    """COMMON blocks must have the same total shape in every unit."""
+    out: list[Diagnostic] = []
+    declared: dict[str, tuple[str, list[tuple[str, int]]]] = {}
+    for name, uir in program.units.items():
+        for block in uir.symtab.common_blocks:
+            shape = _common_shape(uir.symtab, block)
+            if block not in declared:
+                declared[block] = (name, shape)
+                continue
+            first_unit, first_shape = declared[block]
+            total = sum(c for _, c in shape if c > 0)
+            first_total = sum(c for _, c in first_shape if c > 0)
+            symbolic = any(c < 0 for _, c in shape + first_shape)
+            if not symbolic and total != first_total:
+                out.append(Diagnostic(
+                    "common-shape", name, uir.unit.line,
+                    f"COMMON /{block or 'blank'}/ has {total} element(s) "
+                    f"here but {first_total} in {first_unit}"))
+    return out
+
+
+def check_array_bounds(program: AnalyzedProgram) -> list[Diagnostic]:
+    """Flag constant subscripts outside declared bounds."""
+    out: list[Diagnostic] = []
+    for name, uir in program.units.items():
+        st = uir.symtab
+        for s, _ in ast.walk_stmts(uir.unit.body):
+            exprs = list(s.exprs())
+            if isinstance(s, ast.Assign):
+                exprs.append(s.target)
+            for e in exprs:
+                for node in ast.walk_expr(e):
+                    if not isinstance(node, ast.ArrayRef):
+                        continue
+                    sym = st.get(node.name)
+                    if sym is None or not sym.is_array:
+                        continue
+                    for k, (sub, dim) in enumerate(
+                            zip(node.subscripts, sym.dims), 1):
+                        v = eval_const(sub, {
+                            nm: sy.param_value and eval_const(
+                                sy.param_value, {})
+                            for nm, sy in st.symbols.items()
+                            if sy.storage == "parameter"})
+                        if not isinstance(v, int):
+                            continue
+                        lo = eval_const(dim.lower, {})
+                        hi = (eval_const(dim.upper, {})
+                              if dim.upper is not None else None)
+                        if isinstance(lo, int) and v < lo:
+                            out.append(Diagnostic(
+                                "bounds", name, s.line,
+                                f"{node.name}: subscript {k} = {v} below "
+                                f"lower bound {lo}"))
+                        elif isinstance(hi, int) and v > hi:
+                            out.append(Diagnostic(
+                                "bounds", name, s.line,
+                                f"{node.name}: subscript {k} = {v} above "
+                                f"upper bound {hi}"))
+    return out
+
+
+def check_program(program: AnalyzedProgram) -> list[Diagnostic]:
+    """All Composition-Editor checks."""
+    return (check_call_interfaces(program) + check_common_blocks(program)
+            + check_array_bounds(program))

@@ -1,0 +1,70 @@
+"""Interprocedural constant propagation.
+
+Constants are inherited from a procedure's callers: when *every* call site
+passes the same compile-time constant for a formal parameter, that formal
+is constant inside the callee (the "interprocedural constants are
+inherited from a procedure's callers and directly incorporated into the
+intraprocedural constants" of Section 4.1).  Propagation runs top-down
+over the call graph until a fixpoint, evaluating each caller with its own
+inherited constants.
+"""
+
+from __future__ import annotations
+
+from ..analysis.constants import BOTTOM, TOP, Value, eval_const, \
+    propagate_constants
+from ..analysis.defuse import SideEffectOracle
+from ..fortran import ast
+from ..ir.program import AnalyzedProgram
+
+
+def interprocedural_constants(program: AnalyzedProgram,
+                              oracle: SideEffectOracle | None = None,
+                              max_rounds: int = 10
+                              ) -> dict[str, dict[str, Value]]:
+    """Per-unit inherited constant environments (formals only).
+
+    Returns ``unit name -> {formal name -> constant}`` containing only
+    concrete constants (TOP/BOTTOM entries are dropped).
+    """
+    cg = program.callgraph
+    inherited: dict[str, dict[str, Value]] = {n: {} for n in program.units}
+
+    for _ in range(max_rounds):
+        changed = False
+        # Evaluate every caller with current inherited constants.
+        lattice: dict[str, dict[str, Value]] = {n: {} for n in program.units}
+        for name, uir in program.units.items():
+            cmap = propagate_constants(uir.cfg, uir.symtab, oracle,
+                                       inherited=inherited.get(name))
+            for cs in cg.sites_in(name):
+                if cs.callee not in program.units:
+                    continue
+                callee_unit = program.units[cs.callee].unit
+                env = cmap.const_env(cs.stmt.uid)
+                for formal, actual in zip(callee_unit.params, cs.args):
+                    v = eval_const(actual, env)
+                    cur = lattice[cs.callee].get(formal.upper(), TOP)
+                    new = _meet(cur, v)
+                    lattice[cs.callee][formal.upper()] = new
+        for callee, envs in lattice.items():
+            concrete = {k: v for k, v in envs.items()
+                        if v is not TOP and v is not BOTTOM}
+            if concrete != inherited[callee]:
+                inherited[callee] = concrete
+                changed = True
+        if not changed:
+            break
+    return inherited
+
+
+def _meet(a: Value, b: Value) -> Value:
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    if a == b:
+        return a
+    return BOTTOM

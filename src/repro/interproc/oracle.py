@@ -1,0 +1,130 @@
+"""Interprocedural side-effect oracle.
+
+Adapts :class:`~repro.interproc.summary.ProcSummary` data to the
+:class:`~repro.analysis.defuse.SideEffectOracle` interface used by every
+intraprocedural analysis, so that MOD/REF tightens def/use sets at call
+sites, KILL enables interprocedural scalar privatization (the nxsns case),
+and regular sections let dependence testing treat a call like an ordinary
+subscripted reference (the spec77 case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.defuse import SideEffectOracle
+from ..fortran import ast
+from ..ir.symtab import SymbolTable
+from .summary import ProcSummary, _base_name, _bind_formals, \
+    _translate_section_subs
+
+
+@dataclass(frozen=True)
+class CallArrayAccess:
+    """Array touched by a call, in caller terms."""
+
+    array: str
+    #: caller-side subscripts for single-element sections; None = whole array
+    subscripts: tuple[ast.Expr, ...] | None
+    is_write: bool
+
+
+class InterproceduralOracle(SideEffectOracle):
+    """Side effects refined by procedure summaries.
+
+    Falls back to worst-case behaviour for calls to unknown procedures
+    (externals without source).
+    """
+
+    def __init__(self, summaries: dict[str, ProcSummary]):
+        self.summaries = summaries
+
+    def call_effects(self, caller_symtab: SymbolTable, callee: str,
+                     args: tuple[ast.Expr, ...]):
+        callee = callee.upper()
+        summ = self.summaries.get(callee)
+        if summ is None:
+            return super().call_effects(caller_symtab, callee, args)
+        binding = _bind_formals(summ.formals, args)
+
+        def translate(names: set[str]) -> set[str]:
+            out: set[str] = set()
+            for v in names:
+                if v in binding:
+                    base = _base_name(binding[v])
+                    if base:
+                        out.add(base.upper())
+                else:
+                    out.add(v)  # COMMON: same name
+            return out
+
+        # Use *exposed* refs: a value the callee reads only after killing
+        # it does not consume the caller's incoming value, so it induces
+        # no flow from prior caller writes (the nxsns KILL refinement).
+        refs = translate(summ.exposed_ref)
+        mods = translate(summ.mod)
+        kills: set[str] = set()
+        for v in summ.kill:
+            if v in binding:
+                actual = binding[v]
+                # Only a plain scalar actual is wholly killed.
+                if isinstance(actual, ast.VarRef):
+                    sym = caller_symtab.get(actual.name)
+                    if sym is not None and not sym.is_array:
+                        kills.add(actual.name)
+            else:
+                sym = caller_symtab.get(v)
+                if sym is not None and not sym.is_array:
+                    kills.add(v)
+        # Argument subscript evaluation reads:
+        for a in args:
+            for node in ast.walk_expr(a):
+                if isinstance(node, (ast.VarRef, ast.ArrayRef)):
+                    refs.add(node.name)
+        return refs, mods, kills
+
+    # -- dependence-testing support ------------------------------------------
+
+    def call_array_accesses(self, caller_symtab: SymbolTable, callee: str,
+                            args: tuple[ast.Expr, ...]
+                            ) -> list[CallArrayAccess] | None:
+        """Array accesses of a call, with section-derived subscripts.
+
+        Returns ``None`` when the callee is unknown (callers must assume
+        arbitrary effects on every visible array).
+        """
+        callee = callee.upper()
+        summ = self.summaries.get(callee)
+        if summ is None:
+            return None
+        binding = _bind_formals(summ.formals, args)
+        out: list[CallArrayAccess] = []
+        # Reads of arrays the callee kills first consume the callee's own
+        # writes, not caller data: no flow dependence into the call.
+        exposed_reads = summ.ref - summ.killed_arrays
+        for is_write, names, secs in ((False, exposed_reads,
+                                       summ.ref_sections),
+                                      (True, summ.mod, summ.mod_sections)):
+            for v in names:
+                if v in binding:
+                    base = _base_name(binding[v])
+                else:
+                    base = v
+                if base is None:
+                    continue
+                sym = caller_symtab.get(base)
+                if sym is None or not sym.is_array:
+                    continue
+                subs = _translate_section_subs(secs.get(v), binding)
+                out.append(CallArrayAccess(base.upper(), subs, is_write))
+        return out
+
+    def call_sections_for(self, caller_symtab: SymbolTable):
+        """A ``call_sections`` callback for the array-kill scan."""
+        from .summary import call_section_triples
+
+        def cb(stmt):
+            return call_section_triples(self.summaries, caller_symtab,
+                                        stmt.name, stmt.args)
+
+        return cb

@@ -1,0 +1,81 @@
+"""Interprocedural symbolic relation propagation.
+
+Section 4.3's arc3d example: ``JM = JMAX - 1`` is assigned once, in the
+initialization routine, "and this relation holds for the rest of the
+program".  PED lacked this propagation (the paper calls for it); we
+implement the extension: a COMMON scalar assigned by exactly one
+statement in the whole program, whose right-hand side is affine over
+constants and other such scalars, yields a globally-valid relation.
+
+Variables are disqualified when they are a READ target, a DO index, or
+passed as an actual argument anywhere (a callee could modify them
+through the binding); COMMON writes inside callees are caught because
+every unit's assignments are counted.
+"""
+
+from __future__ import annotations
+
+from ..analysis.linear import LinearExpr, linearize
+from ..analysis.symbolic import linearize_from_linear
+from ..fortran import ast
+from ..ir.program import AnalyzedProgram
+
+
+def global_relations(program: AnalyzedProgram,
+                     max_depth: int = 4) -> dict[str, LinearExpr]:
+    """``var -> affine value`` valid everywhere after initialization."""
+    assign_count: dict[str, int] = {}
+    rhs: dict[str, ast.Expr] = {}
+    disq: set[str] = set()
+    common_scalars: set[str] = set()
+
+    for uir in program.units.values():
+        st = uir.symtab
+        for sym in st.symbols.values():
+            if sym.storage == "common" and not sym.is_array:
+                common_scalars.add(sym.name)
+        for s, _ in ast.walk_stmts(uir.unit.body):
+            if isinstance(s, ast.Assign) and isinstance(s.target,
+                                                        ast.VarRef):
+                v = s.target.name
+                assign_count[v] = assign_count.get(v, 0) + 1
+                rhs[v] = s.value
+            elif isinstance(s, ast.Assign):
+                pass
+            elif isinstance(s, ast.DoLoop):
+                disq.add(s.var)
+            elif isinstance(s, ast.ReadStmt):
+                for it in s.items:
+                    if isinstance(it, ast.VarRef):
+                        disq.add(it.name)
+            elif isinstance(s, ast.CallStmt):
+                for a in s.args:
+                    if isinstance(a, ast.VarRef):
+                        disq.add(a.name)
+
+    raw: dict[str, LinearExpr] = {}
+    for v in common_scalars:
+        if v in disq or assign_count.get(v, 0) != 1:
+            continue
+        le = linearize(rhs[v])
+        if le.is_affine and v not in le.variables():
+            raw[v] = le
+
+    # Close over mutual references (JM = JMAX - 1, JMAX = 30 -> JM = 29);
+    # a relation may only reference other qualified globals or nothing.
+    out: dict[str, LinearExpr] = {}
+    for v, le in raw.items():
+        cur = le
+        for _ in range(max_depth):
+            subst = {w: raw[w] for w in cur.variables() if w in raw}
+            if not subst:
+                break
+            nxt = linearize_from_linear(cur, subst)
+            if nxt is None or nxt == cur:
+                break
+            cur = nxt
+        if cur.variables() <= set(raw):
+            # fully resolved (possibly to a constant)
+            if all(w not in cur.variables() for w in (v,)):
+                out[v] = cur
+    return {v: le for v, le in out.items() if v not in le.variables()}

@@ -1,0 +1,19 @@
+"""Program representation: symbol tables, CFG, loop tree, call graph."""
+
+from .callgraph import CallGraph, CallSite, build_call_graph
+from .cfg import CFG, ENTRY, EXIT, basic_blocks, build_cfg, dominators, \
+    immediate_dominators, is_executable
+from .loops import LoopInfo, LoopTree, build_loop_tree
+from .program import AnalyzedProgram, UnitIR
+from .symtab import SemanticError, Symbol, SymbolTable, build_symbol_table, \
+    resolve_unit
+
+__all__ = [
+    "AnalyzedProgram", "UnitIR",
+    "CallGraph", "CallSite", "build_call_graph",
+    "CFG", "ENTRY", "EXIT", "build_cfg", "basic_blocks", "dominators",
+    "immediate_dominators", "is_executable",
+    "LoopInfo", "LoopTree", "build_loop_tree",
+    "Symbol", "SymbolTable", "SemanticError", "build_symbol_table",
+    "resolve_unit",
+]

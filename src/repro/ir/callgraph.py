@@ -1,0 +1,107 @@
+"""Call graph construction.
+
+Nodes are program units; edges record every call site (``CALL`` statements
+and user-function references inside expressions) with the actual argument
+lists, which interprocedural analysis (MOD/REF, KILL, constants, sections)
+and the Composition-Editor checks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..fortran import ast
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str
+    stmt: ast.Stmt                 # statement containing the call
+    args: tuple[ast.Expr, ...]
+    line: int
+    #: innermost enclosing loop uid in the caller, if any
+    loop_uid: int | None = None
+
+
+@dataclass
+class CallGraph:
+    units: dict[str, ast.ProgramUnit] = field(default_factory=dict)
+    sites: list[CallSite] = field(default_factory=list)
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def callees(self, name: str) -> set[str]:
+        return set(self.graph.successors(name.upper())) \
+            if name.upper() in self.graph else set()
+
+    def callers(self, name: str) -> set[str]:
+        return set(self.graph.predecessors(name.upper())) \
+            if name.upper() in self.graph else set()
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        return [cs for cs in self.sites if cs.caller == caller.upper()]
+
+    def sites_of(self, callee: str) -> list[CallSite]:
+        return [cs for cs in self.sites if cs.callee == callee.upper()]
+
+    def reverse_topo_order(self) -> list[str]:
+        """Callees before callers; cycles (recursion) broken arbitrarily."""
+        g = self.graph
+        try:
+            return list(reversed(list(nx.topological_sort(g))))
+        except nx.NetworkXUnfeasible:
+            order: list[str] = []
+            for scc in nx.strongly_connected_components(g):
+                order.extend(sorted(scc))
+            return order
+
+
+def _calls_in_expr(e: ast.Expr, known: frozenset[str]):
+    for node in ast.walk_expr(e):
+        if isinstance(node, ast.FuncRef) and not node.intrinsic \
+                and node.name in known:
+            yield node
+        elif isinstance(node, ast.NameRef) and node.name in known:
+            # unresolved reference matching a program unit: a call
+            yield node
+
+
+def build_call_graph(prog: ast.Program) -> CallGraph:
+    cg = CallGraph()
+    known = frozenset(u.name for u in prog.units)
+    for u in prog.units:
+        cg.units[u.name] = u
+        cg.graph.add_node(u.name)
+    for u in prog.units:
+        loop_stack: list[int] = []
+
+        def visit(body: list[ast.Stmt]) -> None:
+            for s in body:
+                if isinstance(s, ast.CallStmt) and s.name in known:
+                    _add(u, s, s.name, s.args)
+                for e in s.exprs():
+                    for fr in _calls_in_expr(e, known):
+                        _add(u, s, fr.name, fr.args)
+                if isinstance(s, ast.Assign):
+                    for fr in _calls_in_expr(s.target, known):
+                        _add(u, s, fr.name, fr.args)
+                if isinstance(s, ast.DoLoop):
+                    loop_stack.append(s.uid)
+                    visit(s.body)
+                    loop_stack.pop()
+                else:
+                    for blk in s.blocks():
+                        visit(blk)
+
+        def _add(unit: ast.ProgramUnit, stmt: ast.Stmt, callee: str,
+                 args: tuple[ast.Expr, ...]) -> None:
+            cg.sites.append(CallSite(
+                caller=unit.name, callee=callee, stmt=stmt, args=tuple(args),
+                line=stmt.line,
+                loop_uid=loop_stack[-1] if loop_stack else None))
+            cg.graph.add_edge(unit.name, callee)
+
+        visit(u.body)
+    return cg

@@ -1,0 +1,280 @@
+"""Statement-level control-flow graph.
+
+Every executable statement is a node (keyed by its AST ``uid``); two
+sentinel nodes ``ENTRY`` and ``EXIT`` bracket the unit.  Structured
+constructs contribute their natural edges; GOTOs, arithmetic IFs and
+computed GOTOs contribute label edges.  The CFG underlies reaching
+definitions, liveness, KILL analysis and control-dependence computation.
+
+A statement-level graph (rather than basic blocks) keeps the analyses
+simple; for the program sizes PED handles interactively this is never the
+bottleneck, and :func:`basic_blocks` groups nodes into maximal blocks for
+clients that want them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast
+
+ENTRY = -1
+EXIT = -2
+
+_EXECUTABLE_EXCLUDES = (
+    ast.TypeDecl, ast.DimensionStmt, ast.CommonStmt, ast.ParameterStmt,
+    ast.DataStmt, ast.SaveStmt, ast.ExternalStmt, ast.IntrinsicStmt,
+    ast.ImplicitStmt, ast.FormatStmt,
+)
+
+
+def is_executable(s: ast.Stmt) -> bool:
+    return not isinstance(s, _EXECUTABLE_EXCLUDES)
+
+
+class CFGError(Exception):
+    pass
+
+
+@dataclass
+class CFG:
+    """Control-flow graph over statement uids."""
+
+    unit_name: str
+    #: uid -> statement (excluding sentinels)
+    stmts: dict[int, ast.Stmt] = field(default_factory=dict)
+    succs: dict[int, set[int]] = field(default_factory=dict)
+    preds: dict[int, set[int]] = field(default_factory=dict)
+
+    def add_node(self, uid: int) -> None:
+        self.succs.setdefault(uid, set())
+        self.preds.setdefault(uid, set())
+
+    def add_edge(self, a: int, b: int) -> None:
+        self.add_node(a)
+        self.add_node(b)
+        self.succs[a].add(b)
+        self.preds[b].add(a)
+
+    @property
+    def nodes(self) -> list[int]:
+        return list(self.succs.keys())
+
+    def reachable(self) -> set[int]:
+        seen = {ENTRY}
+        work = [ENTRY]
+        while work:
+            n = work.pop()
+            for m in self.succs.get(n, ()):
+                if m not in seen:
+                    seen.add(m)
+                    work.append(m)
+        return seen
+
+    def rpo(self) -> list[int]:
+        """Reverse post-order from ENTRY (good iteration order forward)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def dfs(n: int) -> None:
+            stack = [(n, iter(sorted(self.succs.get(n, ()))))]
+            seen.add(n)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for m in it:
+                    if m not in seen:
+                        seen.add(m)
+                        stack.append((m, iter(sorted(self.succs.get(m, ())))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        dfs(ENTRY)
+        return list(reversed(order))
+
+
+def build_cfg(unit: ast.ProgramUnit) -> CFG:
+    """Construct the CFG for one program unit."""
+    cfg = CFG(unit_name=unit.name)
+    cfg.add_node(ENTRY)
+    cfg.add_node(EXIT)
+
+    # Label resolution: label -> uid of the labelled executable statement.
+    labels: dict[int, int] = {}
+    for s, _ in ast.walk_stmts(unit.body):
+        if s.label is not None and is_executable(s):
+            labels[s.label] = s.uid
+        if is_executable(s):
+            cfg.stmts[s.uid] = s
+            cfg.add_node(s.uid)
+
+    def target(label: int, line: int) -> int:
+        if label not in labels:
+            raise CFGError(f"{unit.name}: line {line}: unknown label {label}")
+        return labels[label]
+
+    def wire(body: list[ast.Stmt], entry_from: list[int],
+             after: "list[int] | int") -> list[int]:
+        """Wire a statement list.
+
+        ``entry_from`` are nodes that flow into the head of ``body``.
+        ``after`` is where control goes when the list falls through: either
+        a node id or a list collecting dangling exits (resolved by caller).
+        Returns the list of dangling exits when ``after`` is a list.
+        """
+        exits = entry_from
+        for s in body:
+            if not is_executable(s):
+                continue
+            for p in exits:
+                cfg.add_edge(p, s.uid)
+            exits = _wire_stmt(s)
+        if isinstance(after, list):
+            after.extend(exits)
+            return after
+        for p in exits:
+            cfg.add_edge(p, after)
+        return []
+
+    def _wire_stmt(s: ast.Stmt) -> list[int]:
+        """Wire the inside of a statement; return its fall-through exits."""
+        if isinstance(s, ast.DoLoop):
+            # header -> body head; body tail -> header; header -> after.
+            tail: list[int] = []
+            wire(s.body, [s.uid], tail)
+            for t in tail:
+                cfg.add_edge(t, s.uid)
+            return [s.uid]
+        if isinstance(s, ast.IfBlock):
+            exits: list[int] = []
+            wire(s.then_body, [s.uid], exits)
+            for _, arm in s.elifs:
+                wire(arm, [s.uid], exits)
+            if s.else_body:
+                wire(s.else_body, [s.uid], exits)
+            else:
+                exits.append(s.uid)
+            return exits
+        if isinstance(s, ast.LogicalIf):
+            inner_exits = []
+            inner = s.stmt
+            cfg.stmts[inner.uid] = inner
+            cfg.add_edge(s.uid, inner.uid)
+            inner_exits = _wire_stmt(inner)
+            return [s.uid] + inner_exits
+        if isinstance(s, ast.Goto):
+            cfg.add_edge(s.uid, target(s.target, s.line))
+            return []
+        if isinstance(s, ast.ComputedGoto):
+            for lab in s.targets:
+                cfg.add_edge(s.uid, target(lab, s.line))
+            return [s.uid]  # falls through when expr out of range
+        if isinstance(s, ast.ArithIf):
+            for lab in (s.neg_label, s.zero_label, s.pos_label):
+                cfg.add_edge(s.uid, target(lab, s.line))
+            return []
+        if isinstance(s, (ast.Return, ast.Stop)):
+            cfg.add_edge(s.uid, EXIT)
+            return []
+        return [s.uid]
+
+    wire(unit.body, [ENTRY], EXIT)
+    # A unit that reaches its END also exits.
+    return cfg
+
+
+@dataclass
+class BasicBlock:
+    id: int
+    stmts: list[int]
+
+
+def basic_blocks(cfg: CFG) -> list[BasicBlock]:
+    """Group CFG nodes into maximal single-entry single-exit chains."""
+    leaders: set[int] = {ENTRY, EXIT}
+    for n in cfg.nodes:
+        if len(cfg.preds.get(n, ())) != 1:
+            leaders.add(n)
+        else:
+            (p,) = cfg.preds[n]
+            if len(cfg.succs.get(p, ())) != 1:
+                leaders.add(n)
+    blocks: list[BasicBlock] = []
+    seen: set[int] = set()
+    for n in sorted(leaders & set(cfg.nodes), key=lambda x: (x < 0, x)):
+        if n in seen:
+            continue
+        chain = [n]
+        seen.add(n)
+        cur = n
+        while True:
+            succ = cfg.succs.get(cur, set())
+            if len(succ) != 1:
+                break
+            (m,) = succ
+            if m in leaders or m in seen:
+                break
+            chain.append(m)
+            seen.add(m)
+            cur = m
+        blocks.append(BasicBlock(len(blocks), chain))
+    return blocks
+
+
+# --------------------------------------------------------------------------
+# Dominators / postdominators (used by control dependence)
+# --------------------------------------------------------------------------
+
+def dominators(cfg: CFG, entry: int = ENTRY,
+               backward: bool = False) -> dict[int, set[int]]:
+    """Classic iterative dominator (or postdominator) sets.
+
+    With ``backward=True`` computes postdominators over reversed edges
+    with ``entry`` = EXIT.
+    """
+    edges_in = cfg.succs if backward else cfg.preds
+    nodes = [n for n in cfg.nodes]
+    universe = set(nodes)
+    dom: dict[int, set[int]] = {n: set(universe) for n in nodes}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n == entry:
+                continue
+            preds = [p for p in edges_in.get(n, ()) if p in dom]
+            if not preds:
+                new = {n}
+            else:
+                new = set(universe)
+                for p in preds:
+                    new &= dom[p]
+                new.add(n)
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: CFG, entry: int = ENTRY,
+                         backward: bool = False) -> dict[int, int | None]:
+    dom = dominators(cfg, entry, backward)
+    idom: dict[int, int | None] = {}
+    for n, ds in dom.items():
+        if n == entry:
+            idom[n] = None
+            continue
+        strict = ds - {n}
+        # The immediate dominator is the strict dominator that every
+        # other strict dominator dominates (the deepest one).
+        best = None
+        for c in strict:
+            if all(o == c or o in dom[c] for o in strict):
+                best = c
+                break
+        idom[n] = best
+    return idom

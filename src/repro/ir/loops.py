@@ -1,0 +1,137 @@
+"""Loop tree: the hierarchy of DO loops in a program unit.
+
+PED's progressive disclosure is keyed to the *current loop*; the loop tree
+gives every loop a stable ordinal id (``L1``, ``L2``, ... in source order),
+its nesting depth, parent/children links, and the statements it contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast
+
+
+@dataclass
+class LoopInfo:
+    """One DO loop plus its position in the loop tree."""
+
+    loop: ast.DoLoop
+    unit_name: str
+    ordinal: int                       # 1-based, source order
+    depth: int                         # 0 = outermost
+    parent: "LoopInfo | None" = None
+    children: list["LoopInfo"] = field(default_factory=list)
+
+    @property
+    def id(self) -> str:
+        return f"L{self.ordinal}"
+
+    @property
+    def uid(self) -> int:
+        return self.loop.uid
+
+    @property
+    def var(self) -> str:
+        return self.loop.var
+
+    @property
+    def line(self) -> int:
+        return self.loop.line
+
+    def nest_vars(self) -> list[str]:
+        """Induction variables from the outermost enclosing loop inward."""
+        chain: list[LoopInfo] = []
+        cur: LoopInfo | None = self
+        while cur is not None:
+            chain.append(cur)
+            cur = cur.parent
+        return [li.var for li in reversed(chain)]
+
+    def nest(self) -> list["LoopInfo"]:
+        """Enclosing loops outermost-first, ending with this loop."""
+        chain: list[LoopInfo] = []
+        cur: LoopInfo | None = self
+        while cur is not None:
+            chain.append(cur)
+            cur = cur.parent
+        return list(reversed(chain))
+
+    def statements(self) -> list[ast.Stmt]:
+        return ast.statements_of(self.loop)
+
+    def inner_loops(self) -> list["LoopInfo"]:
+        out: list[LoopInfo] = []
+        work = list(self.children)
+        while work:
+            li = work.pop(0)
+            out.append(li)
+            work.extend(li.children)
+        return out
+
+    def is_perfect_nest_with(self) -> "LoopInfo | None":
+        """The single inner loop if this nest level is perfectly nested."""
+        body = [s for s in self.loop.body if not isinstance(s, ast.Continue)]
+        if len(body) == 1 and isinstance(body[0], ast.DoLoop):
+            for c in self.children:
+                if c.loop is body[0]:
+                    return c
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LoopInfo({self.id} {self.var} line {self.line} "
+                f"depth {self.depth})")
+
+
+@dataclass
+class LoopTree:
+    unit_name: str
+    roots: list[LoopInfo] = field(default_factory=list)
+    by_uid: dict[int, LoopInfo] = field(default_factory=dict)
+    by_id: dict[str, LoopInfo] = field(default_factory=dict)
+
+    def all_loops(self) -> list[LoopInfo]:
+        return sorted(self.by_uid.values(), key=lambda li: li.ordinal)
+
+    def find(self, key: "str | int | ast.DoLoop | LoopInfo") -> LoopInfo:
+        if isinstance(key, LoopInfo):
+            return key
+        if isinstance(key, ast.DoLoop):
+            return self.by_uid[key.uid]
+        if isinstance(key, int):
+            return self.by_uid[key]
+        return self.by_id[key.upper()]
+
+    def enclosing(self, stmt_uid: int) -> LoopInfo | None:
+        """Innermost loop containing the statement with the given uid."""
+        best: LoopInfo | None = None
+        for li in self.all_loops():
+            if any(s.uid == stmt_uid for s in li.statements()):
+                if best is None or li.depth > best.depth:
+                    best = li
+        return best
+
+
+def build_loop_tree(unit: ast.ProgramUnit) -> LoopTree:
+    tree = LoopTree(unit_name=unit.name)
+    counter = [0]
+
+    def rec(body: list[ast.Stmt], parent: LoopInfo | None, depth: int) -> None:
+        for s in body:
+            if isinstance(s, ast.DoLoop):
+                counter[0] += 1
+                li = LoopInfo(loop=s, unit_name=unit.name,
+                              ordinal=counter[0], depth=depth, parent=parent)
+                if parent is None:
+                    tree.roots.append(li)
+                else:
+                    parent.children.append(li)
+                tree.by_uid[s.uid] = li
+                tree.by_id[li.id] = li
+                rec(s.body, li, depth + 1)
+            else:
+                for blk in s.blocks():
+                    rec(blk, parent, depth)
+
+    rec(unit.body, None, 0)
+    return tree

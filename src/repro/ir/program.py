@@ -1,0 +1,100 @@
+"""AnalyzedProgram: parsed + resolved program with per-unit IR artifacts.
+
+This is the object every higher layer (analysis, dependence, transforms,
+the PED session) works from.  Artifacts are built lazily and invalidated
+wholesale after an edit or transformation -- PED's "incremental" update is
+re-derivation scoped by the session layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast, parse_program, print_program
+from .callgraph import CallGraph, build_call_graph
+from .cfg import CFG, build_cfg
+from .loops import LoopTree, build_loop_tree
+from .symtab import SymbolTable, build_symbol_table, resolve_unit
+
+
+@dataclass
+class UnitIR:
+    unit: ast.ProgramUnit
+    symtab: SymbolTable
+    _cfg: CFG | None = field(default=None, repr=False)
+    _loops: LoopTree | None = field(default=None, repr=False)
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.unit)
+        return self._cfg
+
+    @property
+    def loops(self) -> LoopTree:
+        if self._loops is None:
+            self._loops = build_loop_tree(self.unit)
+        return self._loops
+
+    def invalidate(self) -> None:
+        self._cfg = None
+        self._loops = None
+
+
+class AnalyzedProgram:
+    """A whole-program container with name resolution applied."""
+
+    def __init__(self, prog: ast.Program):
+        self.ast = prog
+        proc_names = frozenset(u.name for u in prog.units)
+        self.units: dict[str, UnitIR] = {}
+        for u in prog.units:
+            st = build_symbol_table(u)
+            resolve_unit(u, st, proc_names)
+            self.units[u.name] = UnitIR(unit=u, symtab=st)
+        self._callgraph: CallGraph | None = None
+
+    @classmethod
+    def from_source(cls, text: str) -> "AnalyzedProgram":
+        return cls(parse_program(text))
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = build_call_graph(self.ast)
+        return self._callgraph
+
+    def unit(self, name: str) -> UnitIR:
+        return self.units[name.upper()]
+
+    def unit_names(self) -> list[str]:
+        return list(self.units.keys())
+
+    @property
+    def main_unit(self) -> UnitIR | None:
+        for u in self.units.values():
+            if u.unit.kind == "program":
+                return u
+        return None
+
+    def source(self) -> str:
+        """Pretty-printed current state of the program."""
+        return print_program(self.ast)
+
+    def invalidate(self, unit_name: str | None = None) -> None:
+        """Drop derived artifacts after the AST was mutated."""
+        if unit_name is None:
+            for u in self.units.values():
+                u.invalidate()
+        else:
+            self.units[unit_name.upper()].invalidate()
+        self._callgraph = None
+
+    def reresolve(self, unit_name: str) -> None:
+        """Re-run symbol construction + name resolution for one unit."""
+        proc_names = frozenset(self.units.keys())
+        uir = self.units[unit_name.upper()]
+        uir.symtab = build_symbol_table(uir.unit)
+        resolve_unit(uir.unit, uir.symtab, proc_names)
+        uir.invalidate()
+        self._callgraph = None

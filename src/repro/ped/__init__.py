@@ -1,0 +1,12 @@
+"""The ParaScope Editor session layer: panes, filters, rendering,
+scripted user sessions."""
+
+from .filters import DependenceFilter, SourceFilter, VariableFilter
+from .panes import DependencePane, SourcePane, VariablePane
+from .session import Event, PedSession
+
+__all__ = [
+    "PedSession", "Event",
+    "SourceFilter", "DependenceFilter", "VariableFilter",
+    "SourcePane", "DependencePane", "VariablePane",
+]

@@ -1,0 +1,159 @@
+"""Semi-automatic parallelization (Section 5.3, "Transformation
+Guidance").
+
+"Ideally, a user would select the architecture and request
+parallelization at the loop, subroutine or program level.  The system
+would then automatically perform parallelization or describe the
+impediments to a desired parallelization.  Impediments would be
+presented in a systematic fashion based on the relative importance of a
+loop or subroutine."
+
+:func:`auto_parallelize` implements that work model: walk loops
+outermost-first in order of estimated importance, parallelize where the
+dependence graph allows (privatizing what kill analysis proves), and
+for every loop that stays sequential produce a ranked impediment report
+the user can act on — which dependences block it, which variables could
+be classified, which assertions would break the remaining dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..assertions import derive_breaking_conditions
+from ..dependence.model import DepType
+from ..perf import estimate_program
+
+
+@dataclass
+class Impediment:
+    """Why one loop could not be parallelized, with suggested actions."""
+
+    unit: str
+    loop_id: str
+    line: int
+    importance: float           # estimated share of program time
+    blocking: list[str]         # dependence descriptions
+    suggestions: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        out = [f"{self.unit}:{self.loop_id} (line {self.line}, "
+               f"~{self.importance * 100:.0f}% of est. time) blocked by:"]
+        for b in self.blocking[:4]:
+            out.append(f"    {b}")
+        if len(self.blocking) > 4:
+            out.append(f"    ... and {len(self.blocking) - 4} more")
+        for s in self.suggestions:
+            out.append(f"  -> {s}")
+        return "\n".join(out)
+
+
+@dataclass
+class AutoParallelReport:
+    parallelized: list[str] = field(default_factory=list)   # unit:loop ids
+    impediments: list[Impediment] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"parallelized {len(self.parallelized)} loop(s): "
+                 f"{', '.join(self.parallelized) or 'none'}"]
+        if self.impediments:
+            lines.append("impediments (most important first):")
+            for imp in self.impediments:
+                lines.append(imp.describe())
+        return "\n".join(lines)
+
+
+def auto_parallelize(session, unit: str | None = None,
+                     suggest_assertions: bool = True,
+                     max_suggestions: int = 2) -> AutoParallelReport:
+    """Parallelize every loop the analysis allows; report the rest.
+
+    Outermost loops are attempted first (outer parallelism is what
+    "achieving measurable performance improvements" needs, Section 4.2);
+    loops nested inside a successfully parallelized loop are skipped.
+    """
+    report = AutoParallelReport()
+    units = [unit.upper()] if unit else session.units()
+
+    est = estimate_program(session.program)
+    importance = {(e.unit, e.loop.id): session_fraction(est, e)
+                  for e in est.loops}
+
+    for uname in units:
+        session.select_unit(uname)
+        done_uids: set[int] = set()
+        # outermost-first, then by estimated importance
+        loops = sorted(session.loops(),
+                       key=lambda li: (li.depth,
+                                       -importance.get((uname, li.id), 0)))
+        for li in loops:
+            if any(p.uid in done_uids for p in li.nest()[:-1]):
+                continue  # inside an already-parallel loop
+            if li.loop.parallel:
+                done_uids.add(li.uid)
+                continue
+            session.select_loop(li)
+            advice = session.advice("parallelize")
+            if advice.ok:
+                res = session.apply("parallelize")
+                if res.applied:
+                    # re-locate after invalidation
+                    session.select_unit(uname)
+                    relocated = [x for x in session.loops()
+                                 if x.line == li.line]
+                    if relocated:
+                        done_uids.add(relocated[0].uid)
+                    report.parallelized.append(f"{uname}:{li.id}")
+                    continue
+            blocking = [d for d in session.dependences()
+                        if d.loop_carried and d.level == 1 and d.active
+                        and d.dtype is not DepType.INPUT]
+            imp = Impediment(
+                unit=uname, loop_id=li.id, line=li.line,
+                importance=importance.get((uname, li.id), 0.0),
+                blocking=[d.describe() for d in blocking])
+            _suggest(session, li, blocking, imp, suggest_assertions,
+                     max_suggestions)
+            report.impediments.append(imp)
+    report.impediments.sort(key=lambda i: -i.importance)
+    return report
+
+
+def session_fraction(est, loop_estimate) -> float:
+    return est.loop_fraction(loop_estimate)
+
+
+def _suggest(session, li, blocking, imp: Impediment,
+             suggest_assertions: bool, max_suggestions: int) -> None:
+    ld = session._loop_deps(li)
+    blocking_vars = {d.var for d in blocking}
+    for var in sorted(blocking_vars & ld.reductions):
+        imp.suggestions.append(
+            f"{var} matches a sum-reduction pattern: apply "
+            f"reduction_recognition")
+    array_cands = []
+    try:
+        array_cands = [r for r in session.array_kill_candidates(li)
+                       if r.privatizable and r.array in blocking_vars]
+    except Exception:
+        pass
+    for r in array_cands:
+        imp.suggestions.append(
+            f"array kill analysis proves {r.array} may be private: "
+            f"classify_variable({r.array!r}, 'private')")
+    if suggest_assertions and blocking:
+        seen: set[str] = set()
+        for d in blocking:
+            if len(seen) >= max_suggestions:
+                break
+            try:
+                bcs = derive_breaking_conditions(session.analyzer(), li, d)
+            except Exception:
+                continue
+            for bc in bcs:
+                if bc.eliminates and bc.assertion_text not in seen:
+                    seen.add(bc.assertion_text)
+                    imp.suggestions.append(
+                        f"assertion would eliminate dependences: "
+                        f"ASSERT {bc.assertion_text}")
+                    break

@@ -1,0 +1,151 @@
+"""View filtering (Section 3.1): user-controlled predicates that
+emphasize or conceal parts of the "book".
+
+Three filter families mirror the three panes.  Each filter is a callable
+predicate plus a description; ``matches`` composes the configured
+attribute tests conjunctively.  Predefined filters (loop headers,
+erroneous lines, ...) are provided as class methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dependence.model import Dependence, Mark
+
+
+@dataclass
+class SourceFilter:
+    """Predicate over source pane lines."""
+
+    contains: str | None = None
+    is_loop_header: bool | None = None
+    has_label: bool | None = None
+    line_range: tuple[int, int] | None = None
+    predicate: Callable[[dict], bool] | None = None
+    description: str = ""
+
+    def matches(self, line_info: dict) -> bool:
+        """``line_info`` keys: text, ordinal, is_loop, label, line."""
+        if self.contains is not None \
+                and self.contains.upper() not in line_info["text"].upper():
+            return False
+        if self.is_loop_header is not None \
+                and bool(line_info.get("is_loop")) != self.is_loop_header:
+            return False
+        if self.has_label is not None \
+                and (line_info.get("label") is not None) != self.has_label:
+            return False
+        if self.line_range is not None:
+            lo, hi = self.line_range
+            if not lo <= line_info["ordinal"] <= hi:
+                return False
+        if self.predicate is not None and not self.predicate(line_info):
+            return False
+        return True
+
+    @classmethod
+    def loop_structure(cls) -> "SourceFilter":
+        """Predefined filter: show the procedure's loop structure."""
+        return cls(is_loop_header=True, description="loop headers only")
+
+    @classmethod
+    def labelled(cls) -> "SourceFilter":
+        return cls(has_label=True, description="labelled statements "
+                                               "(control-flow skeleton)")
+
+
+@dataclass
+class DependenceFilter:
+    """Predicate over dependence pane rows (type, variable, endpoints,
+    level, mark, reason -- the attributes Section 3.1 lists)."""
+
+    dtype: str | None = None
+    var: str | None = None
+    carried: bool | None = None
+    level: int | None = None
+    mark: Mark | None = None
+    source_contains: str | None = None
+    sink_contains: str | None = None
+    line_range: tuple[int, int] | None = None
+    reason_contains: str | None = None
+    predicate: Callable[[Dependence], bool] | None = None
+    description: str = ""
+
+    def matches(self, d: Dependence) -> bool:
+        if self.dtype is not None and str(d.dtype).lower() != \
+                self.dtype.lower():
+            return False
+        if self.var is not None and d.var != self.var.upper():
+            return False
+        if self.carried is not None and d.loop_carried != self.carried:
+            return False
+        if self.level is not None and d.level != self.level:
+            return False
+        if self.mark is not None and d.mark is not self.mark:
+            return False
+        if self.source_contains is not None \
+                and self.source_contains.upper() not in \
+                d.source.text.upper():
+            return False
+        if self.sink_contains is not None \
+                and self.sink_contains.upper() not in d.sink.text.upper():
+            return False
+        if self.line_range is not None:
+            lo, hi = self.line_range
+            if not (lo <= d.source.line <= hi or lo <= d.sink.line <= hi):
+                return False
+        if self.reason_contains is not None \
+                and self.reason_contains.lower() not in d.reason.lower():
+            return False
+        if self.predicate is not None and not self.predicate(d):
+            return False
+        return True
+
+    @classmethod
+    def pending_only(cls) -> "DependenceFilter":
+        return cls(mark=Mark.PENDING,
+                   description="pending (unproven) dependences")
+
+    @classmethod
+    def carried_only(cls) -> "DependenceFilter":
+        return cls(carried=True, description="loop-carried dependences")
+
+    @classmethod
+    def on_variable(cls, name: str) -> "DependenceFilter":
+        return cls(var=name, description=f"dependences on {name.upper()}")
+
+
+@dataclass
+class VariableFilter:
+    """Predicate over variable pane rows."""
+
+    name_contains: str | None = None
+    kind: str | None = None           # "shared" | "private"
+    dim: int | None = None
+    common_block: str | None = None
+    predicate: Callable[[dict], bool] | None = None
+    description: str = ""
+
+    def matches(self, row: dict) -> bool:
+        """``row`` keys: name, dim, block, kind, defs, uses, reason."""
+        if self.name_contains is not None \
+                and self.name_contains.upper() not in row["name"]:
+            return False
+        if self.kind is not None and row["kind"] != self.kind:
+            return False
+        if self.dim is not None and row["dim"] != self.dim:
+            return False
+        if self.common_block is not None \
+                and (row.get("block") or "") != self.common_block.upper():
+            return False
+        if self.predicate is not None and not self.predicate(row):
+            return False
+        return True
+
+    @classmethod
+    def shared_arrays(cls) -> "VariableFilter":
+        return cls(kind="shared",
+                   predicate=lambda r: r["dim"] > 0,
+                   description="shared arrays")

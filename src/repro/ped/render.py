@@ -1,0 +1,37 @@
+"""ASCII rendering of the PED window (Figure 1).
+
+The layout mirrors the paper's screenshot: a menu bar, the source pane
+with loop markers and ordinal line numbers, then the dependence and
+variable panes as "footnotes"."""
+
+from __future__ import annotations
+
+
+MENU = ("file  edit  view  search  dependence  variable  transform")
+
+
+def _bar(width: int, ch: str = "=") -> str:
+    return ch * width
+
+
+def render_window(session, width: int = 78) -> str:
+    unit = session.current_unit_name
+    loop = session.current_loop
+    title = f" ParaScope Editor -- {unit}"
+    if loop is not None:
+        title += f"  [current loop {loop.id} line {loop.line}]"
+    parts = [
+        _bar(width),
+        title[:width],
+        MENU[:width],
+        _bar(width),
+        session.source_pane.render(width),
+        _bar(width, "-"),
+        "DEPENDENCES",
+        session.dependence_pane.render(),
+        _bar(width, "-"),
+        "VARIABLES",
+        session.variable_pane.render(),
+        _bar(width),
+    ]
+    return "\n".join(parts)

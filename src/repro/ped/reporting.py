@@ -1,0 +1,100 @@
+"""Printing and export facilities.
+
+Section 3.2: "One user wanted the ability to print the program,
+dependences, and variable information" -- :func:`program_report` renders
+a full listing (source + per-loop dependence and variable tables).
+"Several users wanted a graphical representation of the call graph" --
+:func:`call_graph_dot` exports Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+
+def program_report(session, include_input: bool = False) -> str:
+    """A printable report: every unit's source, and for every loop its
+    dependence and variable panes."""
+    parts: list[str] = []
+    bar = "=" * 72
+    original_unit = session.current_unit_name
+    original_loop = session.current_loop
+    for uname in session.units():
+        session.select_unit(uname)
+        parts.append(bar)
+        parts.append(f"UNIT {uname}")
+        parts.append(bar)
+        parts.append(session.source_pane.render())
+        for li in session.loops():
+            session.select_loop(li)
+            parts.append("")
+            parts.append(f"-- loop {li.id} ({li.var}, line {li.line}) "
+                         f"{'PARALLEL' if li.loop.parallel else ''}")
+            parts.append("DEPENDENCES")
+            parts.append(_indent(session.dependence_pane.render()))
+            parts.append("VARIABLES")
+            parts.append(_indent(session.variable_pane.render()))
+    # restore selection
+    session.select_unit(original_unit)
+    if original_loop is not None:
+        for li in session.loops():
+            if li.line == original_loop.line:
+                session.select_loop(li)
+                break
+    session._log("program navigation", "printed program report")
+    return "\n".join(parts)
+
+
+def _indent(text: str, pad: str = "  ") -> str:
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def call_graph_dot(session) -> str:
+    """The call graph in Graphviz DOT form (the requested "big picture"
+    visual program representation)."""
+    cg = session.program.callgraph
+    lines = ["digraph callgraph {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    est = None
+    try:
+        from ..perf import estimate_program
+        est = estimate_program(session.program)
+    except Exception:
+        pass
+    for name in session.units():
+        label = name
+        if est is not None and name in est.units:
+            share = est.units[name] / est.total * 100 if est.total else 0
+            label = f"{name}\\n{share:.0f}%"
+        lines.append(f'  "{name}" [label="{label}"];')
+    for name in session.units():
+        for callee in sorted(cg.callees(name)):
+            lines.append(f'  "{name}" -> "{callee}";')
+    lines.append("}")
+    session._log("program navigation", "call graph DOT export")
+    return "\n".join(lines)
+
+
+def unknown_symbolics(session, loop=None) -> dict[str, list[str]]:
+    """Symbolic terms blocking a loop's dependences, grouped by name.
+
+    Cheng and Pase's suggestion (Section 6): "they want the system to
+    query for unknown scalar variable values and use these assertions in
+    analysis".  This lists what the system would query for.
+    """
+    li = session.unit.loops.find(loop) if loop is not None \
+        else session.current_loop
+    if li is None:
+        raise ValueError("select a loop first")
+    out: dict[str, list[str]] = {}
+    for d in session.dependences(li):
+        if not d.loop_carried or not d.active:
+            continue
+        reason = d.reason
+        if "symbolic term" not in reason:
+            continue
+        names = reason.split(":", 1)[-1]
+        for token in names.replace(";", ",").split(","):
+            token = token.strip()
+            if token and not token.startswith("coupled"):
+                out.setdefault(token, []).append(d.describe())
+    session._log("access to analysis", f"unknown symbolics of {li.id}")
+    return out

@@ -1,0 +1,626 @@
+"""PedSession: the ParaScope Editor as a programmatic session.
+
+The session reproduces the editor's information model (Section 3.1):
+
+* the **book metaphor** -- one window per program with source, dependence
+  and variable panes annotating each other;
+* **progressive disclosure** -- selecting a loop populates the dependence
+  and variable panes with that loop's information;
+* **view filtering** -- predicate filters per pane;
+* **power steering** -- batch marking/classification dialogs
+  (:meth:`mark_dependences_where`, :meth:`classify_variables_where`) and
+  transformation application with applicability/safety/profitability
+  advice;
+* **dependence marking** -- proven/pending from the analyzer,
+  accepted/rejected edits persisted across re-analysis;
+* **variable classification** -- shared/private edits recorded on the
+  loop and honoured by the analyzer;
+* **user assertions** (Section 3.3) feeding the dependence tests, with
+  breaking-condition suggestions;
+* **performance navigation** -- static estimation and interpreter
+  profiles ranking loops by payoff.
+
+Every feature logs an event tagged with the Table-2 feature name it
+corresponds to, which is how the Table 2 benchmark counts feature usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.arraykills import array_kills
+from ..analysis.defuse import compute_defuse
+from ..assertions import AssertionSet, derive_breaking_conditions
+from ..dependence.ddg import DependenceAnalyzer, LoopDependences
+from ..dependence.model import Dependence, Mark
+from ..fortran import ParseError, ast, parse_program
+from ..interp import Interpreter
+from ..interproc import InterproceduralOracle, SummaryBuilder, check_program
+from ..ir.loops import LoopInfo
+from ..ir.program import AnalyzedProgram
+from ..perf import estimate_program, navigation_report
+from ..transform import TContext, get as get_transform, names as \
+    transform_names
+from .filters import DependenceFilter, SourceFilter, VariableFilter
+from .panes import DependencePane, SourcePane, VariablePane
+
+
+@dataclass(frozen=True)
+class _DepSig:
+    var: str
+    dtype: str
+    source_uid: int
+    sink_uid: int
+    source_text: str
+    sink_text: str
+    vector: tuple[str, ...]
+
+    @staticmethod
+    def of(d: Dependence) -> "_DepSig":
+        return _DepSig(d.var, str(d.dtype), d.source.stmt_uid,
+                       d.sink.stmt_uid, d.source.text, d.sink.text,
+                       d.vector)
+
+
+@dataclass
+class Event:
+    feature: str
+    detail: str
+
+
+class PedSession:
+    """An interactive editing/parallelization session over one program."""
+
+    def __init__(self, source: str, interprocedural: bool = True,
+                 include_input_deps: bool = False):
+        self.program = AnalyzedProgram.from_source(source)
+        self.interprocedural = interprocedural
+        self.include_input_deps = include_input_deps
+        self.assertions = AssertionSet()
+        self.events: list[Event] = []
+        self._marks: dict[_DepSig, tuple[Mark, str]] = {}
+        self._var_reasons: dict[tuple[str, int, str], str] = {}
+        self._summaries = None
+        self._analyzers: dict[str, DependenceAnalyzer] = {}
+        self._deps_cache: dict[tuple[str, int], LoopDependences] = {}
+        names = self.program.unit_names()
+        main = self.program.main_unit
+        self.current_unit_name = main.unit.name if main else names[0]
+        self.current_loop: LoopInfo | None = None
+        self.source_pane = SourcePane(self.unit)
+        self.dependence_pane = DependencePane()
+        self.variable_pane = VariablePane()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _log(self, feature: str, detail: str = "") -> None:
+        self.events.append(Event(feature, detail))
+
+    @property
+    def unit(self):
+        return self.program.units[self.current_unit_name]
+
+    def _oracle(self):
+        if not self.interprocedural:
+            from ..analysis.defuse import SideEffectOracle
+            return SideEffectOracle()
+        if self._summaries is None:
+            self._summaries = SummaryBuilder(self.program).build()
+        return InterproceduralOracle(self._summaries)
+
+    def analyzer(self, unit_name: str | None = None) -> DependenceAnalyzer:
+        name = (unit_name or self.current_unit_name).upper()
+        if name not in self._analyzers:
+            from ..interproc.symbolic import global_relations
+            env = dict(global_relations(self.program)) \
+                if self.interprocedural else {}
+            env.update(self.assertions.relations_env())
+            self._analyzers[name] = DependenceAnalyzer(
+                self.program.units[name],
+                oracle=self._oracle(),
+                facts=self.assertions.to_facts(),
+                include_input=self.include_input_deps,
+                extra_env=env)
+        return self._analyzers[name]
+
+    def _invalidate(self) -> None:
+        self.program.invalidate()
+        self._summaries = None
+        self._analyzers.clear()
+        self._deps_cache.clear()
+        self.source_pane = SourcePane(self.unit)
+        if self.current_loop is not None:
+            # Relocate the current loop by line if it survived.
+            line = self.current_loop.line
+            self.current_loop = None
+            for li in self.unit.loops.all_loops():
+                if li.line == line:
+                    self.current_loop = li
+                    break
+            if self.current_loop is not None:
+                self.select_loop(self.current_loop, _log=False)
+            else:
+                self.dependence_pane.set_dependences([])
+                self.variable_pane.set_rows([])
+
+    # -- navigation ---------------------------------------------------------------
+
+    def units(self) -> list[str]:
+        return self.program.unit_names()
+
+    def select_unit(self, name: str) -> None:
+        name = name.upper()
+        if name not in self.program.units:
+            raise KeyError(name)
+        self.current_unit_name = name
+        self.current_loop = None
+        self.source_pane = SourcePane(self.unit)
+        self.dependence_pane.set_dependences([])
+        self.variable_pane.set_rows([])
+        self._log("program navigation", f"select unit {name}")
+
+    def loops(self, unit: str | None = None) -> list[LoopInfo]:
+        uir = self.program.units[(unit or self.current_unit_name).upper()]
+        return uir.loops.all_loops()
+
+    def select_loop(self, loop: "LoopInfo | str | ast.DoLoop",
+                    _log: bool = True) -> LoopDependences:
+        li = self.unit.loops.find(loop)
+        self.current_loop = li
+        ld = self._loop_deps(li)
+        deps = self._with_marks(ld.dependences)
+        self.dependence_pane.set_dependences(deps)
+        self.variable_pane.set_rows(self._variable_rows(li, ld))
+        self.source_pane.current_uids = {
+            s.uid for s in li.statements()} | {li.loop.uid}
+        self.source_pane.arrow_uids = set()
+        if _log:
+            self._log("program navigation",
+                      f"select loop {li.id} line {li.line}")
+        return ld
+
+    def _loop_deps(self, li: LoopInfo) -> LoopDependences:
+        key = (self.current_unit_name, li.loop.uid)
+        if key not in self._deps_cache:
+            self._deps_cache[key] = self.analyzer().analyze_loop(li)
+        return self._deps_cache[key]
+
+    def hot_loops(self, top: int = 10):
+        """Static performance-estimation ranking (navigation assistance)."""
+        self._log("program navigation", "performance estimation ranking")
+        est = estimate_program(self.program)
+        return est.ranked_loops()[:top]
+
+    def navigation_report(self, top: int = 10) -> str:
+        self._log("program navigation", "navigation report")
+        return navigation_report(self.program, top)
+
+    def profile(self, inputs=None, max_steps: int = 5_000_000):
+        """Dynamic loop-level profile from the interpreter."""
+        interp = Interpreter(self.program, inputs=inputs,
+                             max_steps=max_steps,
+                             assertion_checker=self.assertions.checker())
+        interp.run()
+        self._log("program navigation", "dynamic profile")
+        return interp.profile
+
+    def call_graph_text(self) -> str:
+        cg = self.program.callgraph
+        lines = []
+        for name in self.program.unit_names():
+            callees = sorted(cg.callees(name))
+            lines.append(f"{name} -> {', '.join(callees) if callees else '-'}")
+        self._log("program navigation", "call graph view")
+        return "\n".join(lines)
+
+    def find_references(self, var: str) -> list[tuple[int, str]]:
+        """(line, text) of statements referencing a variable (dependence
+        navigation: visiting endpoints without scrolling)."""
+        var = var.upper()
+        out = []
+        for s, _ in ast.walk_stmts(self.unit.unit.body):
+            names = set()
+            for e in s.exprs():
+                names |= ast.variables_in(e)
+            if isinstance(s, ast.Assign):
+                names |= ast.variables_in(s.target)
+            if var in names:
+                from ..fortran.printer import print_stmt
+                out.append((s.line, print_stmt(s, 0)[0].strip()))
+        self._log("dependence navigation", f"find references to {var}")
+        return out
+
+    # -- analysis access --------------------------------------------------------
+
+    def dependences(self, loop=None,
+                    filter: DependenceFilter | None = None
+                    ) -> list[Dependence]:
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        deps = self._with_marks(self._loop_deps(li).dependences)
+        if filter is not None:
+            deps = [d for d in deps if filter.matches(d)]
+        self._log("dependence navigation", f"list dependences of {li.id}")
+        return deps
+
+    def select_dependence(self, dep: Dependence) -> None:
+        self.dependence_pane.select(dep)
+        self.source_pane.arrow_uids |= {dep.source.stmt_uid,
+                                        dep.sink.stmt_uid}
+        self._log("dependence navigation",
+                  f"select dependence {dep.describe()}")
+
+    def sections_summary(self, loop=None) -> str:
+        """Array sections read/written by the current loop (the display
+        three workshop users asked for)."""
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        self._log("access to analysis", f"array sections of {li.id}")
+        # Every symbol is made a formal of the shell unit so the summary
+        # machinery reports sections for all of them (its usual job is to
+        # report only caller-visible effects).
+        all_names = tuple(sorted(self.unit.symtab.symbols))
+        shell = ast.ProgramUnit(kind="subroutine", name="SECTIONS",
+                                params=all_names, body=[li.loop])
+        prog = ast.Program(units=[shell])
+        # reuse the summary machinery on a synthetic unit
+        from ..interproc.summary import SummaryBuilder as SB
+        wrapped = AnalyzedProgram.__new__(AnalyzedProgram)
+        wrapped.ast = prog
+        from ..ir.program import UnitIR
+        wrapped.units = {"SECTIONS": UnitIR(unit=shell,
+                                            symtab=self.unit.symtab)}
+        wrapped._callgraph = None
+        summ = SB(wrapped).build()["SECTIONS"]
+        lines = []
+        for kind, secs in (("reads", summ.ref_sections),
+                           ("writes", summ.mod_sections)):
+            for name in sorted(secs):
+                lines.append(f"{kind:<7} {secs[name].describe()}")
+        return "\n".join(lines) or "(no array accesses)"
+
+    def symbolic_info(self, loop=None) -> dict:
+        """Constants, symbolic relations, privatizable variables and
+        reduction candidates at a loop (access-to-analysis view)."""
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        an = self.analyzer()
+        env = an._env_at(li)
+        ld = self._loop_deps(li)
+        self._log("access to analysis", f"symbolic info of {li.id}")
+        return {
+            "environment": {k: str(v) for k, v in env.items()},
+            "privatizable": sorted(ld.privatizable),
+            "reductions": sorted(ld.reductions),
+        }
+
+    def array_kill_candidates(self, loop=None):
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        an = self.analyzer()
+        env = an._env_at(li)
+        facts = an._facts_with_ranges(env)
+        cb = an.oracle.call_sections_for(self.unit.symtab) \
+            if hasattr(an.oracle, "call_sections_for") else None
+        self._log("access to analysis", f"array kill analysis of {li.id}")
+        return array_kills(li.loop, self.unit.symtab, an.oracle, env,
+                           call_sections=cb, facts=facts)
+
+    # -- marks and classification ---------------------------------------------------
+
+    def _with_marks(self, deps: list[Dependence]) -> list[Dependence]:
+        for d in deps:
+            sig = _DepSig.of(d)
+            if sig in self._marks:
+                d.mark, d.reason = self._marks[sig]
+        return deps
+
+    def mark_dependence(self, dep: Dependence, mark: "Mark | str",
+                        reason: str = "") -> None:
+        if isinstance(mark, str):
+            mark = Mark(mark.lower())
+        if dep.mark is Mark.PROVEN and mark is Mark.REJECTED:
+            # The paper's discipline: only pending deps are user-editable.
+            raise ValueError("cannot reject a proven dependence")
+        dep.mark = mark
+        dep.reason = reason or dep.reason
+        self._marks[_DepSig.of(dep)] = (mark, dep.reason)
+        feature = ("dependence deletion" if mark is Mark.REJECTED
+                   else "dependence marking")
+        self._log(feature, f"{mark} {dep.var} {dep.describe()}")
+
+    def mark_dependences_where(self, filter: DependenceFilter,
+                               mark: "Mark | str", reason: str = "") -> int:
+        """The Mark Dependences dialog: classify a whole predicate-matched
+        set in one step (power steering)."""
+        if self.current_loop is None:
+            raise ValueError("select a loop first")
+        if isinstance(mark, str):
+            mark = Mark(mark.lower())
+        n = 0
+        for d in self.dependence_pane.dependences:
+            if d.mark is Mark.PROVEN:
+                continue
+            if filter.matches(d):
+                self.mark_dependence(d, mark, reason)
+                n += 1
+        return n
+
+    def classify_variable(self, name: str, kind: str, loop=None,
+                          reason: str = "") -> None:
+        """Edit a variable's shared/private classification."""
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        name = name.upper()
+        if kind not in ("private", "shared"):
+            raise ValueError("kind must be 'private' or 'shared'")
+        if kind == "private":
+            li.loop.private_vars.add(name)
+        else:
+            li.loop.private_vars.discard(name)
+        self._var_reasons[(self.current_unit_name, li.loop.uid,
+                           name)] = reason
+        self._log("variable classification", f"{name} -> {kind}")
+        self._deps_cache.pop((self.current_unit_name, li.loop.uid), None)
+        if self.current_loop is li:
+            self.select_loop(li, _log=False)
+
+    def classify_variables_where(self, filter: VariableFilter, kind: str,
+                                 reason: str = "") -> int:
+        """The Classify Variables dialog (power steering)."""
+        n = 0
+        for row in list(self.variable_pane.rows()):
+            if filter.matches(row):
+                self.classify_variable(row["name"], kind, reason=reason)
+                n += 1
+        return n
+
+    def _variable_rows(self, li: LoopInfo, ld: LoopDependences
+                       ) -> list[dict]:
+        st = self.unit.symtab
+        du = compute_defuse(self.unit.cfg, st, self.analyzer().oracle)
+        loop_uids = {s.uid for s in li.statements()} | {li.loop.uid}
+        names: set[str] = set()
+        from ..analysis.defuse import accesses
+        # the loop header's bound/step variables belong in the pane too
+        for s in [li.loop] + li.statements():
+            for a in accesses(s, st, self.analyzer().oracle):
+                names.add(a.name)
+        rows = []
+        for name in sorted(names):
+            sym = st.get(name)
+            if sym is None or name == li.loop.var:
+                continue
+            defs_outside = sorted({
+                self.unit.cfg.stmts[u].line
+                for u in self.unit.cfg.stmts
+                if u not in loop_uids and name in du.defs.get(u, ())})
+            uses_outside = sorted({
+                self.unit.cfg.stmts[u].line
+                for u in self.unit.cfg.stmts
+                if u not in loop_uids and name in du.uses.get(u, ())})
+            if name in li.loop.private_vars:
+                kind = "private"
+            elif name in ld.privatizable:
+                kind = "private"
+            else:
+                kind = "shared"
+            rows.append({
+                "name": name, "dim": len(sym.dims),
+                "block": sym.common_block,
+                "defs": defs_outside, "uses": uses_outside,
+                "kind": kind,
+                "reason": self._var_reasons.get(
+                    (self.current_unit_name, li.loop.uid, name), ""),
+            })
+        return rows
+
+    # -- view filtering -----------------------------------------------------------
+
+    def set_source_filter(self, f: SourceFilter | None) -> None:
+        self.source_pane.filter = f
+        self._log("view filtering",
+                  f"source: {f.description if f else 'cleared'}")
+
+    def set_dependence_filter(self, f: DependenceFilter | None) -> None:
+        self.dependence_pane.filter = f
+        self._log("view filtering",
+                  f"dependence: {f.description if f else 'cleared'}")
+
+    def set_variable_filter(self, f: VariableFilter | None) -> None:
+        self.variable_pane.filter = f
+        self._log("view filtering",
+                  f"variable: {f.description if f else 'cleared'}")
+
+    # -- assertions ----------------------------------------------------------------
+
+    def assert_fact(self, text: str):
+        """Add a user assertion; dependence analysis is re-run under it."""
+        a = self.assertions.add(text)
+        self._analyzers.clear()
+        self._deps_cache.clear()
+        self._log("user assertion", text)
+        if self.current_loop is not None:
+            self.select_loop(self.current_loop, _log=False)
+        return a
+
+    def breaking_conditions(self, dep: Dependence, loop=None):
+        """Suggest assertions that would eliminate a dependence."""
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        self._log("access to analysis",
+                  f"breaking conditions for {dep.describe()}")
+        return derive_breaking_conditions(self.analyzer(), li, dep)
+
+    # -- transformations -------------------------------------------------------------
+
+    def transformations(self) -> list[str]:
+        return transform_names()
+
+    def advice(self, name: str, loop=None, **params):
+        t = get_transform(name)
+        li = None
+        if loop is not None:
+            li = self.unit.loops.find(loop)
+        elif t.needs_loop:
+            li = self.current_loop
+        params.setdefault("program", self.program)
+        ctx = TContext(uir=self.unit, analyzer=self.analyzer(), loop=li,
+                       params=params)
+        return t.check(ctx)
+
+    def apply(self, name: str, loop=None, **params):
+        t = get_transform(name)
+        li = None
+        if loop is not None:
+            li = self.unit.loops.find(loop)
+        elif t.needs_loop:
+            li = self.current_loop
+        params.setdefault("program", self.program)
+        ctx = TContext(uir=self.unit, analyzer=self.analyzer(), loop=li,
+                       params=params)
+        result = t.apply(ctx)
+        self._log("transformation",
+                  f"{name}: {'applied' if result.applied else 'refused'} "
+                  f"({result.advice.explain()})")
+        if result.applied:
+            for nu in result.new_units:
+                self.program.ast.units.append(nu)
+            if result.new_units:
+                self.program.__init__(self.program.ast)  # re-resolve
+            self._invalidate()
+        return result
+
+    def safe_transformations(self, loop=None) -> list[tuple[str, object]]:
+        """Transformation guidance (Section 5.3): evaluate every registry
+        entry for the loop and return the safe ones."""
+        li = self.unit.loops.find(loop) if loop is not None \
+            else self.current_loop
+        if li is None:
+            raise ValueError("select a loop first")
+        out = []
+        for name in transform_names():
+            t = get_transform(name)
+            if not t.needs_loop:
+                continue
+            ctx = TContext(uir=self.unit, analyzer=self.analyzer(),
+                           loop=li, params={"program": self.program})
+            try:
+                advice = t.check(ctx)
+            except Exception:
+                continue
+            if advice.applicable and advice.safe:
+                out.append((name, advice))
+        self._log("transformation guidance",
+                  f"{li.id}: {[n for n, _ in out]}")
+        return out
+
+    # -- editing --------------------------------------------------------------------
+
+    def edit(self, new_source: str) -> list[str]:
+        """Replace the program text; returns syntax/semantic problems
+        (empty = clean edit).  Analyses are re-derived (the incremental
+        re-analysis of the real PED is modelled as scoped invalidation)."""
+        try:
+            prog = parse_program(new_source)
+        except ParseError as e:
+            self._log("editing", f"rejected: {e}")
+            return [str(e)]
+        self.program = AnalyzedProgram(prog)
+        self._summaries = None
+        self._analyzers.clear()
+        self._deps_cache.clear()
+        names = self.program.unit_names()
+        if self.current_unit_name not in names:
+            self.current_unit_name = names[0]
+        self.current_loop = None
+        self.source_pane = SourcePane(self.unit)
+        self.dependence_pane.set_dependences([])
+        self.variable_pane.set_rows([])
+        self._log("editing", "program replaced")
+        return []
+
+    def source(self) -> str:
+        return self.program.source()
+
+    # -- composition checks ------------------------------------------------------------
+
+    def check_program(self):
+        diags = check_program(self.program)
+        if diags:
+            self._log("detect interface error",
+                      f"{len(diags)} diagnostic(s)")
+        else:
+            self._log("detect interface error", "clean")
+        return diags
+
+    # -- help ----------------------------------------------------------------------------
+
+    HELP = {
+        "panes": "The window shows the source pane (top), dependence pane "
+                 "and variable pane (footnotes). Select a loop to "
+                 "populate the footnotes.",
+        "marking": "Dependences are proven/pending; you may accept or "
+                   "reject pending ones. Rejected deps are disregarded "
+                   "by transformation safety checks but kept for review.",
+        "assertions": "ASSERT <relational>, RANGE(v,lo,hi), "
+                      "PERMUTATION(a), MONOTONE(a,gap), "
+                      "DISJOINT(a,b,gap). Assertions refine dependence "
+                      "testing and are checked at run time.",
+        "transformations": "apply(name, loop, ...) runs under power "
+                           "steering: applicability, safety and "
+                           "profitability are checked first.",
+    }
+
+    def help(self, topic: str | None = None) -> str:
+        self._log("help", topic or "index")
+        if topic is None:
+            return "topics: " + ", ".join(sorted(self.HELP))
+        return self.HELP.get(topic.lower(), f"no help for {topic!r}")
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def render(self, width: int = 78) -> str:
+        from .render import render_window
+        return render_window(self, width)
+
+    # -- requested extensions (Sections 3.2, 5.3, 6) ----------------------------------------
+
+    def auto_parallelize(self, unit: str | None = None, **kw):
+        """Semi-automatic parallelization with an impediment report."""
+        from .autopar import auto_parallelize
+        report = auto_parallelize(self, unit=unit, **kw)
+        self._log("transformation guidance",
+                  f"auto-parallelize: {len(report.parallelized)} loops, "
+                  f"{len(report.impediments)} impediments")
+        return report
+
+    def program_report(self) -> str:
+        """Printable program + dependences + variables listing."""
+        from .reporting import program_report
+        return program_report(self)
+
+    def call_graph_dot(self) -> str:
+        """Graphviz DOT export of the call graph with time shares."""
+        from .reporting import call_graph_dot
+        return call_graph_dot(self)
+
+    def unknown_symbolics(self, loop=None) -> dict[str, list[str]]:
+        """Symbolic terms the system would query the user about."""
+        from .reporting import unknown_symbolics
+        return unknown_symbolics(self, loop)
+
+    # -- event summary (Table 2 support) ----------------------------------------------------
+
+    def features_used(self) -> set[str]:
+        return {e.feature for e in self.events}

@@ -1,0 +1,9 @@
+"""Performance estimation and profile-guided navigation."""
+
+from .estimate import DEFAULT_TRIP, Estimator, LoopEstimate, \
+    ProgramEstimate, estimate_program, navigation_report
+
+__all__ = [
+    "DEFAULT_TRIP", "Estimator", "LoopEstimate", "ProgramEstimate",
+    "estimate_program", "navigation_report",
+]

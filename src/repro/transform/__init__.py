@@ -1,0 +1,11 @@
+"""Source-to-source transformations under the power-steering paradigm."""
+
+from .base import Advice, TContext, TransformError, TransformResult, \
+    Transformation
+from .registry import REGISTRY, TAXONOMY, get, names, taxonomy_text
+
+__all__ = [
+    "Advice", "TContext", "TransformError", "TransformResult",
+    "Transformation",
+    "REGISTRY", "TAXONOMY", "get", "names", "taxonomy_text",
+]

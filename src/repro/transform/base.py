@@ -1,0 +1,289 @@
+"""Power-steering framework for transformations (Section 5.1).
+
+Every transformation answers three questions before anything changes:
+
+* **applicable** -- is it syntactically meaningful here?
+* **safe** -- does it preserve the program's semantics (per the
+  dependence graph, with user-rejected dependences disregarded)?
+* **profitable** -- does it plausibly contribute to parallelization or
+  locality? (heuristic, surfaced as advice rather than a veto)
+
+``check`` returns an :class:`Advice`; ``apply`` performs the mechanical
+rewriting and returns a :class:`TransformResult`.  Appliers mutate the
+unit's AST in place; callers are responsible for invalidating derived
+analyses (the session layer does this automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dependence.ddg import DependenceAnalyzer, LoopDependences
+from ..fortran import ast
+from ..ir.loops import LoopInfo
+from ..ir.program import UnitIR
+
+
+class TransformError(Exception):
+    pass
+
+
+@dataclass
+class Advice:
+    applicable: bool
+    safe: bool
+    profitable: bool
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.applicable and self.safe
+
+    def explain(self) -> str:
+        status = []
+        status.append("applicable" if self.applicable else "NOT applicable")
+        status.append("safe" if self.safe else "NOT safe")
+        status.append("profitable" if self.profitable else "not profitable")
+        out = ", ".join(status)
+        if self.messages:
+            out += ": " + "; ".join(self.messages)
+        return out
+
+    @staticmethod
+    def no(message: str) -> "Advice":
+        return Advice(False, False, False, [message])
+
+    @staticmethod
+    def unsafe(message: str) -> "Advice":
+        return Advice(True, False, False, [message])
+
+    @staticmethod
+    def yes(profitable: bool = True, message: str | None = None) -> "Advice":
+        return Advice(True, True, profitable,
+                      [message] if message else [])
+
+
+@dataclass
+class TransformResult:
+    advice: Advice
+    applied: bool
+    #: human-readable description of what changed
+    description: str = ""
+    #: any new program units created (loop embedding/extraction)
+    new_units: list[ast.ProgramUnit] = field(default_factory=list)
+
+
+@dataclass
+class TContext:
+    """Everything a transformation needs to reason about its target."""
+
+    uir: UnitIR
+    analyzer: DependenceAnalyzer
+    loop: LoopInfo | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    _deps: LoopDependences | None = None
+
+    @property
+    def deps(self) -> LoopDependences:
+        if self._deps is None:
+            if self.loop is None:
+                raise TransformError("transformation requires a loop")
+            self._deps = self.analyzer.analyze_loop(self.loop)
+        return self._deps
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+
+class Transformation:
+    """Base class; subclasses set ``name``, ``category`` and implement
+    ``check``/``apply``."""
+
+    name: str = ""
+    category: str = ""
+    needs_loop: bool = True
+
+    def check(self, ctx: TContext) -> Advice:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, ctx: TContext) -> TransformResult:
+        advice = self.check(ctx)
+        if not advice.ok:
+            return TransformResult(advice=advice, applied=False)
+        desc, new_units = self._do(ctx)
+        ctx.uir.invalidate()
+        return TransformResult(advice=advice, applied=True,
+                               description=desc, new_units=new_units)
+
+    def _do(self, ctx: TContext
+            ) -> tuple[str, list[ast.ProgramUnit]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# AST surgery helpers
+# --------------------------------------------------------------------------
+
+def find_owner(body: list[ast.Stmt], target: ast.Stmt
+               ) -> tuple[list[ast.Stmt], int] | None:
+    """Locate the statement list directly containing ``target``."""
+    for i, s in enumerate(body):
+        if s is target:
+            return body, i
+        for blk in s.blocks():
+            found = find_owner(blk, target)
+            if found is not None:
+                return found
+    return None
+
+
+def owner_or_raise(uir: UnitIR, target: ast.Stmt
+                   ) -> tuple[list[ast.Stmt], int]:
+    found = find_owner(uir.unit.body, target)
+    if found is None:
+        raise TransformError(
+            f"statement (line {target.line}) not found in unit "
+            f"{uir.unit.name}")
+    return found
+
+
+def substitute_in_stmt(s: ast.Stmt, env: dict[str, ast.Expr]) -> None:
+    """Substitute scalar variables throughout one statement, in place,
+    recursing into nested blocks."""
+
+    def fix(e: ast.Expr) -> ast.Expr:
+        return ast.substitute(e, env)
+
+    if isinstance(s, ast.Assign):
+        s.value = fix(s.value)
+        t = s.target
+        if isinstance(t, ast.ArrayRef):
+            s.target = ast.ArrayRef(t.name,
+                                    tuple(fix(x) for x in t.subscripts))
+        elif isinstance(t, ast.VarRef) and t.name in env:
+            new = env[t.name]
+            if isinstance(new, (ast.VarRef, ast.ArrayRef)):
+                s.target = new
+            # otherwise the target stays (cannot assign to an expression)
+    elif isinstance(s, ast.DoLoop):
+        s.start = fix(s.start)
+        s.end = fix(s.end)
+        if s.step is not None:
+            s.step = fix(s.step)
+    elif isinstance(s, ast.IfBlock):
+        s.cond = fix(s.cond)
+        s.elifs = [(fix(c), b) for c, b in s.elifs]
+    elif isinstance(s, ast.LogicalIf):
+        s.cond = fix(s.cond)
+    elif isinstance(s, ast.ArithIf):
+        s.expr = fix(s.expr)
+    elif isinstance(s, ast.ComputedGoto):
+        s.expr = fix(s.expr)
+    elif isinstance(s, ast.CallStmt):
+        s.args = tuple(fix(a) for a in s.args)
+    elif isinstance(s, (ast.ReadStmt, ast.WriteStmt)):
+        s.items = tuple(fix(i) for i in s.items)
+    for blk in s.blocks():
+        for inner in blk:
+            substitute_in_stmt(inner, env)
+
+
+def clone_body(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    return [s.clone() for s in body]
+
+
+def rename_array_in_stmt(s: ast.Stmt, old: str, new: str) -> None:
+    """Rename array references old -> new throughout a statement."""
+
+    def fix_node(e: ast.Expr) -> ast.Expr:
+        if isinstance(e, ast.ArrayRef) and e.name == old:
+            return ast.ArrayRef(new, e.subscripts)
+        return e
+
+    def fix(e: ast.Expr) -> ast.Expr:
+        return ast.map_expr(e, fix_node)
+
+    if isinstance(s, ast.Assign):
+        s.value = fix(s.value)
+        t = s.target
+        if isinstance(t, ast.ArrayRef):
+            if t.name == old:
+                s.target = ast.ArrayRef(new, tuple(
+                    fix(x) for x in t.subscripts))
+            else:
+                s.target = ast.ArrayRef(t.name, tuple(
+                    fix(x) for x in t.subscripts))
+    elif isinstance(s, ast.IfBlock):
+        s.cond = fix(s.cond)
+        s.elifs = [(fix(c), b) for c, b in s.elifs]
+    elif isinstance(s, ast.LogicalIf):
+        s.cond = fix(s.cond)
+    elif isinstance(s, ast.CallStmt):
+        s.args = tuple(fix(a) for a in s.args)
+    elif isinstance(s, (ast.ReadStmt, ast.WriteStmt)):
+        s.items = tuple(fix(i) for i in s.items)
+    elif isinstance(s, ast.DoLoop):
+        s.start = fix(s.start)
+        s.end = fix(s.end)
+        if s.step is not None:
+            s.step = fix(s.step)
+    for blk in s.blocks():
+        for inner in blk:
+            rename_array_in_stmt(inner, old, new)
+
+
+def fresh_name(base: str, taken: set[str]) -> str:
+    """A new identifier not colliding with existing symbols."""
+    base = base.upper()[:4]
+    for i in range(1, 1000):
+        cand = f"{base}X{i}"
+        if cand not in taken:
+            return cand
+    raise TransformError("could not generate a fresh name")
+
+
+def declare_array(uir: UnitIR, name: str, type_name: str,
+                  dims: tuple[ast.DimSpec, ...]) -> None:
+    """Insert a declaration for a new array and register the symbol."""
+    decl = ast.TypeDecl(type_name=type_name,
+                        entities=(ast.Entity(name, dims),))
+    # Insert after the last existing declaration.
+    body = uir.unit.body
+    pos = 0
+    for i, s in enumerate(body):
+        if isinstance(s, (ast.TypeDecl, ast.DimensionStmt, ast.CommonStmt,
+                          ast.ParameterStmt, ast.ImplicitStmt, ast.SaveStmt,
+                          ast.ExternalStmt, ast.IntrinsicStmt, ast.DataStmt)):
+            pos = i + 1
+    body.insert(pos, decl)
+    from ..ir.symtab import Symbol
+    uir.symtab.symbols[name.upper()] = Symbol(
+        name.upper(), type_name, dims=dims, declared=True)
+
+
+def int_const(v: int) -> ast.IntConst:
+    return ast.IntConst(v)
+
+
+def add_expr(a: ast.Expr, b: ast.Expr) -> ast.Expr:
+    """a + b with light constant folding."""
+    if isinstance(b, ast.IntConst) and b.value == 0:
+        return a
+    if isinstance(a, ast.IntConst) and a.value == 0:
+        return b
+    if isinstance(a, ast.IntConst) and isinstance(b, ast.IntConst):
+        return ast.IntConst(a.value + b.value)
+    if isinstance(b, ast.IntConst) and b.value < 0:
+        return ast.BinOp("-", a, ast.IntConst(-b.value))
+    if isinstance(b, ast.UnOp) and b.op == "-":
+        return ast.BinOp("-", a, b.operand)
+    return ast.BinOp("+", a, b)
+
+
+def sub_expr(a: ast.Expr, b: ast.Expr) -> ast.Expr:
+    if isinstance(b, ast.IntConst) and b.value == 0:
+        return a
+    if isinstance(a, ast.IntConst) and isinstance(b, ast.IntConst):
+        return ast.IntConst(a.value - b.value)
+    return ast.BinOp("-", a, b)

@@ -1,0 +1,209 @@
+"""Interprocedural transformations: loop embedding and loop extraction
+(Section 5.3, the spec77 request; Hall-Kennedy-McKinley [23]).
+
+* **loop extraction** pulls a procedure's outermost loop out into its
+  caller: ``CALL P(...)`` becomes ``DO I: CALL P$X(..., I)`` where ``P$X``
+  is the procedure body minus the loop, with the induction variable added
+  as a formal.  The caller can then fuse/interchange the exposed loop
+  with its own loops.
+
+* **loop embedding** pushes a caller's loop into the procedure:
+  ``DO I: CALL P(...)`` becomes ``CALL P$E(..., lo, hi)`` where ``P$E``
+  wraps P's body in the loop.  This gives the callee's compiler context
+  the full iteration space (granularity) without inlining.
+
+Both create a new program unit and leave the original in place (other
+call sites keep using it).
+"""
+
+from __future__ import annotations
+
+from ..fortran import ast
+from ..ir.loops import LoopInfo
+from .base import Advice, TContext, TransformError, Transformation, \
+    owner_or_raise
+
+
+def _single_call_body(loop: ast.DoLoop) -> ast.CallStmt | None:
+    body = [s for s in loop.body if not isinstance(s, ast.Continue)]
+    if len(body) == 1 and isinstance(body[0], ast.CallStmt):
+        return body[0]
+    return None
+
+
+def _decl_stmts_for(unit: ast.ProgramUnit) -> list[ast.Stmt]:
+    return [s for s in unit.body
+            if isinstance(s, (ast.TypeDecl, ast.DimensionStmt,
+                              ast.CommonStmt, ast.ParameterStmt,
+                              ast.ImplicitStmt, ast.SaveStmt,
+                              ast.ExternalStmt, ast.IntrinsicStmt,
+                              ast.DataStmt))]
+
+
+def _exec_stmts_for(unit: ast.ProgramUnit) -> list[ast.Stmt]:
+    decls = set(map(id, _decl_stmts_for(unit)))
+    return [s for s in unit.body if id(s) not in decls]
+
+
+class LoopEmbedding(Transformation):
+    """Move a caller loop into the called procedure."""
+
+    name = "loop_embedding"
+    category = "Interprocedural"
+
+    def _target(self, ctx: TContext) -> tuple[ast.CallStmt,
+                                              ast.ProgramUnit] | None:
+        if ctx.loop is None:
+            return None
+        call = _single_call_body(ctx.loop.loop)
+        if call is None:
+            return None
+        prog = ctx.param("program")
+        if prog is None or call.name not in prog.units:
+            return None
+        return call, prog.units[call.name].unit
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        if _single_call_body(ctx.loop.loop) is None:
+            return Advice.no("loop body must be a single CALL statement")
+        tgt = self._target(ctx)
+        if tgt is None:
+            return Advice.no("pass program= (AnalyzedProgram) and ensure "
+                             "the callee's source is available")
+        call, callee = tgt
+        lp = ctx.loop.loop
+        # The loop variable may appear in the arguments (it is passed
+        # through); loop bounds must not depend on callee effects.
+        bound_vars = ast.variables_in(lp.start) | ast.variables_in(lp.end)
+        if lp.var in bound_vars:
+            return Advice.no("loop bounds reference the induction variable")
+        return Advice.yes(True, "embedding gives the callee the full "
+                                "iteration space")
+
+    def _do(self, ctx: TContext):
+        call, callee = self._target(ctx)
+        lp = ctx.loop.loop
+        # New unit: callee body wrapped in the loop.  The induction
+        # variable and bounds become formals.
+        new_name = (callee.name + "E")[:6]
+        base = new_name
+        prog = ctx.param("program")
+        n = 1
+        while new_name in prog.units:
+            new_name = f"{base}{n}"
+            n += 1
+        lo_f, hi_f = "PEDLO", "PEDHI"
+        decls = [s.clone() for s in _decl_stmts_for(callee)]
+        execs = [s.clone() for s in _exec_stmts_for(callee)]
+        # Drop trailing RETURNs that would exit mid-loop.
+        execs = [s for s in execs if not isinstance(s, ast.Return)]
+        ivar = lp.var
+        inner_loop = ast.DoLoop(
+            var=ivar, start=ast.VarRef(lo_f), end=ast.VarRef(hi_f),
+            step=lp.step, body=execs, line=callee.line,
+            parallel=lp.parallel, private_vars=set(lp.private_vars))
+        new_body: list[ast.Stmt] = list(decls)
+        new_body.append(ast.TypeDecl(
+            type_name="INTEGER",
+            entities=(ast.Entity(ivar), ast.Entity(lo_f),
+                      ast.Entity(hi_f))))
+        new_body.append(inner_loop)
+        new_unit = ast.ProgramUnit(
+            kind="subroutine", name=new_name,
+            params=tuple(callee.params) + (lo_f, hi_f),
+            body=new_body, line=callee.line)
+        # Rewrite the call site: the loop becomes a single call.
+        owner, pos = owner_or_raise(ctx.uir, lp)
+        new_call = ast.CallStmt(
+            name=new_name,
+            args=tuple(call.args) + (lp.start, lp.end),
+            label=lp.label, line=lp.line)
+        owner[pos] = new_call
+        return (f"embedded loop into new procedure {new_name}"), [new_unit]
+
+
+class LoopExtraction(Transformation):
+    """Pull a callee's outermost loop out to the call site."""
+
+    name = "loop_extraction"
+    category = "Interprocedural"
+    needs_loop = False
+
+    def _target(self, ctx: TContext) -> tuple[ast.CallStmt,
+                                              ast.ProgramUnit,
+                                              ast.DoLoop] | None:
+        call: ast.CallStmt | None = ctx.param("call")
+        prog = ctx.param("program")
+        if call is None or prog is None or call.name not in prog.units:
+            return None
+        callee = prog.units[call.name].unit
+        execs = _exec_stmts_for(callee)
+        execs = [s for s in execs if not isinstance(s, (ast.Return,
+                                                        ast.Continue))]
+        if len(execs) != 1 or not isinstance(execs[0], ast.DoLoop):
+            return None
+        return call, callee, execs[0]
+
+    def check(self, ctx: TContext) -> Advice:
+        tgt = self._target(ctx)
+        if tgt is None:
+            return Advice.no("pass call= and program=; callee's executable "
+                             "body must be a single outer DO loop")
+        call, callee, loop = tgt
+        bound_vars = ast.variables_in(loop.start) | ast.variables_in(loop.end)
+        formals = {p.upper() for p in callee.params}
+        st = ctx.param("program").units[callee.name].symtab
+        for v in bound_vars:
+            sym = st.get(v)
+            if v not in formals and not (
+                    sym is not None and sym.storage in ("common",
+                                                        "parameter")):
+                return Advice.no(
+                    f"loop bound variable {v} is local to the callee; "
+                    "bounds must be expressible at the call site")
+        return Advice.yes(True, "extraction exposes the callee's loop for "
+                                "fusion/interchange in the caller")
+
+    def _do(self, ctx: TContext):
+        call, callee, loop = self._target(ctx)
+        prog = ctx.param("program")
+        new_name = (callee.name + "X")[:6]
+        base = new_name
+        n = 1
+        while new_name in prog.units:
+            new_name = f"{base}{n}"
+            n += 1
+        ivar = loop.var
+        decls = [s.clone() for s in _decl_stmts_for(callee)]
+        inner_body = [s.clone() for s in loop.body
+                      if not (isinstance(s, ast.Continue)
+                              and s.label == loop.term_label)]
+        new_unit = ast.ProgramUnit(
+            kind="subroutine", name=new_name,
+            params=tuple(callee.params) + (ivar,),
+            body=decls + inner_body, line=callee.line)
+        # Bounds at the call site: substitute actuals for formals.
+        binding = {f.upper(): a for f, a in zip(callee.params, call.args)}
+        lo = ast.substitute(loop.start, binding)
+        hi = ast.substitute(loop.end, binding)
+        step = ast.substitute(loop.step, binding) if loop.step is not None \
+            else None
+        owner, pos = owner_or_raise(ctx.uir, call)
+        new_loop = ast.DoLoop(
+            var=ivar, start=lo, end=hi, step=step,
+            body=[ast.CallStmt(name=new_name,
+                               args=tuple(call.args) + (ast.VarRef(ivar),),
+                               line=call.line)],
+            label=call.label, line=call.line)
+        owner[pos] = new_loop
+        # Caller must have the induction variable declared.
+        if ctx.uir.symtab.get(ivar) is None:
+            from ..ir.symtab import Symbol
+            ctx.uir.symtab.symbols[ivar] = Symbol(ivar, "INTEGER",
+                                                  declared=True)
+            ctx.uir.unit.body.insert(0, ast.TypeDecl(
+                type_name="INTEGER", entities=(ast.Entity(ivar),)))
+        return (f"extracted loop from {callee.name} into caller via "
+                f"{new_name}"), [new_unit]

@@ -1,0 +1,280 @@
+"""Memory-optimizing transformations: strip mining, unrolling,
+unroll-and-jam, scalar replacement (Figure 2, "Memory Optimizing")."""
+
+from __future__ import annotations
+
+from ..dependence.model import ANY, GT, LT
+from ..fortran import ast
+from .base import Advice, TContext, TransformError, Transformation, \
+    add_expr, fresh_name, owner_or_raise, sub_expr, substitute_in_stmt
+
+
+def _unit_step(lp: ast.DoLoop) -> bool:
+    return lp.step is None or (isinstance(lp.step, ast.IntConst)
+                               and lp.step.value == 1)
+
+
+class StripMining(Transformation):
+    """Split a loop into strips of ``size`` iterations."""
+
+    name = "strip_mining"
+    category = "Memory Optimizing"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        size = ctx.param("size", 0)
+        if not isinstance(size, int) or size < 2:
+            return Advice.no("pass size= (strip length >= 2)")
+        if not _unit_step(ctx.loop.loop):
+            return Advice.no("strip mining implemented for unit-step loops")
+        return Advice.yes(False, "strip mining preserves execution order")
+
+    def _do(self, ctx: TContext):
+        lp = ctx.loop.loop
+        size = ctx.param("size")
+        st = ctx.uir.symtab
+        strip_var = fresh_name(lp.var + "S", set(st.symbols))
+        from ..ir.symtab import Symbol
+        st.symbols[strip_var] = Symbol(strip_var, "INTEGER", declared=True)
+        from .reorder import _normalize_enddo
+        if not _normalize_enddo(lp, ctx.uir.unit):
+            raise TransformError("terminal label is a GOTO target")
+        inner = ast.DoLoop(
+            var=lp.var, start=ast.VarRef(strip_var),
+            end=ast.FuncRef("MIN", (
+                add_expr(ast.VarRef(strip_var), ast.IntConst(size - 1)),
+                lp.end), intrinsic=True),
+            step=None, body=lp.body, line=lp.line,
+            private_vars=set(lp.private_vars))
+        lp.var = strip_var
+        lp.step = ast.IntConst(size)
+        lp.body = [inner]
+        lp.private_vars = set()
+        return f"strip mined with strip size {size}", []
+
+
+class LoopUnrolling(Transformation):
+    """Unroll by ``factor`` with a remainder loop."""
+
+    name = "loop_unrolling"
+    category = "Memory Optimizing"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        f = ctx.param("factor", 0)
+        if not isinstance(f, int) or f < 2:
+            return Advice.no("pass factor= (>= 2)")
+        if not _unit_step(ctx.loop.loop):
+            return Advice.no("unrolling implemented for unit-step loops")
+        from .reorder import _has_unstructured_flow
+        if _has_unstructured_flow(ctx.loop.loop.body):
+            return Advice.no("loop body contains unstructured control flow")
+        return Advice.yes(True, "unrolling preserves execution order and "
+                                "reduces loop overhead")
+
+    def _do(self, ctx: TContext):
+        lp = ctx.loop.loop
+        f = ctx.param("factor")
+        from .reorder import _normalize_enddo
+        if not _normalize_enddo(lp, ctx.uir.unit):
+            raise TransformError("terminal label is a GOTO target")
+        owner, pos = owner_or_raise(ctx.uir, lp)
+        original = [s for s in lp.body]
+        new_body: list[ast.Stmt] = []
+        for j in range(f):
+            copies = [s.clone() for s in original]
+            if j > 0:
+                for s in copies:
+                    substitute_in_stmt(s, {
+                        lp.var: add_expr(ast.VarRef(lp.var),
+                                         ast.IntConst(j))})
+            new_body.extend(copies)
+        # Remainder loop handles (hi - lo + 1) mod f trailing iterations.
+        remainder = ast.DoLoop(
+            var=lp.var,
+            start=add_expr(
+                lp.start,
+                ast.BinOp("*", ast.IntConst(f), ast.BinOp(
+                    "/", add_expr(sub_expr(lp.end, lp.start),
+                                  ast.IntConst(1)),
+                    ast.IntConst(f)))),
+            end=lp.end, step=None,
+            body=[s.clone() for s in original], line=lp.line,
+            private_vars=set(lp.private_vars))
+        lp.body = new_body
+        lp.step = ast.IntConst(f)
+        # main loop must stop where full strips end
+        lp.end = sub_expr(
+            add_expr(lp.start, ast.BinOp(
+                "*", ast.IntConst(f), ast.BinOp(
+                    "/", add_expr(sub_expr(lp.end, lp.start),
+                                  ast.IntConst(1)),
+                    ast.IntConst(f)))),
+            ast.IntConst(1))
+        owner.insert(pos + 1, remainder)
+        return f"unrolled by factor {f} with remainder loop", []
+
+
+class UnrollAndJam(Transformation):
+    """Unroll the outer loop of a perfect nest and jam the copies into the
+    inner loop body."""
+
+    name = "unroll_and_jam"
+    category = "Memory Optimizing"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        inner = ctx.loop.is_perfect_nest_with()
+        if inner is None:
+            return Advice.no("loop is not a perfect nest")
+        f = ctx.param("factor", 0)
+        if not isinstance(f, int) or f < 2:
+            return Advice.no("pass factor= (>= 2)")
+        if not _unit_step(ctx.loop.loop) or not _unit_step(inner.loop):
+            return Advice.no("unroll-and-jam implemented for unit-step "
+                             "loops")
+        bvars = ast.variables_in(inner.loop.start) \
+            | ast.variables_in(inner.loop.end)
+        if ctx.loop.loop.var in bvars:
+            return Advice.no("inner loop bounds depend on the outer index")
+        # Same legality condition as interchange: no (<,>) dependence.
+        for d in ctx.deps.dependences:
+            if not d.active or len(d.vector) < 2:
+                continue
+            if d.vector[0] in (LT, ANY) and d.vector[1] in (GT, ANY):
+                return Advice.unsafe(
+                    f"dependence {d.describe()} prevents jamming")
+        return Advice.yes(True, "jamming increases register reuse across "
+                                "outer iterations")
+
+    def _do(self, ctx: TContext):
+        outer = ctx.loop.loop
+        inner = ctx.loop.is_perfect_nest_with().loop
+        f = ctx.param("factor")
+        from .reorder import _normalize_enddo
+        if not _normalize_enddo(inner, ctx.uir.unit):
+            raise TransformError("inner terminal label is a GOTO target")
+        original = [s for s in inner.body if not isinstance(s, ast.Continue)]
+        new_body: list[ast.Stmt] = []
+        for j in range(f):
+            copies = [s.clone() for s in original]
+            if j > 0:
+                for s in copies:
+                    substitute_in_stmt(s, {
+                        outer.var: add_expr(ast.VarRef(outer.var),
+                                            ast.IntConst(j))})
+            new_body.extend(copies)
+        from .reorder import _normalize_enddo
+        if not _normalize_enddo(outer, ctx.uir.unit):
+            raise TransformError("terminal label is a GOTO target")
+        owner, pos = owner_or_raise(ctx.uir, outer)
+        remainder = ast.DoLoop(
+            var=outer.var,
+            start=add_expr(
+                outer.start,
+                ast.BinOp("*", ast.IntConst(f), ast.BinOp(
+                    "/", add_expr(sub_expr(outer.end, outer.start),
+                                  ast.IntConst(1)),
+                    ast.IntConst(f)))),
+            end=outer.end, step=None,
+            body=[s.clone() for s in outer.body], line=outer.line)
+        inner.body = new_body
+        outer.step = ast.IntConst(f)
+        outer.end = sub_expr(
+            add_expr(outer.start, ast.BinOp(
+                "*", ast.IntConst(f), ast.BinOp(
+                    "/", add_expr(sub_expr(outer.end, outer.start),
+                                  ast.IntConst(1)),
+                    ast.IntConst(f)))),
+            ast.IntConst(1))
+        owner.insert(pos + 1, remainder)
+        return f"unrolled outer loop by {f} and jammed", []
+
+
+class ScalarReplacement(Transformation):
+    """Replace a loop-invariant array reference with a scalar temporary,
+    exposing the reuse to registers."""
+
+    name = "scalar_replacement"
+    category = "Memory Optimizing"
+
+    def _invariant_refs(self, ctx: TContext) -> list[ast.ArrayRef]:
+        from ..analysis.symbolic import invariant_names
+        lp = ctx.loop.loop
+        st = ctx.uir.symtab
+        inv = invariant_names(lp, st, ctx.analyzer.oracle)
+        seen: dict[ast.ArrayRef, int] = {}
+        for s, _ in ast.walk_stmts(lp.body):
+            exprs = list(s.exprs())
+            if isinstance(s, ast.Assign):
+                exprs.append(s.target)
+            for e in exprs:
+                for node in ast.walk_expr(e):
+                    if isinstance(node, ast.ArrayRef) \
+                            and ast.variables_in(node) - {node.name} <= inv \
+                            and node.name in inv:
+                        seen[node] = seen.get(node, 0) + 1
+        return [r for r, n in seen.items() if n >= 1]
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        ref = ctx.param("ref")
+        cands = self._invariant_refs(ctx)
+        if ref is None:
+            if not cands:
+                return Advice.no("no loop-invariant array references")
+            return Advice.yes(True, "candidates: " + ", ".join(
+                sorted({str(c) for c in cands})))
+        if all(str(ref) != str(c) for c in cands):
+            return Advice.unsafe(f"{ref} is not loop-invariant here")
+        # The reference must only be read, or written unconditionally,
+        # for load-hoist/store-sink to be safe; we support read-only.
+        lp = ctx.loop.loop
+        for s, _ in ast.walk_stmts(lp.body):
+            if isinstance(s, ast.Assign) and str(s.target) == str(ref):
+                return Advice.unsafe(
+                    f"{ref} is written in the loop; store sinking not "
+                    "implemented")
+        return Advice.yes(True, "hoisting the load removes repeated memory "
+                                "access")
+
+    def _do(self, ctx: TContext):
+        ref = ctx.param("ref")
+        if isinstance(ref, str):
+            from ..fortran.parser import parse_expr_text
+            ref = parse_expr_text(ref)
+        lp = ctx.loop.loop
+        st = ctx.uir.symtab
+        sym = st.get(ref.name)
+        tmp = fresh_name(ref.name + "T", set(st.symbols))
+        from ..ir.symtab import Symbol
+        st.symbols[tmp] = Symbol(tmp, sym.type_name if sym else "REAL",
+                                 declared=True)
+
+        def fix_node(e: ast.Expr) -> ast.Expr:
+            if isinstance(e, ast.ArrayRef) and str(e) == str(ref):
+                return ast.VarRef(tmp)
+            return e
+
+        for s, _ in ast.walk_stmts(lp.body):
+            if isinstance(s, ast.Assign):
+                s.value = ast.map_expr(s.value, fix_node)
+            elif isinstance(s, ast.IfBlock):
+                s.cond = ast.map_expr(s.cond, fix_node)
+                s.elifs = [(ast.map_expr(c, fix_node), b)
+                           for c, b in s.elifs]
+            elif isinstance(s, ast.LogicalIf):
+                s.cond = ast.map_expr(s.cond, fix_node)
+            elif isinstance(s, ast.CallStmt):
+                s.args = tuple(ast.map_expr(a, fix_node) for a in s.args)
+            elif isinstance(s, ast.WriteStmt):
+                s.items = tuple(ast.map_expr(i, fix_node) for i in s.items)
+        owner, pos = owner_or_raise(ctx.uir, lp)
+        owner.insert(pos, ast.Assign(target=ast.VarRef(tmp), value=ref,
+                                     line=lp.line))
+        lp.private_vars.discard(tmp)
+        return f"replaced invariant reference {ref} with scalar {tmp}", []

@@ -1,0 +1,160 @@
+"""Miscellaneous transformations: sequential<->parallel conversion, loop
+bounds adjusting, statement addition/deletion (Figure 2,
+"Miscellaneous")."""
+
+from __future__ import annotations
+
+from ..dependence.model import DepType
+from ..fortran import ast
+from ..fortran.parser import ParseError, parse_program
+from .base import Advice, TContext, TransformError, Transformation, \
+    owner_or_raise
+
+
+class Parallelize(Transformation):
+    """Convert a sequential DO into a PARALLEL DO.
+
+    Safe exactly when no active loop-carried dependence remains at this
+    loop's level -- rejected (user-deleted) dependences are disregarded,
+    which is how dependence marking feeds transformation safety.
+    """
+
+    name = "parallelize"
+    category = "Miscellaneous"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        if ctx.loop.loop.parallel:
+            return Advice.no("loop is already parallel")
+        blockers = [d for d in ctx.deps.carried()
+                    if d.level == 1 and d.dtype is not DepType.INPUT]
+        if blockers:
+            msgs = [d.describe() for d in blockers[:5]]
+            if len(blockers) > 5:
+                msgs.append(f"... and {len(blockers) - 5} more")
+            return Advice.unsafe("loop-carried dependence(s): "
+                                 + " | ".join(msgs))
+        return Advice.yes(True, "no loop-carried dependences at this level")
+
+    def _do(self, ctx: TContext):
+        lp = ctx.loop.loop
+        lp.parallel = True
+        lp.private_vars |= ctx.deps.privatizable
+        lp.private_vars.discard(lp.var)
+        return (f"parallelized loop at line {lp.line}; private: "
+                f"{sorted(lp.private_vars) or 'none'}"), []
+
+
+class Serialize(Transformation):
+    """Convert a PARALLEL DO back to a sequential DO (always safe)."""
+
+    name = "serialize"
+    category = "Miscellaneous"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        if not ctx.loop.loop.parallel:
+            return Advice.no("loop is not parallel")
+        return Advice.yes(False, "sequential execution is always a legal "
+                                 "schedule of a parallel loop")
+
+    def _do(self, ctx: TContext):
+        ctx.loop.loop.parallel = False
+        return f"serialized loop at line {ctx.loop.line}", []
+
+
+class LoopBoundsAdjusting(Transformation):
+    """Set new loop bounds (user-directed; the system warns rather than
+    proves, since changing bounds changes which iterations run)."""
+
+    name = "loop_bounds_adjusting"
+    category = "Miscellaneous"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        if ctx.param("start") is None and ctx.param("end") is None \
+                and ctx.param("step") is None:
+            return Advice.no("pass start=/end=/step= expressions")
+        return Advice(True, bool(ctx.param("force")), False,
+                      ["adjusting bounds changes the iteration set; "
+                       "pass force=True to confirm"])
+
+    def _do(self, ctx: TContext):
+        lp = ctx.loop.loop
+        for key in ("start", "end", "step"):
+            v = ctx.param(key)
+            if v is None:
+                continue
+            if isinstance(v, int):
+                v = ast.IntConst(v)
+            elif isinstance(v, str):
+                from ..fortran.parser import parse_expr_text
+                v = parse_expr_text(v)
+            setattr(lp, key, v)
+        return f"adjusted bounds of loop at line {lp.line}", []
+
+
+class StatementAddition(Transformation):
+    """Insert a new statement (parsed from text) before/after a target."""
+
+    name = "statement_addition"
+    category = "Miscellaneous"
+    needs_loop = False
+
+    def check(self, ctx: TContext) -> Advice:
+        text = ctx.param("text")
+        anchor = ctx.param("anchor")
+        if not text or anchor is None:
+            return Advice.no("pass text= and anchor= (statement)")
+        try:
+            self._parse(text)
+        except (ParseError, TransformError) as e:
+            return Advice.no(f"cannot parse statement: {e}")
+        return Advice(True, bool(ctx.param("force")), False,
+                      ["adding code changes semantics by construction; "
+                       "pass force=True to confirm"])
+
+    @staticmethod
+    def _parse(text: str) -> ast.Stmt:
+        wrapper = f"      SUBROUTINE WRAP\n      {text}\n      END\n"
+        prog = parse_program(wrapper)
+        body = prog.units[0].body
+        if len(body) != 1:
+            raise TransformError("text must be a single statement")
+        return body[0]
+
+    def _do(self, ctx: TContext):
+        stmt = self._parse(ctx.param("text"))
+        anchor = ctx.param("anchor")
+        where = ctx.param("where", "after")
+        owner, idx = owner_or_raise(ctx.uir, anchor)
+        stmt.line = anchor.line
+        owner.insert(idx + (1 if where == "after" else 0), stmt)
+        ctx.uir.invalidate()
+        from ..ir.program import AnalyzedProgram  # noqa: F401
+        return f"added statement {ctx.param('text')!r}", []
+
+
+class StatementDeletion(Transformation):
+    """Remove a statement (user-directed)."""
+
+    name = "statement_deletion"
+    category = "Miscellaneous"
+    needs_loop = False
+
+    def check(self, ctx: TContext) -> Advice:
+        target = ctx.param("stmt")
+        if target is None:
+            return Advice.no("pass stmt= (the statement to delete)")
+        return Advice(True, bool(ctx.param("force")), False,
+                      ["deleting code changes semantics by construction; "
+                       "pass force=True to confirm"])
+
+    def _do(self, ctx: TContext):
+        target = ctx.param("stmt")
+        owner, idx = owner_or_raise(ctx.uir, target)
+        owner.pop(idx)
+        return f"deleted statement at line {target.line}", []

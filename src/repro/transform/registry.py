@@ -1,0 +1,73 @@
+"""Transformation registry: the live Figure-2 taxonomy.
+
+``TAXONOMY`` reproduces the paper's Figure 2 grouping; the registry maps
+transformation names to implementations and is what the PED session's
+transform menu lists.  The "Interprocedural" group holds the paper's
+*needed* transformations (loop embedding/extraction, control-flow
+simplification, reduction restructuring) implemented here as extensions.
+"""
+
+from __future__ import annotations
+
+from .base import Transformation
+from .controlflow import ControlFlowSimplification
+from .depbreak import ArrayRenaming, LoopAlignment, LoopPeeling, \
+    LoopSplitting, Privatization, ReductionRecognition, ScalarExpansion
+from .interproc_t import LoopEmbedding, LoopExtraction
+from .memory import LoopUnrolling, ScalarReplacement, StripMining, \
+    UnrollAndJam
+from .misc import LoopBoundsAdjusting, Parallelize, Serialize, \
+    StatementAddition, StatementDeletion
+from .reorder import LoopDistribution, LoopFusion, LoopInterchange, \
+    LoopReversal, LoopSkewing, StatementInterchange
+
+_ALL: list[type[Transformation]] = [
+    # Reordering
+    LoopDistribution, LoopFusion, LoopInterchange, LoopReversal,
+    LoopSkewing, StatementInterchange,
+    # Dependence breaking
+    Privatization, ScalarExpansion, ArrayRenaming, LoopPeeling,
+    LoopSplitting, LoopAlignment, ReductionRecognition,
+    # Memory optimizing
+    StripMining, LoopUnrolling, UnrollAndJam, ScalarReplacement,
+    # Miscellaneous
+    Parallelize, Serialize, LoopBoundsAdjusting, StatementAddition,
+    StatementDeletion, ControlFlowSimplification,
+    # Interprocedural (paper's "needed" transformations)
+    LoopEmbedding, LoopExtraction,
+]
+
+REGISTRY: dict[str, type[Transformation]] = {c.name: c for c in _ALL}
+
+#: Figure 2 of the paper, regenerated from the registry by the benchmark.
+TAXONOMY: dict[str, list[str]] = {}
+for cls in _ALL:
+    TAXONOMY.setdefault(cls.category, []).append(cls.name)
+
+
+def get(name: str) -> Transformation:
+    try:
+        return REGISTRY[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown transformation {name!r}; available: "
+            f"{', '.join(sorted(REGISTRY))}") from None
+
+
+def names() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def taxonomy_text() -> str:
+    """Figure 2 as text: category headings with their transformations."""
+    lines = []
+    order = ["Reordering", "Dependence Breaking", "Memory Optimizing",
+             "Miscellaneous", "Interprocedural"]
+    for cat in order:
+        if cat not in TAXONOMY:
+            continue
+        lines.append(cat)
+        for name in sorted(TAXONOMY[cat]):
+            pretty = name.replace("_", " ").title()
+            lines.append(f"    {pretty}")
+    return "\n".join(lines)

@@ -1,0 +1,416 @@
+"""Reordering transformations: distribution, interchange, fusion,
+reversal, skewing, statement interchange (Figure 2, "Reordering")."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..dependence.model import ANY, EQ, GT, LT, DepType
+from ..fortran import ast
+from ..ir.loops import LoopInfo
+from .base import Advice, TContext, TransformError, Transformation, \
+    add_expr, owner_or_raise, sub_expr, substitute_in_stmt
+
+
+def _has_unstructured_flow(body: list[ast.Stmt]) -> bool:
+    for s, _ in ast.walk_stmts(body):
+        if isinstance(s, (ast.Goto, ast.ArithIf, ast.ComputedGoto)):
+            return True
+    return False
+
+
+def _label_targets(unit: ast.ProgramUnit) -> set[int]:
+    """Labels referenced by any control transfer in the unit."""
+    out: set[int] = set()
+    for s, _ in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.Goto):
+            out.add(s.target)
+        elif isinstance(s, ast.ArithIf):
+            out.update((s.neg_label, s.zero_label, s.pos_label))
+        elif isinstance(s, ast.ComputedGoto):
+            out.update(s.targets)
+    return out
+
+
+def _normalize_enddo(loop: ast.DoLoop, unit: ast.ProgramUnit) -> bool:
+    """Convert a label-form loop to ENDDO form when no GOTO needs the
+    terminal label.  Returns False when the label is jump-targeted."""
+    if loop.term_label is None:
+        return True
+    targets = _label_targets(unit)
+    if loop.term_label in targets:
+        return False
+    if loop.body and isinstance(loop.body[-1], ast.Continue) \
+            and loop.body[-1].label == loop.term_label:
+        loop.body.pop()
+    loop.term_label = None
+    return True
+
+
+class LoopDistribution(Transformation):
+    """Split a loop into one loop per strongly-connected component of its
+    statement-level dependence graph, in topological order."""
+
+    name = "loop_distribution"
+    category = "Reordering"
+
+    def _partitions(self, ctx: TContext) -> list[list[int]] | None:
+        loop = ctx.loop.loop
+        # CONTINUEs are no-ops (the terminal one is regenerated per loop);
+        # unstructured flow was excluded by check(), so none is a target.
+        top = [s for s in loop.body if not isinstance(s, ast.Continue)]
+        if len(top) < 2:
+            return None
+        owner_of: dict[int, int] = {}
+        for idx, s in enumerate(top):
+            for inner, _ in ast.walk_stmts([s]):
+                owner_of[inner.uid] = idx
+        g = nx.DiGraph()
+        g.add_nodes_from(range(len(top)))
+        for d in ctx.deps.dependences:
+            if not d.active or d.dtype is DepType.INPUT:
+                continue
+            a = owner_of.get(d.source.stmt_uid)
+            b = owner_of.get(d.sink.stmt_uid)
+            if a is None or b is None or a == b:
+                continue
+            # Distribution legality: a dependence (carried or not) is
+            # satisfied as long as the source's partition runs before the
+            # sink's; only dependence *cycles* force statements into the
+            # same loop.  SCC condensation gives exactly that.
+            g.add_edge(a, b)
+            sym = ctx.uir.symtab.get(d.var)
+            if sym is None or not sym.is_array:
+                # A scalar flows a *per-iteration* value: splitting its
+                # producer from its consumer would leave only the last
+                # value.  Force them into one partition (expand the
+                # scalar first if distribution is wanted there).
+                g.add_edge(b, a)
+        sccs = list(nx.strongly_connected_components(g))
+        cond = nx.condensation(g, sccs)
+        # Topological order of the condensation (dependences respected),
+        # tie-broken toward original statement order.
+        order = list(nx.lexicographical_topological_sort(
+            cond, key=lambda n: min(cond.nodes[n]["members"])))
+        parts = [sorted(cond.nodes[n]["members"]) for n in order]
+        return parts if len(parts) > 1 else None
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        if _has_unstructured_flow(ctx.loop.loop.body):
+            return Advice.no("loop body contains unstructured control flow")
+        parts = self._partitions(ctx)
+        if parts is None:
+            return Advice.no("dependences tie all statements into one "
+                             "partition")
+        profitable = any(
+            self._partition_parallel(ctx, p) for p in parts)
+        return Advice.yes(profitable,
+                          f"distributes into {len(parts)} loops")
+
+    def _partition_parallel(self, ctx: TContext, part: list[int]) -> bool:
+        uids = set()
+        top = [s for s in ctx.loop.loop.body
+               if not isinstance(s, ast.Continue)]
+        for idx in part:
+            for s, _ in ast.walk_stmts([top[idx]]):
+                uids.add(s.uid)
+        for d in ctx.deps.carried():
+            if d.level == 1 and d.source.stmt_uid in uids \
+                    and d.sink.stmt_uid in uids:
+                return False
+        return True
+
+    def _do(self, ctx: TContext):
+        loop = ctx.loop.loop
+        unit = ctx.uir.unit
+        parts = self._partitions(ctx)
+        if parts is None:  # pragma: no cover - check() guards
+            raise TransformError("not distributable")
+        if not _normalize_enddo(loop, unit):
+            raise TransformError("terminal label is a GOTO target")
+        owner, idx = owner_or_raise(ctx.uir, loop)
+        top = [s for s in loop.body if not isinstance(s, ast.Continue)]
+        new_loops: list[ast.DoLoop] = []
+        for part in parts:
+            nl = ast.DoLoop(var=loop.var, start=loop.start, end=loop.end,
+                            step=loop.step,
+                            body=[top[i] for i in part],
+                            term_label=None, parallel=False,
+                            private_vars=set(loop.private_vars),
+                            label=None, line=loop.line)
+            new_loops.append(nl)
+        owner[idx:idx + 1] = new_loops
+        return (f"distributed loop at line {loop.line} into "
+                f"{len(new_loops)} loops"), []
+
+
+class LoopInterchange(Transformation):
+    """Swap the headers of a perfectly nested loop pair."""
+
+    name = "loop_interchange"
+    category = "Reordering"
+
+    def _inner(self, ctx: TContext) -> LoopInfo | None:
+        return ctx.loop.is_perfect_nest_with() if ctx.loop else None
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        inner = self._inner(ctx)
+        if inner is None:
+            return Advice.no("loop is not a perfect nest with a single "
+                             "inner loop")
+        outer, innr = ctx.loop.loop, inner.loop
+        ovars = ast.variables_in(innr.start) | ast.variables_in(innr.end)
+        if innr.step is not None:
+            ovars |= ast.variables_in(innr.step)
+        if outer.var in ovars:
+            return Advice.no("inner loop bounds depend on the outer "
+                             "induction variable (triangular nest)")
+        ivars = ast.variables_in(outer.start) | ast.variables_in(outer.end)
+        if innr.var in ivars:
+            return Advice.no("outer loop bounds depend on the inner "
+                             "induction variable")
+        for d in ctx.deps.dependences:
+            if not d.active or len(d.vector) < 2:
+                continue
+            v0, v1 = d.vector[0], d.vector[1]
+            # Interchange is illegal exactly when some dependence may have
+            # direction (<, >): swapping would make it lexicographically
+            # backward.  ANY entries may hide either direction.
+            if v0 in (LT, ANY) and v1 in (GT, ANY):
+                return Advice.unsafe(
+                    f"dependence {d.describe()} has (or may have) "
+                    "direction (<,>)")
+        profitable = not ctx.deps.parallelizable()
+        return Advice.yes(profitable, "interchange is legal")
+
+    def _do(self, ctx: TContext):
+        outer = ctx.loop.loop
+        inner = self._inner(ctx).loop
+        for attr in ("var", "start", "end", "step"):
+            a, b = getattr(outer, attr), getattr(inner, attr)
+            setattr(outer, attr, b)
+            setattr(inner, attr, a)
+        return (f"interchanged loops at lines {outer.line}/{inner.line}"), []
+
+
+class LoopFusion(Transformation):
+    """Fuse two adjacent loops with identical bounds."""
+
+    name = "loop_fusion"
+    category = "Reordering"
+
+    def _pair(self, ctx: TContext) -> tuple[ast.DoLoop, ast.DoLoop] | None:
+        if ctx.loop is None:
+            return None
+        first = ctx.loop.loop
+        found = owner_or_raise(ctx.uir, first)
+        owner, idx = found
+        other = ctx.param("with")
+        if other is not None:
+            other_li = ctx.uir.loops.find(other)
+            second = other_li.loop
+            if idx + 1 >= len(owner) or owner[idx + 1] is not second:
+                return None
+        else:
+            if idx + 1 >= len(owner) or not isinstance(owner[idx + 1],
+                                                       ast.DoLoop):
+                return None
+            second = owner[idx + 1]
+        return first, second
+
+    def check(self, ctx: TContext) -> Advice:
+        pair = self._pair(ctx)
+        if pair is None:
+            return Advice.no("no adjacent loop to fuse with")
+        a, b = pair
+        if (a.start, a.end, a.step or ast.IntConst(1)) != \
+                (b.start, b.end, b.step or ast.IntConst(1)):
+            return Advice.no("loop bounds differ")
+        if _has_unstructured_flow(a.body) or _has_unstructured_flow(b.body):
+            return Advice.no("unstructured control flow in a loop body")
+        bad = self._fusion_preventing(ctx, a, b)
+        if bad:
+            return Advice.unsafe(f"fusion-preventing dependence on {bad}")
+        return Advice.yes(True, "bounds match and no fusion-preventing "
+                                "dependence")
+
+    def _fusion_preventing(self, ctx: TContext, a: ast.DoLoop,
+                           b: ast.DoLoop) -> str | None:
+        """Test cross-loop reference pairs under the fused iteration space;
+        a feasible '>' vector means iteration i of the second body would
+        need a value produced at iteration > i of the first."""
+        from ..dependence.tests import test_pair
+        st = ctx.uir.symtab
+        env = ctx.analyzer._env_at(ctx.uir.loops.find(a))
+        ctxs = ctx.analyzer._loop_ctxs(ctx.uir.loops.find(a),
+                                       (a.uid,), env)
+        facts = ctx.analyzer._facts_with_ranges(env)
+        refs_a = _array_refs(a.body, st, b.var, a.var)
+        refs_b = _array_refs(b.body, st, b.var, a.var)
+        for var, subs_a, w_a in refs_a:
+            for var2, subs_b, w_b in refs_b:
+                if var != var2 or not (w_a or w_b):
+                    continue
+                r = test_pair(subs_a, subs_b, ctxs, env, facts)
+                for v in r.vectors:
+                    if v and v[0] == GT:
+                        return var
+        return None
+
+    def _do(self, ctx: TContext):
+        a, b = self._pair(ctx)
+        unit = ctx.uir.unit
+        if not _normalize_enddo(a, unit) or not _normalize_enddo(b, unit):
+            raise TransformError("terminal label is a GOTO target")
+        if b.var != a.var:
+            for s in b.body:
+                substitute_in_stmt(s, {b.var: ast.VarRef(a.var)})
+        owner, idx = owner_or_raise(ctx.uir, a)
+        a.body.extend(b.body)
+        owner.remove(b)
+        a.parallel = False
+        a.private_vars |= b.private_vars
+        return f"fused loops at lines {a.line} and {b.line}", []
+
+
+def _array_refs(body: list[ast.Stmt], st, rename_from: str, rename_to: str):
+    """(array, subscripts, is_write) triples; loop var normalized."""
+    from ..analysis.defuse import accesses
+    out = []
+    env = {rename_from: ast.VarRef(rename_to)} if rename_from != rename_to \
+        else {}
+    for s, _ in ast.walk_stmts(body):
+        for a in accesses(s, st):
+            sym = st.get(a.name)
+            if sym is None or not sym.is_array:
+                continue
+            if isinstance(a.ref, ast.ArrayRef):
+                subs = tuple(ast.substitute(x, env) for x in a.ref.subscripts)
+                out.append((a.name, subs, a.is_def))
+    return out
+
+
+class LoopReversal(Transformation):
+    """Run the iterations backwards."""
+
+    name = "loop_reversal"
+    category = "Reordering"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        carried = [d for d in ctx.deps.carried() if d.level == 1]
+        if carried:
+            return Advice.unsafe(
+                f"{len(carried)} loop-carried dependence(s) would reverse")
+        return Advice.yes(False, "no carried dependences; reversal legal")
+
+    def _do(self, ctx: TContext):
+        lp = ctx.loop.loop
+        lp.start, lp.end = lp.end, lp.start
+        step = lp.step or ast.IntConst(1)
+        if isinstance(step, ast.IntConst):
+            lp.step = ast.IntConst(-step.value)
+        elif isinstance(step, ast.UnOp) and step.op == "-":
+            lp.step = step.operand
+        else:
+            lp.step = ast.UnOp("-", step)
+        if isinstance(lp.step, ast.IntConst) and lp.step.value == 1:
+            lp.step = None
+        return f"reversed loop at line {lp.line}", []
+
+
+class LoopSkewing(Transformation):
+    """Skew the inner loop of a perfect nest by ``factor`` * outer index."""
+
+    name = "loop_skewing"
+    category = "Reordering"
+
+    def check(self, ctx: TContext) -> Advice:
+        if ctx.loop is None:
+            return Advice.no("select a loop")
+        inner = ctx.loop.is_perfect_nest_with()
+        if inner is None:
+            return Advice.no("loop is not a perfect nest")
+        f = ctx.param("factor", 1)
+        if not isinstance(f, int) or f == 0:
+            return Advice.no("skew factor must be a non-zero integer")
+        return Advice.yes(False, "skewing is always legal; profitable "
+                                 "when it enables interchange")
+
+    def _do(self, ctx: TContext):
+        outer = ctx.loop.loop
+        inner = ctx.loop.is_perfect_nest_with().loop
+        f = ctx.param("factor", 1)
+        shift = ast.BinOp("*", ast.IntConst(f), ast.VarRef(outer.var)) \
+            if f != 1 else ast.VarRef(outer.var)
+        inner.start = add_expr(inner.start, shift)
+        inner.end = add_expr(inner.end, shift)
+        for s in inner.body:
+            substitute_in_stmt(
+                s, {inner.var: sub_expr(ast.VarRef(inner.var), shift)})
+        return (f"skewed inner loop at line {inner.line} by factor {f}"), []
+
+
+class StatementInterchange(Transformation):
+    """Swap two adjacent statements."""
+
+    name = "statement_interchange"
+    category = "Reordering"
+    needs_loop = False
+
+    def _pair(self, ctx: TContext) -> tuple[list[ast.Stmt], int] | None:
+        target: ast.Stmt | None = ctx.param("stmt")
+        if target is None:
+            return None
+        found = owner_or_raise(ctx.uir, target)
+        owner, idx = found
+        if idx + 1 >= len(owner):
+            return None
+        return owner, idx
+
+    def check(self, ctx: TContext) -> Advice:
+        pair = self._pair(ctx)
+        if pair is None:
+            return Advice.no("statement has no following sibling")
+        owner, idx = pair
+        a, b = owner[idx], owner[idx + 1]
+        uids_a = {s.uid for s, _ in ast.walk_stmts([a])}
+        uids_b = {s.uid for s, _ in ast.walk_stmts([b])}
+        li = ctx.uir.loops.enclosing(a.uid)
+        deps = (ctx.analyzer.analyze_loop(li).dependences if li is not None
+                else [])
+        for d in deps:
+            if not d.active:
+                continue
+            if (d.source.stmt_uid in uids_a and d.sink.stmt_uid in uids_b) \
+                    or (d.source.stmt_uid in uids_b
+                        and d.sink.stmt_uid in uids_a):
+                if not d.loop_carried:
+                    return Advice.unsafe(
+                        f"loop-independent dependence {d.describe()}")
+        if li is None:
+            # outside loops: compare def/use sets directly
+            from ..analysis.defuse import stmt_defs, stmt_uses
+            st = ctx.uir.symtab
+            da, ua = set(), set()
+            for s, _ in ast.walk_stmts([a]):
+                da |= stmt_defs(s, st)
+                ua |= stmt_uses(s, st)
+            db, ub = set(), set()
+            for s, _ in ast.walk_stmts([b]):
+                db |= stmt_defs(s, st)
+                ub |= stmt_uses(s, st)
+            if (da & (db | ub)) or (db & ua):
+                return Advice.unsafe("statements share defined variables")
+        return Advice.yes(False, "no dependence between the statements")
+
+    def _do(self, ctx: TContext):
+        owner, idx = self._pair(ctx)
+        owner[idx], owner[idx + 1] = owner[idx + 1], owner[idx]
+        return (f"interchanged statements at lines {owner[idx].line} and "
+                f"{owner[idx + 1].line}"), []

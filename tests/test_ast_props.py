@@ -1,0 +1,85 @@
+"""Property-based tests on the AST and expression machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fortran import ast, parse_program, print_program
+from repro.fortran.parser import parse_expr_text
+
+names = st.sampled_from(["X", "Y", "Z", "I", "J", "N1", "ALPHA"])
+
+
+def exprs(depth=3):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=999).map(ast.IntConst),
+        names.map(ast.VarRef),
+    )
+    if depth == 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: ast.BinOp(t[0], t[1], t[2])),
+        sub.map(lambda e: ast.UnOp("-", e)),
+        st.tuples(names, st.lists(sub, min_size=1, max_size=2)).map(
+            lambda t: ast.NameRef(t[0], tuple(t[1]))),
+    )
+
+
+@given(exprs())
+@settings(max_examples=150, deadline=None)
+def test_expression_print_parse_roundtrip(e):
+    """str(expr) reparses to a structurally equal expression."""
+    text = str(e)
+    back = parse_expr_text(text)
+    assert _normalized(back) == _normalized(e), (text, back)
+
+
+def _normalized(e: ast.Expr):
+    """Erase semantically-neutral differences (unary plus, +0 folding is
+    not performed, so structure should match exactly after one pass)."""
+    return str(e)
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_map_expr_identity(e):
+    assert ast.map_expr(e, lambda x: x) == e
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_substitute_fresh_name_is_identity(e):
+    assert ast.substitute(e, {"NOSUCH": ast.IntConst(0)}) == e
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_variables_in_subset_of_walk(e):
+    walked = {n.name for n in ast.walk_expr(e)
+              if isinstance(n, (ast.VarRef, ast.NameRef, ast.ArrayRef))}
+    assert ast.variables_in(e) <= walked | set()
+
+
+@given(st.lists(st.sampled_from(["X = 1", "Y = X + 2", "CONTINUE",
+                                 "CALL SUB(X)", "PRINT *, X"]),
+                min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_program_roundtrip_random_bodies(stmts):
+    body = "\n".join(f"      {s}" for s in stmts)
+    src = f"      SUBROUTINE T\n{body}\n      END\n"
+    out1 = print_program(parse_program(src))
+    out2 = print_program(parse_program(out1))
+    assert out1 == out2
+
+
+def test_clone_fresh_uids():
+    prog = parse_program("      SUBROUTINE T\n      DO I = 1, 3\n"
+                         "      X = I\n      ENDDO\n      END\n")
+    loop = prog.units[0].body[0]
+    clone = loop.clone()
+    orig_uids = {s.uid for s, _ in ast.walk_stmts([loop])}
+    new_uids = {s.uid for s, _ in ast.walk_stmts([clone])}
+    assert orig_uids.isdisjoint(new_uids)
+    assert clone.var == loop.var and len(clone.body) == len(loop.body)

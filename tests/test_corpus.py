@@ -1,0 +1,104 @@
+"""The synthetic workshop corpus: integrity, executability, and the
+Table 3 / Table 4 expectations."""
+
+import pytest
+
+from repro.corpus import ANALYSES, ORDER, PROGRAMS, TRANSFORMS
+from repro.corpus.detect import (needs_control_flow, needs_interprocedural,
+                                 table3_row)
+from repro.fortran import count_code_lines, parse_program
+from repro.interp import run_program
+
+
+class TestIntegrity:
+    def test_eight_programs_in_paper_order(self):
+        assert ORDER == ("spec77", "neoss", "nxsns", "dpmin", "slab2d",
+                         "slalom", "pueblo3d", "arc3d")
+
+    @pytest.mark.parametrize("name", ORDER)
+    def test_parses(self, name):
+        cp = PROGRAMS[name]
+        prog = parse_program(cp.source)
+        assert prog.main is not None
+
+    @pytest.mark.parametrize("name", ORDER)
+    def test_runs_and_prints(self, name):
+        cp = PROGRAMS[name]
+        interp = run_program(cp.source, inputs=list(cp.inputs))
+        assert interp.outputs, f"{name} produced no output"
+        for v in interp.outputs:
+            assert v == v, f"{name} produced NaN"
+
+    @pytest.mark.parametrize("name", ORDER)
+    def test_metadata(self, name):
+        cp = PROGRAMS[name]
+        assert cp.paper_lines > 0 and cp.paper_procedures > 0
+        assert cp.contributor
+        assert set(cp.table3) <= set(ANALYSES)
+        assert set(cp.table4) <= set(TRANSFORMS)
+        assert count_code_lines(cp.source) >= 40
+
+
+class TestTable3:
+    @pytest.mark.parametrize("name", ORDER)
+    def test_measured_row_matches_expected(self, name):
+        cp = PROGRAMS[name]
+        row = table3_row(cp)
+        for analysis in ANALYSES:
+            assert row[analysis] == cp.table3.get(analysis, ""), \
+                (name, analysis, row)
+
+    def test_paper_row_counts(self):
+        counts = {a: 0 for a in ANALYSES}
+        for cp in PROGRAMS.values():
+            for a in ANALYSES:
+                if cp.table3.get(a):
+                    counts[a] += 1
+        assert counts == {"dependence": 8, "scalar kills": 7,
+                          "sections": 6, "array kills": 7,
+                          "reductions": 5, "index arrays": 3}
+
+
+class TestTable4Needs:
+    def test_control_flow_needed_exactly_where_expected(self):
+        for name, cp in PROGRAMS.items():
+            expected = cp.table4.get("control flow") == "N"
+            assert needs_control_flow(cp) == expected, name
+
+    def test_interprocedural_needed_exactly_where_expected(self):
+        for name, cp in PROGRAMS.items():
+            expected = cp.table4.get("interprocedural") == "N"
+            assert needs_interprocedural(cp) == expected, name
+
+    def test_paper_row_counts(self):
+        used = {t: 0 for t in TRANSFORMS}
+        for cp in PROGRAMS.values():
+            for t in TRANSFORMS:
+                if cp.table4.get(t):
+                    used[t] += 1
+        assert used == {"loop distribution": 1, "loop interchange": 1,
+                        "loop fusion": 1, "scalar expansion": 3,
+                        "loop unrolling": 2, "control flow": 3,
+                        "interprocedural": 1}
+
+
+class TestPaperKernels:
+    def test_dpmin_do300_verbatim_structure(self):
+        src = PROGRAMS["dpmin"].source
+        for frag in ("I3 = IT(N)", "F(I3 + 1) = F(I3 + 1) - DT1",
+                     "F(K3 + 3) = F(K3 + 3) - DT9"):
+            assert frag in src
+
+    def test_pueblo_kernel_structure(self):
+        src = PROGRAMS["pueblo3d"].source
+        assert "DO 30 I = ISTRT(IR), IENDV(IR)" in src
+        assert "UF(I + MCN, 3)" in src
+
+    def test_arc3d_filter_fragment(self):
+        src = PROGRAMS["arc3d"].source
+        assert "JM = JMAX - 1" in src
+        assert "WR1(JMAX, K) = WR1(JM, K)" in src
+
+    def test_neoss_goto_loop(self):
+        src = PROGRAMS["neoss"].source
+        assert "IF (DENV(K) - RES(NR + 1)) 100, 10, 10" in src

@@ -1,0 +1,138 @@
+"""Scalar data-flow: def/use, reaching defs, liveness, constants."""
+
+from repro.analysis import (BOTTOM, TOP, compute_defuse, compute_liveness,
+                            propagate_constants, stmt_defs, stmt_must_defs,
+                            stmt_uses)
+from repro.fortran import ast
+from repro.ir import AnalyzedProgram
+
+
+def unit_ir(src: str, name: str = "T"):
+    return AnalyzedProgram.from_source(src).unit(name)
+
+
+class TestAccesses:
+    def test_assign(self):
+        u = unit_ir("      SUBROUTINE T\n      REAL A(5)\n"
+                    "      A(I) = X + A(J)\n      END\n")
+        s = [x for x, _ in ast.walk_stmts(u.unit.body)
+             if isinstance(x, ast.Assign)][0]
+        assert stmt_defs(s, u.symtab) == {"A"}
+        assert stmt_uses(s, u.symtab) == {"X", "A", "I", "J"}
+        # array element assignment is a may-def: no kill
+        assert stmt_must_defs(s, u.symtab) == set()
+
+    def test_scalar_assign_kills(self):
+        u = unit_ir("      SUBROUTINE T\n      X = 1\n      END\n")
+        s = u.unit.body[0]
+        assert stmt_must_defs(s, u.symtab) == {"X"}
+
+    def test_do_defines_index(self):
+        u = unit_ir("      SUBROUTINE T\n      DO I = 1, N\n"
+                    "      ENDDO\n      END\n")
+        lp = u.unit.body[0]
+        assert "I" in stmt_defs(lp, u.symtab)
+        assert "N" in stmt_uses(lp, u.symtab)
+
+    def test_call_worst_case(self):
+        u = unit_ir("      SUBROUTINE T\n      REAL A(5)\n"
+                    "      COMMON /C/ G\n"
+                    "      CALL EXT(A, X)\n      END\n")
+        s = [x for x, _ in ast.walk_stmts(u.unit.body)
+             if isinstance(x, ast.CallStmt)][0]
+        defs = stmt_defs(s, u.symtab)
+        assert {"A", "X", "G"} <= defs
+
+
+class TestReachingDefs:
+    def test_du_chain(self):
+        u = unit_ir("      SUBROUTINE T\n      X = 1\n      Y = X\n"
+                    "      X = 2\n      Z = X\n      END\n")
+        du = compute_defuse(u.cfg, u.symtab)
+        s1, s2, s3, s4 = u.unit.body
+        assert du.du_chains.get((s1.uid, "X")) == {s2.uid}
+        assert du.du_chains.get((s3.uid, "X")) == {s4.uid}
+
+    def test_merge_over_branches(self):
+        u = unit_ir("      SUBROUTINE T\n"
+                    "      IF (C .GT. 0) THEN\n      X = 1\n"
+                    "      ELSE\n      X = 2\n      ENDIF\n"
+                    "      Y = X\n      END\n")
+        du = compute_defuse(u.cfg, u.symtab)
+        use = u.unit.body[1]
+        assert len(du.ud_chains[(use.uid, "X")]) == 2
+
+    def test_loop_carried_reach(self):
+        u = unit_ir("      SUBROUTINE T\n      S = 0\n"
+                    "      DO 10 I = 1, 5\n      S = S + I\n"
+                    "   10 CONTINUE\n      END\n")
+        du = compute_defuse(u.cfg, u.symtab)
+        update = u.loops.find("L1").loop.body[0]
+        # the accumulation sees both the initial def and its own def
+        assert len(du.ud_chains[(update.uid, "S")]) == 2
+
+
+class TestLiveness:
+    def test_dead_after_redefinition(self):
+        u = unit_ir("      SUBROUTINE T\n      X = 1\n      X = 2\n"
+                    "      CALL USE(X)\n      END\n")
+        live_in, live_out = compute_liveness(u.cfg, u.symtab)
+        first, second, _ = u.unit.body
+        assert "X" not in live_out[first.uid]
+        assert "X" in live_out[second.uid]
+
+    def test_arguments_live_at_exit(self):
+        u = unit_ir("      SUBROUTINE T(A)\n      A = 1\n      END\n")
+        _, live_out = compute_liveness(u.cfg, u.symtab)
+        s = u.unit.body[0]
+        assert "A" in live_out[s.uid]
+
+
+class TestConstants:
+    def test_straightline(self):
+        u = unit_ir("      SUBROUTINE T\n      N = 5\n      M = N + 1\n"
+                    "      X = M * 2\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        last = u.unit.body[2]
+        assert cm.value_at(last.uid, "M") == 6
+
+    def test_parameter_seed(self):
+        u = unit_ir("      SUBROUTINE T\n      PARAMETER (N = 4)\n"
+                    "      X = N\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        s = [x for x, _ in ast.walk_stmts(u.unit.body)
+             if isinstance(x, ast.Assign)][0]
+        assert cm.value_at(s.uid, "N") == 4
+
+    def test_branch_meet_same_value(self):
+        u = unit_ir("      SUBROUTINE T\n"
+                    "      IF (C .GT. 0) THEN\n      X = 3\n"
+                    "      ELSE\n      X = 3\n      ENDIF\n"
+                    "      Y = X\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        y = u.unit.body[1]
+        assert cm.value_at(y.uid, "X") == 3
+
+    def test_branch_meet_different_values(self):
+        u = unit_ir("      SUBROUTINE T\n"
+                    "      IF (C .GT. 0) THEN\n      X = 3\n"
+                    "      ELSE\n      X = 4\n      ENDIF\n"
+                    "      Y = X\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        y = u.unit.body[1]
+        assert cm.value_at(y.uid, "X") is BOTTOM
+
+    def test_loop_variant_is_bottom(self):
+        u = unit_ir("      SUBROUTINE T\n      K = 0\n"
+                    "      DO 10 I = 1, 5\n      K = K + 1\n"
+                    "   10 CONTINUE\n      Y = K\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        y = u.unit.body[2]
+        assert cm.value_at(y.uid, "K") is BOTTOM
+
+    def test_call_invalidates(self):
+        u = unit_ir("      SUBROUTINE T\n      X = 1\n      CALL F(X)\n"
+                    "      Y = X\n      END\n")
+        cm = propagate_constants(u.cfg, u.symtab)
+        y = u.unit.body[2]
+        assert cm.value_at(y.uid, "X") is BOTTOM

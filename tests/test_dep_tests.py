@@ -1,0 +1,224 @@
+"""The hierarchical dependence test suite, including a brute-force
+soundness property: any (source iteration, sink iteration) pair whose
+subscripts collide must be covered by a reported direction vector."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.linear import LinearExpr, linearize
+from repro.dependence.facts import FactBase
+from repro.dependence.model import EQ, GT, LT
+from repro.dependence.tests import LoopCtx
+from repro.dependence.tests import test_pair as run_pair
+from repro.fortran.parser import parse_expr_text
+
+
+def lc(var, lo, hi, step=1):
+    return LoopCtx(var, LinearExpr.constant(lo), LinearExpr.constant(hi),
+                   step)
+
+
+def subs(*texts):
+    return tuple(parse_expr_text(t) for t in texts)
+
+
+class TestZIV:
+    def test_different_constants_independent(self):
+        r = run_pair(subs("3"), subs("5"), [lc("I", 1, 10)])
+        assert r.independent and r.exact
+
+    def test_equal_constants_all_directions(self):
+        r = run_pair(subs("4"), subs("4"), [lc("I", 1, 10)])
+        assert set(r.vectors) == {(LT,), (EQ,), (GT,)}
+
+
+class TestStrongSIV:
+    def test_distance_one(self):
+        r = run_pair(subs("I"), subs("I - 1"), [lc("I", 1, 10)])
+        assert r.vectors == [(LT,)]
+        assert r.distances == {0: 1}
+        assert r.exact
+
+    def test_distance_zero(self):
+        r = run_pair(subs("I"), subs("I"), [lc("I", 1, 10)])
+        assert r.vectors == [(EQ,)]
+
+    def test_negative_distance(self):
+        r = run_pair(subs("I"), subs("I + 2"), [lc("I", 1, 10)])
+        assert r.vectors == [(GT,)]
+
+    def test_distance_exceeds_range(self):
+        r = run_pair(subs("I"), subs("I - 50"), [lc("I", 1, 10)])
+        assert r.independent
+
+    def test_non_integer_distance(self):
+        r = run_pair(subs("2 * I"), subs("2 * I + 1"), [lc("I", 1, 10)])
+        assert r.independent
+
+    def test_coefficient_two(self):
+        r = run_pair(subs("2 * I"), subs("2 * I - 4"), [lc("I", 1, 10)])
+        assert r.vectors == [(LT,)] and r.distances == {0: 2}
+
+
+class TestWeakSIV:
+    def test_weak_zero_hit(self):
+        # source a*i + 0, sink constant: i = 5 in range
+        r = run_pair(subs("I"), subs("5"), [lc("I", 1, 10)])
+        assert not r.independent
+
+    def test_weak_zero_miss(self):
+        r = run_pair(subs("I"), subs("50"), [lc("I", 1, 10)])
+        assert r.independent
+
+    def test_weak_crossing(self):
+        # i + i' = 12, both in [1,10]: crossing feasible
+        r = run_pair(subs("I"), subs("12 - I"), [lc("I", 1, 10)])
+        assert not r.independent
+        # i + i' = 30: impossible in [1,10]
+        r2 = run_pair(subs("I"), subs("30 - I"), [lc("I", 1, 10)])
+        assert r2.independent
+
+
+class TestGCD:
+    def test_gcd_disproof(self):
+        # 2i = 2i' + 1 has no integer solution
+        r = run_pair(subs("2 * I"), subs("2 * I + 1"),
+                      [lc("I", 1, 100)])
+        assert r.independent
+
+    def test_gcd_pass(self):
+        r = run_pair(subs("2 * I"), subs("2 * I + 4"), [lc("I", 1, 100)])
+        assert not r.independent
+
+
+class TestMultiDim:
+    def test_direction_vector_two_levels(self):
+        loops = [lc("I", 1, 10), lc("J", 1, 10)]
+        r = run_pair(subs("I", "J"), subs("I - 1", "J + 1"), loops)
+        assert r.vectors == [(LT, GT)]
+
+    def test_second_dim_disproof(self):
+        loops = [lc("I", 1, 10), lc("J", 1, 10)]
+        r = run_pair(subs("I", "1"), subs("I", "2"), loops)
+        assert r.independent
+
+    def test_coupled_subscripts_banerjee(self):
+        # A(I+J) vs A(I+J+25) with small ranges: sum differs by >= 7
+        loops = [lc("I", 1, 3), lc("J", 1, 3)]
+        r = run_pair(subs("I + J"), subs("I + J + 25"), loops)
+        assert r.independent
+
+
+class TestSymbolic:
+    def test_unknown_offset_pending(self):
+        r = run_pair(subs("I + M"), subs("I"), [lc("I", 1, 10)])
+        assert not r.independent and not r.exact
+        assert "M" in r.reason
+
+    def test_assertion_eliminates(self):
+        fb = FactBase()
+        fb.assert_linear(linearize(parse_expr_text("M - 9")), ">")
+        r = run_pair(subs("I + M"), subs("I"), [lc("I", 1, 10)], {}, fb)
+        assert r.independent
+
+    def test_symbolic_bounds_with_assertion(self):
+        lo = linearize(parse_expr_text("LO(K)"))
+        hi = linearize(parse_expr_text("HI(K)"))
+        fb = FactBase()
+        fb.assert_linear(linearize(parse_expr_text("M - (HI(K) - LO(K))")),
+                         ">")
+        r = run_pair(subs("I + M"), subs("I"), [LoopCtx("I", lo, hi, 1)],
+                      {}, fb)
+        assert r.independent
+
+    def test_identical_residues_cancel(self):
+        # A(OFF(K) + I) vs A(OFF(K) + I - 1): distance 1 despite residue
+        r = run_pair(subs("OFF(K) + I"), subs("OFF(K) + I - 1"),
+                      [lc("I", 1, 10)])
+        assert r.vectors == [(LT,)]
+
+
+class TestIndexArrayFacts:
+    def test_permutation_kills_equal_offsets(self):
+        fb = FactBase()
+        fb.assert_permutation("IT")
+        r = run_pair(subs("IT(N) + 1"), subs("IT(N) + 1"),
+                      [lc("N", 1, 10)], {}, fb)
+        # only the same-iteration (loop-independent) access remains
+        assert set(r.vectors) == {(EQ,)}
+
+    def test_monotone_gap_kills_cross_offsets(self):
+        fb = FactBase()
+        fb.assert_monotone("IT", gap=3)
+        r = run_pair(subs("IT(N) + 1"), subs("IT(N) + 2"),
+                     [lc("N", 1, 10)], {}, fb)
+        # offsets differ, so even the same-iteration access differs, and
+        # the gap kills every cross-iteration pairing: fully independent
+        assert r.independent
+
+    def test_without_gap_cross_offsets_survive(self):
+        fb = FactBase()
+        fb.assert_permutation("IT")
+        r = run_pair(subs("IT(N) + 1"), subs("IT(N) + 2"),
+                      [lc("N", 1, 10)], {}, fb)
+        assert (LT,) in r.vectors or (GT,) in r.vectors
+
+    def test_disjoint_arrays(self):
+        fb = FactBase()
+        fb.assert_disjoint("IT", "JT", gap=3)
+        r = run_pair(subs("IT(N) + 1"), subs("JT(N) + 2"),
+                      [lc("N", 1, 10)], {}, fb)
+        assert r.independent
+
+
+# ---------------------------------------------------------------------------
+# Brute-force soundness
+# ---------------------------------------------------------------------------
+
+def _direction(i, ip):
+    if i < ip:
+        return LT
+    if i == ip:
+        return EQ
+    return GT
+
+
+@given(
+    a1=st.integers(-3, 3), c1=st.integers(-5, 5),
+    a2=st.integers(-3, 3), c2=st.integers(-5, 5),
+    lo=st.integers(1, 3), width=st.integers(0, 6),
+)
+@settings(max_examples=200, deadline=None)
+def test_siv_soundness_vs_bruteforce(a1, c1, a2, c2, lo, width):
+    """Every concrete collision must be covered by a reported vector."""
+    hi = lo + width
+    src = parse_expr_text(f"{a1} * I + {c1}".replace("+ -", "- "))
+    snk = parse_expr_text(f"{a2} * I + {c2}".replace("+ -", "- "))
+    r = run_pair((src,), (snk,), [lc("I", lo, hi)])
+    covered = set(r.vectors)
+    for i, ip in itertools.product(range(lo, hi + 1), repeat=2):
+        if a1 * i + c1 == a2 * ip + c2:
+            assert (_direction(i, ip),) in covered, (i, ip, r.vectors)
+
+
+@given(
+    d1=st.integers(-2, 2), d2=st.integers(-2, 2),
+    e1=st.integers(-2, 2), e2=st.integers(-2, 2),
+    k1=st.integers(-3, 3), k2=st.integers(-3, 3),
+)
+@settings(max_examples=150, deadline=None)
+def test_2d_soundness_vs_bruteforce(d1, d2, e1, e2, k1, k2):
+    """Two-level nests with coupled subscripts stay sound."""
+    lo, hi = 1, 4
+    src = parse_expr_text(f"{d1} * I + {e1} * J + {k1}")
+    snk = parse_expr_text(f"{d2} * I + {e2} * J + {k2}")
+    loops = [lc("I", lo, hi), lc("J", lo, hi)]
+    r = run_pair((src,), (snk,), loops)
+    covered = set(r.vectors)
+    rng = range(lo, hi + 1)
+    for i, j, ip, jp in itertools.product(rng, repeat=4):
+        if d1 * i + e1 * j + k1 == d2 * ip + e2 * jp + k2:
+            v = (_direction(i, ip), _direction(j, jp))
+            assert v in covered, (v, r.vectors)

@@ -1,0 +1,134 @@
+"""The requested-feature extensions: semi-automatic parallelization,
+program report printing, DOT call graph, unknown-symbolic queries."""
+
+import pytest
+
+from repro.corpus import PROGRAMS
+from repro.interp import verify_equivalence
+from repro.ped import PedSession
+
+
+class TestAutoParallelize:
+    def test_simple_program_fully_parallelized(self):
+        src = ("      PROGRAM T\n      REAL A(30), B(30)\n"
+               "      DO 10 I = 1, 30\n      A(I) = I * 1.0\n"
+               "   10 CONTINUE\n"
+               "      DO 20 I = 1, 30\n      T1 = A(I) * 2.0\n"
+               "      B(I) = T1\n   20 CONTINUE\n"
+               "      PRINT *, B(30)\n      END\n")
+        s = PedSession(src)
+        report = s.auto_parallelize()
+        assert len(report.parallelized) == 2
+        assert not report.impediments
+        assert verify_equivalence(src, s.source()) == []
+
+    def test_recurrence_reported_as_impediment(self):
+        src = ("      PROGRAM T\n      REAL A(30)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 30\n      A(I) = A(I - 1) * 1.1\n"
+               "   10 CONTINUE\n      PRINT *, A(30)\n      END\n")
+        s = PedSession(src)
+        report = s.auto_parallelize(suggest_assertions=False)
+        assert report.parallelized == []
+        (imp,) = report.impediments
+        assert imp.blocking and "A(I)" in imp.blocking[0]
+        assert "blocked by" in report.describe()
+
+    def test_inner_loops_skipped_when_outer_parallel(self):
+        src = ("      PROGRAM T\n      REAL A(10, 10)\n"
+               "      DO 10 I = 1, 10\n      DO 10 J = 1, 10\n"
+               "      A(I, J) = I + J\n   10 CONTINUE\n"
+               "      PRINT *, A(5, 5)\n      END\n")
+        s = PedSession(src)
+        report = s.auto_parallelize()
+        assert report.parallelized == ["T:L1"]
+        assert not report.impediments
+
+    def test_suggestions_include_reduction(self):
+        src = ("      PROGRAM T\n      REAL A(20), S\n      S = 0.0\n"
+               "      DO 5 I = 1, 20\n      A(I) = I * 0.5\n"
+               "    5 CONTINUE\n"
+               "      DO 10 I = 1, 20\n      S = S + A(I)\n"
+               "   10 CONTINUE\n      PRINT *, S\n      END\n")
+        s = PedSession(src)
+        report = s.auto_parallelize(suggest_assertions=False)
+        imps = [i for i in report.impediments if i.loop_id == "L2"]
+        assert imps
+        assert any("reduction" in sug for sug in imps[0].suggestions)
+
+    def test_suggestions_include_array_kill(self):
+        src = ("      PROGRAM T\n      REAL W(8), B(4, 8)\n"
+               "      DO 10 I = 1, 4\n"
+               "      DO 11 J = 1, 8\n      W(J) = I * J\n"
+               "   11 CONTINUE\n"
+               "      DO 12 J = 1, 8\n      B(I, J) = W(J)\n"
+               "   12 CONTINUE\n   10 CONTINUE\n      PRINT *, B(2, 3)\n"
+               "      END\n")
+        s = PedSession(src)
+        s.select_loop("L1")
+        # note: W is privatizable; parallelize alone refuses because W is
+        # shared, so auto-parallelize should suggest the classification.
+        report = s.auto_parallelize(suggest_assertions=False)
+        texts = [sug for i in report.impediments for sug in i.suggestions]
+        joined = " | ".join(texts)
+        assert "W" in joined and "private" in joined \
+            or "T:L1" in report.parallelized
+
+    def test_assertion_suggested_for_pueblo(self):
+        s = PedSession(PROGRAMS["pueblo3d"].source)
+        report = s.auto_parallelize(unit="SWEEP")
+        texts = [sug for i in report.impediments for sug in i.suggestions]
+        assert any("ASSERT" in t and "MCN" in t for t in texts)
+
+    def test_corpus_programs_still_correct_after_auto(self):
+        for name in ("slalom", "slab2d"):
+            src = PROGRAMS[name].source
+            s = PedSession(src)
+            s.auto_parallelize()
+            assert verify_equivalence(src, s.source()) == [], name
+
+
+class TestProgramReport:
+    def test_report_covers_units_and_loops(self):
+        s = PedSession(PROGRAMS["neoss"].source)
+        report = s.program_report()
+        for unit in s.units():
+            assert f"UNIT {unit}" in report
+        assert "DEPENDENCES" in report and "VARIABLES" in report
+
+    def test_report_restores_selection(self):
+        s = PedSession(PROGRAMS["neoss"].source)
+        s.select_unit("REGIME")
+        s.select_loop(s.loops()[0])
+        line = s.current_loop.line
+        s.program_report()
+        assert s.current_unit_name == "REGIME"
+        assert s.current_loop is not None and s.current_loop.line == line
+
+
+class TestCallGraphDot:
+    def test_dot_structure(self):
+        s = PedSession(PROGRAMS["spec77"].source)
+        dot = s.call_graph_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert '"GLOOP" -> "PHYS";' in dot
+        assert dot.rstrip().endswith("}")
+        # node labels carry estimated time shares
+        assert "%" in dot
+
+
+class TestUnknownSymbolics:
+    def test_pueblo_unknowns_listed(self):
+        s = PedSession(PROGRAMS["pueblo3d"].source)
+        s.select_unit("SWEEP")
+        s.select_loop(s.loops()[0])
+        unknowns = s.unknown_symbolics()
+        assert "MCN" in unknowns
+        assert any("UF" in d for d in unknowns["MCN"])
+
+    def test_clean_loop_has_none(self):
+        src = ("      PROGRAM T\n      REAL A(10)\n"
+               "      DO 10 I = 1, 10\n      A(I) = I\n   10 CONTINUE\n"
+               "      END\n")
+        s = PedSession(src)
+        s.select_loop("L1")
+        assert s.unknown_symbolics() == {}

@@ -1,0 +1,96 @@
+"""Fact base entailment."""
+
+from repro.analysis.linear import LinearExpr, linearize
+from repro.dependence.facts import FactBase
+from repro.fortran.parser import parse_expr_text
+
+
+def lin(text):
+    return linearize(parse_expr_text(text))
+
+
+class TestSigns:
+    def test_constant_signs(self):
+        fb = FactBase()
+        assert fb.sign(lin("3")) == "+"
+        assert fb.sign(lin("-2")) == "-"
+        assert fb.sign(lin("0")) == "0"
+
+    def test_range_interval(self):
+        fb = FactBase()
+        fb.assert_range("N", 1, 100)
+        assert fb.sign(lin("N")) == "+"
+        assert fb.sign(lin("N - 101")) == "-"
+        assert fb.sign(lin("N - 1")) in (">=0", "+", None) != "-"
+        assert fb.known_nonnegative(lin("N - 1"))
+
+    def test_range_intersection(self):
+        fb = FactBase()
+        fb.assert_range("N", 1, 100)
+        fb.assert_range("N", 10, 50)
+        assert fb.ranges["N"] == (10, 50)
+
+    def test_linear_fact_match(self):
+        fb = FactBase()
+        fb.assert_linear(lin("MCN - 10"), ">")
+        assert fb.sign(lin("MCN - 10")) == "+"
+        assert fb.sign(lin("MCN - 9")) == "+"     # fact + 1
+        assert fb.sign(lin("10 - MCN")) == "-"    # negated
+        assert fb.sign(lin("MCN - 11")) is None   # weaker than the fact
+
+    def test_symbolic_fact_with_residue(self):
+        fb = FactBase()
+        fb.assert_linear(lin("MCN - (IENDV(IR) - ISTRT(IR))"), ">")
+        q = lin("MCN - (IENDV(IR) - ISTRT(IR))")
+        assert fb.sign(q) == "+"
+
+    def test_two_fact_combination(self):
+        """MCN > SPAN and SPAN >= 0 entail MCN > 0."""
+        fb = FactBase()
+        fb.assert_linear(lin("MCN - SPAN"), ">")
+        fb.assert_linear(lin("SPAN"), ">=")
+        assert fb.sign(lin("MCN")) == "+"
+        assert fb.sign(lin("MCN + 5")) == "+"
+        assert fb.sign(lin("-MCN")) == "-"
+
+    def test_equality_fact(self):
+        fb = FactBase()
+        fb.assert_linear(lin("JM - JMAX + 1"), "=")
+        assert fb.sign(lin("JM - JMAX + 1")) == "0"
+        assert fb.sign(lin("JM - JMAX + 2")) == "+"
+
+    def test_unknown_is_none(self):
+        fb = FactBase()
+        assert fb.sign(lin("X + Y")) is None
+
+
+class TestIndexArrays:
+    def test_permutation(self):
+        fb = FactBase()
+        fb.assert_permutation("IT")
+        assert fb.is_permutation("IT")
+        assert not fb.is_permutation("JT")
+
+    def test_monotone_implies_permutation(self):
+        fb = FactBase()
+        fb.assert_monotone("IT", gap=3)
+        assert fb.is_permutation("IT")
+        assert fb.monotone_gap("IT") == 3
+
+    def test_disjoint_gap(self):
+        fb = FactBase()
+        fb.assert_disjoint("IT", "JT", gap=3)
+        assert fb.are_disjoint("IT", "JT", max_offset=2)
+        assert fb.are_disjoint("JT", "IT", max_offset=2)
+        assert not fb.are_disjoint("IT", "JT", max_offset=3)
+
+    def test_merged_with(self):
+        a = FactBase()
+        a.assert_range("N", 1, 10)
+        b = FactBase()
+        b.assert_permutation("IT")
+        b.assert_linear(lin("M"), ">")
+        m = a.merged_with(b)
+        assert m.is_permutation("IT")
+        assert m.sign(lin("M")) == "+"
+        assert m.ranges["N"] == (1, 10)

@@ -1,0 +1,100 @@
+"""Soundness property for the fact base: whenever ``sign`` returns a
+definite answer, that answer must agree with every concrete variable
+assignment satisfying the asserted facts."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.analysis.linear import LinearExpr
+from repro.dependence.facts import FactBase
+
+VARS = ("X", "Y", "Z")
+
+
+def lin(c, coeffs):
+    out = LinearExpr.constant(c)
+    for v, k in zip(VARS, coeffs):
+        out = out + LinearExpr.var(v, k)
+    return out
+
+
+def evaluate(le: LinearExpr, env):
+    total = le.const
+    for v, c in le.terms:
+        total += c * env[v]
+    return total
+
+
+linear_exprs = st.tuples(
+    st.integers(-6, 6),
+    st.tuples(st.integers(-3, 3), st.integers(-3, 3),
+              st.integers(-3, 3)),
+).map(lambda t: lin(t[0], t[1]))
+
+
+@given(
+    env=st.tuples(st.integers(-10, 10), st.integers(-10, 10),
+                  st.integers(-10, 10)),
+    fact_exprs=st.lists(linear_exprs, min_size=0, max_size=3),
+    rels=st.lists(st.sampled_from([">", ">=", "="]), min_size=3,
+                  max_size=3),
+    ranged=st.booleans(),
+    query=linear_exprs,
+)
+@settings(max_examples=300, deadline=None)
+def test_sign_agrees_with_concrete_assignment(env, fact_exprs, rels,
+                                              ranged, query):
+    concrete = dict(zip(VARS, env))
+    fb = FactBase()
+    # only assert facts that actually HOLD under the concrete assignment
+    for le, rel in zip(fact_exprs, rels):
+        val = evaluate(le, concrete)
+        if rel == ">" and val > 0:
+            fb.assert_linear(le, rel)
+        elif rel == ">=" and val >= 0:
+            fb.assert_linear(le, rel)
+        elif rel == "=" and val == 0:
+            fb.assert_linear(le, rel)
+    if ranged:
+        for v in VARS:
+            fb.assert_range(v, concrete[v] - 2, concrete[v] + 2)
+
+    s = fb.sign(query)
+    val = evaluate(query, concrete)
+    if s == "+":
+        assert val > 0, (s, val)
+    elif s == "-":
+        assert val < 0, (s, val)
+    elif s == "0":
+        assert val == 0, (s, val)
+    elif s == ">=0":
+        assert val >= 0, (s, val)
+    elif s == "<=0":
+        assert val <= 0, (s, val)
+    # None is always allowed (no claim)
+
+
+@given(
+    values=st.lists(st.integers(0, 50), min_size=3, max_size=8,
+                    unique=True),
+    gap=st.integers(1, 5),
+)
+@settings(max_examples=100, deadline=None)
+def test_monotone_runtime_check_matches_definition(values, gap):
+    """The interpreter-side MONOTONE verification agrees with the
+    mathematical definition used by the dependence tests."""
+    import numpy as np
+
+    from repro.assertions.lang import Monotone, _verify_one
+
+    class FakeFrame:
+        def __init__(self, arr):
+            from repro.interp.machine import ArrayStorage
+            self.arrays = {"IT": ArrayStorage(
+                "IT", np.array(arr, dtype=np.int64), (1,))}
+            self.scalars = {}
+
+    arr = sorted(values)
+    ok, _ = _verify_one(Monotone("", "IT", gap), FakeFrame(arr), None)
+    expected = all(b - a >= gap for a, b in zip(arr, arr[1:]))
+    assert ok == expected

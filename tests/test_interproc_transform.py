@@ -1,0 +1,101 @@
+"""Loop embedding and extraction (the spec77 interprocedural
+transformations), with semantic verification."""
+
+from repro.dependence import DependenceAnalyzer
+from repro.fortran import ast, print_program
+from repro.interp import verify_equivalence
+from repro.ir import AnalyzedProgram
+from repro.transform import TContext, get
+
+EMBED_SRC = ("      PROGRAM T\n      REAL F(16, 4)\n"
+             "      COMMON /G/ F\n"
+             "      DO 10 J = 1, 4\n      CALL ROW(J)\n"
+             "   10 CONTINUE\n      PRINT *, F(3, 2), F(16, 4)\n"
+             "      END\n"
+             "      SUBROUTINE ROW(J)\n      INTEGER J, I\n"
+             "      REAL F(16, 4)\n      COMMON /G/ F\n"
+             "      DO 20 I = 1, 16\n      F(I, J) = I * 100 + J\n"
+             "   20 CONTINUE\n      END\n")
+
+
+class TestEmbedding:
+    def test_embeds_and_preserves(self):
+        program = AnalyzedProgram.from_source(EMBED_SRC)
+        uir = program.unit("T")
+        li = uir.loops.find("L1")
+        ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li,
+                       params={"program": program})
+        res = get("loop_embedding").apply(ctx)
+        assert res.applied, res.advice.explain()
+        assert res.new_units and res.new_units[0].name.startswith("ROW")
+        program.ast.units.extend(res.new_units)
+        program.__init__(program.ast)
+        out = print_program(program.ast)
+        assert verify_equivalence(EMBED_SRC, out) == [], out
+        # the caller loop is gone; the new unit holds it
+        assert program.unit("T").loops.all_loops() == []
+
+    def test_multi_statement_body_refused(self):
+        src = EMBED_SRC.replace("      CALL ROW(J)\n",
+                                "      CALL ROW(J)\n      X = 1.0\n")
+        program = AnalyzedProgram.from_source(src)
+        uir = program.unit("T")
+        li = uir.loops.find("L1")
+        ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li,
+                       params={"program": program})
+        assert not get("loop_embedding").check(ctx).applicable
+
+
+class TestExtraction:
+    def test_extracts_and_preserves(self):
+        program = AnalyzedProgram.from_source(EMBED_SRC)
+        caller = program.unit("T")
+        li = caller.loops.find("L1")
+        call = [s for s in li.loop.body if isinstance(s, ast.CallStmt)][0]
+        ctx = TContext(uir=caller, analyzer=DependenceAnalyzer(caller),
+                       params={"program": program, "call": call})
+        res = get("loop_extraction").apply(ctx)
+        assert res.applied, res.advice.explain()
+        program.ast.units.extend(res.new_units)
+        program.__init__(program.ast)
+        out = print_program(program.ast)
+        assert verify_equivalence(EMBED_SRC, out) == [], out
+        # the caller now holds a two-deep nest (J outer, I inner)
+        loops = program.unit("T").loops.all_loops()
+        assert len(loops) == 2
+        assert loops[1].parent is loops[0]
+
+    def test_extraction_then_interchange(self):
+        """The spec77 goal: extract, then restructure in the caller."""
+        program = AnalyzedProgram.from_source(EMBED_SRC)
+        caller = program.unit("T")
+        li = caller.loops.find("L1")
+        call = [s for s in li.loop.body if isinstance(s, ast.CallStmt)][0]
+        ctx = TContext(uir=caller, analyzer=DependenceAnalyzer(caller),
+                       params={"program": program, "call": call})
+        res = get("loop_extraction").apply(ctx)
+        assert res.applied
+        program.ast.units.extend(res.new_units)
+        program.__init__(program.ast)
+        caller = program.unit("T")
+        outer = caller.loops.find("L1")
+        from repro.interproc import InterproceduralOracle, SummaryBuilder
+        oracle = InterproceduralOracle(SummaryBuilder(program).build())
+        ctx2 = TContext(uir=caller,
+                        analyzer=DependenceAnalyzer(caller, oracle=oracle),
+                        loop=outer, params={"program": program})
+        res2 = get("loop_interchange").apply(ctx2)
+        assert res2.applied, res2.advice.explain()
+        out = print_program(program.ast)
+        assert verify_equivalence(EMBED_SRC, out) == [], out
+
+    def test_local_bound_refused(self):
+        src = ("      PROGRAM T\n      CALL W\n      END\n"
+               "      SUBROUTINE W\n      INTEGER N, I\n      N = 5\n"
+               "      DO 10 I = 1, N\n   10 CONTINUE\n      END\n")
+        program = AnalyzedProgram.from_source(src)
+        caller = program.unit("T")
+        call = caller.unit.body[0]
+        ctx = TContext(uir=caller, analyzer=DependenceAnalyzer(caller),
+                       params={"program": program, "call": call})
+        assert not get("loop_extraction").check(ctx).applicable

@@ -1,0 +1,235 @@
+"""Symbol tables, CFG, loop tree, call graph."""
+
+import pytest
+
+from repro.fortran import ast, parse_program
+from repro.ir import (ENTRY, EXIT, AnalyzedProgram, SemanticError,
+                      basic_blocks, build_call_graph, build_cfg,
+                      build_loop_tree, build_symbol_table, dominators,
+                      immediate_dominators)
+
+
+def analyzed(src: str) -> AnalyzedProgram:
+    return AnalyzedProgram.from_source(src)
+
+
+class TestSymbolTable:
+    def test_implicit_default_typing(self):
+        u = parse_program("      SUBROUTINE T\n      X = I\n      END\n")
+        st = build_symbol_table(u.units[0])
+        assert st.lookup("I").type_name == "INTEGER"
+        assert st.lookup("X").type_name == "REAL"
+
+    def test_implicit_override(self):
+        u = parse_program("      SUBROUTINE T\n"
+                          "      IMPLICIT INTEGER (A-C)\n"
+                          "      END\n")
+        st = build_symbol_table(u.units[0])
+        assert st.implicit_type("ALPHA") == "INTEGER"
+        assert st.implicit_type("X") == "REAL"
+
+    def test_implicit_none_rejects_undeclared(self):
+        u = parse_program("      SUBROUTINE T\n      IMPLICIT NONE\n"
+                          "      END\n")
+        st = build_symbol_table(u.units[0])
+        with pytest.raises(SemanticError):
+            st.lookup("UNDECL")
+
+    def test_arrays_and_common(self):
+        src = ("      SUBROUTINE T\n"
+               "      REAL A(10, 5)\n"
+               "      COMMON /BLK/ A, S\n"
+               "      END\n")
+        st = build_symbol_table(parse_program(src).units[0])
+        a = st.get("A")
+        assert a.is_array and a.rank == 2 and a.common_block == "BLK"
+        assert st.common_blocks["BLK"] == ["A", "S"]
+
+    def test_parameter_value(self):
+        src = ("      SUBROUTINE T\n      PARAMETER (N = 5)\n      END\n")
+        st = build_symbol_table(parse_program(src).units[0])
+        assert st.get("N").storage == "parameter"
+
+    def test_arguments(self):
+        src = "      SUBROUTINE T(A, B)\n      REAL A(*)\n      END\n"
+        st = build_symbol_table(parse_program(src).units[0])
+        assert st.get("A").storage == "argument"
+        assert st.get("B").storage == "argument"
+
+    def test_function_result_symbol(self):
+        src = "      REAL FUNCTION F(X)\n      F = X\n      END\n"
+        st = build_symbol_table(parse_program(src).units[0])
+        assert st.get("F").storage == "function"
+
+
+class TestResolution:
+    def test_array_vs_function(self):
+        src = ("      SUBROUTINE T\n"
+               "      REAL A(10), Y\n"
+               "      Y = A(1) + G(2)\n"
+               "      END\n")
+        ap = analyzed(src)
+        stmt = [s for s, _ in ast.walk_stmts(ap.unit("T").unit.body)
+                if isinstance(s, ast.Assign)][0]
+        kinds = {type(n).__name__ for n in ast.walk_expr(stmt.value)}
+        assert "ArrayRef" in kinds and "FuncRef" in kinds
+
+    def test_read_target_is_arrayref(self):
+        src = ("      SUBROUTINE T\n      REAL A(5)\n"
+               "      READ *, A(1)\n      END\n")
+        ap = analyzed(src)
+        rd = [s for s, _ in ast.walk_stmts(ap.unit("T").unit.body)
+              if isinstance(s, ast.ReadStmt)][0]
+        assert isinstance(rd.items[0], ast.ArrayRef)
+
+
+class TestCFG:
+    def test_straightline(self):
+        src = "      SUBROUTINE T\n      X = 1\n      Y = 2\n      END\n"
+        cfg = build_cfg(parse_program(src).units[0])
+        assert EXIT in cfg.reachable()
+
+    def test_if_diamond(self):
+        src = ("      SUBROUTINE T\n"
+               "      IF (X .GT. 0) THEN\n      Y = 1\n"
+               "      ELSE\n      Y = 2\n      ENDIF\n"
+               "      Z = Y\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        ifb = unit.body[0]
+        assert len(cfg.succs[ifb.uid]) == 2
+
+    def test_do_loop_back_edge(self):
+        src = ("      SUBROUTINE T\n      DO 10 I = 1, 5\n"
+               "      X = I\n   10 CONTINUE\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        loop = unit.body[0]
+        cont = loop.body[-1]
+        assert loop.uid in cfg.succs[cont.uid]      # back edge
+        assert len(cfg.succs[loop.uid]) == 2        # body + exit
+
+    def test_goto_edge(self):
+        src = ("      SUBROUTINE T\n      GOTO 20\n      X = 1\n"
+               "   20 CONTINUE\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        goto, dead, cont = unit.body
+        assert cont.uid in cfg.succs[goto.uid]
+        assert dead.uid not in cfg.reachable()
+
+    def test_arith_if_three_targets(self):
+        src = ("      SUBROUTINE T\n      IF (X) 1, 2, 3\n"
+               "    1 CONTINUE\n    2 CONTINUE\n    3 CONTINUE\n"
+               "      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        aif = unit.body[0]
+        assert len(cfg.succs[aif.uid]) == 3
+
+    def test_return_to_exit(self):
+        src = ("      SUBROUTINE T\n      IF (X .GT. 0) RETURN\n"
+               "      Y = 1\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        ret = unit.body[0].stmt
+        assert cfg.succs[ret.uid] == {EXIT}
+
+    def test_dominators(self):
+        src = ("      SUBROUTINE T\n      X = 1\n"
+               "      IF (X .GT. 0) THEN\n      Y = 1\n      ENDIF\n"
+               "      Z = 1\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        first = unit.body[0]
+        dom = dominators(cfg)
+        for n in cfg.reachable():
+            if n not in (ENTRY,):
+                assert first.uid in dom[n] or n == first.uid
+
+    def test_immediate_dominators_tree(self):
+        src = ("      SUBROUTINE T\n      X = 1\n      Y = 2\n      END\n")
+        unit = parse_program(src).units[0]
+        cfg = build_cfg(unit)
+        idom = immediate_dominators(cfg)
+        assert idom[ENTRY] is None
+        x, y = unit.body
+        assert idom[y.uid] == x.uid
+
+    def test_basic_blocks_partition(self):
+        src = ("      SUBROUTINE T\n      X = 1\n      Y = 2\n"
+               "      IF (X .GT. 0) THEN\n      Z = 1\n      ENDIF\n"
+               "      END\n")
+        cfg = build_cfg(parse_program(src).units[0])
+        blocks = basic_blocks(cfg)
+        covered = [uid for b in blocks for uid in b.stmts]
+        assert sorted(covered) == sorted(set(covered))
+
+
+class TestLoopTree:
+    SRC = ("      SUBROUTINE T\n"
+           "      DO 10 I = 1, 5\n"
+           "         DO 20 J = 1, 5\n"
+           "            X = I + J\n"
+           " 20      CONTINUE\n"
+           "         Y = I\n"
+           " 10   CONTINUE\n"
+           "      DO 30 K = 1, 5\n"
+           "         Z = K\n"
+           " 30   CONTINUE\n"
+           "      END\n")
+
+    def test_structure(self):
+        tree = build_loop_tree(parse_program(self.SRC).units[0])
+        assert [li.id for li in tree.all_loops()] == ["L1", "L2", "L3"]
+        l1, l2, l3 = tree.all_loops()
+        assert l2.parent is l1 and l1.depth == 0 and l2.depth == 1
+        assert l3.parent is None
+        assert [li.id for li in tree.roots] == ["L1", "L3"]
+
+    def test_nest_vars(self):
+        tree = build_loop_tree(parse_program(self.SRC).units[0])
+        assert tree.find("L2").nest_vars() == ["I", "J"]
+
+    def test_enclosing(self):
+        unit = parse_program(self.SRC).units[0]
+        tree = build_loop_tree(unit)
+        inner_stmt = tree.find("L2").loop.body[0]
+        assert tree.enclosing(inner_stmt.uid).id == "L2"
+
+    def test_perfect_nest(self):
+        src = ("      SUBROUTINE T\n      DO I = 1, 5\n"
+               "      DO J = 1, 5\n      X = I\n      ENDDO\n"
+               "      ENDDO\n      END\n")
+        tree = build_loop_tree(parse_program(src).units[0])
+        outer = tree.find("L1")
+        assert outer.is_perfect_nest_with() is tree.find("L2")
+        # imperfect: extra statement
+        tree2 = build_loop_tree(parse_program(self.SRC).units[0])
+        assert tree2.find("L1").is_perfect_nest_with() is None
+
+
+class TestCallGraph:
+    SRC = ("      PROGRAM P\n      CALL A\n      X = F(1)\n      END\n"
+           "      SUBROUTINE A\n      CALL B\n      END\n"
+           "      SUBROUTINE B\n      END\n"
+           "      REAL FUNCTION F(X)\n      F = X\n      END\n")
+
+    def test_edges(self):
+        cg = build_call_graph(parse_program(self.SRC))
+        assert cg.callees("P") == {"A", "F"}
+        assert cg.callees("A") == {"B"}
+        assert cg.callers("B") == {"A"}
+
+    def test_reverse_topo(self):
+        cg = build_call_graph(parse_program(self.SRC))
+        order = cg.reverse_topo_order()
+        assert order.index("B") < order.index("A") < order.index("P")
+
+    def test_sites_record_loops(self):
+        src = ("      PROGRAM P\n      DO 10 I = 1, 3\n"
+               "      CALL W(I)\n   10 CONTINUE\n      END\n"
+               "      SUBROUTINE W(K)\n      END\n")
+        cg = build_call_graph(parse_program(src))
+        (site,) = cg.sites_of("W")
+        assert site.loop_uid is not None

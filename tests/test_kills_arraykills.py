@@ -1,0 +1,149 @@
+"""Scalar kill analysis and array kill (privatization) analysis."""
+
+from repro.analysis import compute_defuse, scalar_kills, symbolic_relations, \
+    invariant_names
+from repro.analysis.arraykills import array_kills, privatizable_arrays
+from repro.dependence.facts import FactBase
+from repro.ir import AnalyzedProgram
+
+
+def loop_of(src: str, unit: str = "T", which: str = "L1"):
+    u = AnalyzedProgram.from_source(src).unit(unit)
+    return u, u.loops.find(which).loop
+
+
+class TestScalarKills:
+    def test_killed_temp_is_privatizable(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL A(10), B(10)\n"
+            "      DO 10 I = 1, 10\n      T1 = A(I) * 2.0\n"
+            "      B(I) = T1\n   10 CONTINUE\n      END\n")
+        (p,) = scalar_kills(lp, u.symtab)
+        assert p.name == "T1" and not p.live_out
+
+    def test_upward_exposed_not_privatizable(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL B(10)\n      S = 0.0\n"
+            "      DO 10 I = 1, 10\n      S = S + B(I)\n"
+            "   10 CONTINUE\n      END\n")
+        assert "S" not in {p.name for p in scalar_kills(lp, u.symtab)}
+
+    def test_conditional_def_not_killed(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL A(10), B(10)\n"
+            "      DO 10 I = 1, 10\n"
+            "      IF (A(I) .GT. 0.0) T1 = A(I)\n"
+            "      B(I) = T1\n   10 CONTINUE\n      END\n")
+        assert "T1" not in {p.name for p in scalar_kills(lp, u.symtab)}
+
+    def test_killed_on_both_branches(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL A(10), B(10)\n"
+            "      DO 10 I = 1, 10\n"
+            "      IF (A(I) .GT. 0.0) THEN\n      T1 = A(I)\n"
+            "      ELSE\n      T1 = 0.0\n      ENDIF\n"
+            "      B(I) = T1\n   10 CONTINUE\n      END\n")
+        assert "T1" in {p.name for p in scalar_kills(lp, u.symtab)}
+
+    def test_live_out_flagged(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T(R)\n      REAL A(10), R\n"
+            "      DO 10 I = 1, 10\n      R = A(I)\n"
+            "   10 CONTINUE\n      END\n")
+        (p,) = [x for x in scalar_kills(lp, u.symtab) if x.name == "R"]
+        assert p.live_out
+
+    def test_inner_loop_index_private_in_outer(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL A(5, 5)\n"
+            "      DO 10 I = 1, 5\n      DO 20 J = 1, 5\n"
+            "      A(I, J) = 0.0\n   20 CONTINUE\n   10 CONTINUE\n"
+            "      END\n")
+        assert "J" in {p.name for p in scalar_kills(lp, u.symtab)}
+
+
+class TestArrayKills:
+    def test_whole_write_then_read(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL W(10), A(5, 10), B(5, 10)\n"
+            "      DO 10 I = 1, 5\n"
+            "      DO 11 J = 1, 10\n      W(J) = A(I, J)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      B(I, J) = W(J) * 2.0\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        assert "W" in privatizable_arrays(lp, u.symtab)
+
+    def test_partial_write_not_covering(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL W(10), A(5, 10), B(5, 10)\n"
+            "      DO 10 I = 1, 5\n"
+            "      DO 11 J = 2, 10\n      W(J) = A(I, J)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      B(I, J) = W(J)\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        assert "W" not in privatizable_arrays(lp, u.symtab)
+
+    def test_read_before_write_not_privatizable(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL W(10), B(5, 10)\n"
+            "      DO 10 I = 1, 5\n"
+            "      DO 11 J = 1, 10\n      B(I, J) = W(J)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      W(J) = B(I, J)\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        assert "W" not in privatizable_arrays(lp, u.symtab)
+
+    def test_conditional_write_blocks(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL W(10), A(5, 10), B(5, 10)\n"
+            "      DO 10 I = 1, 5\n"
+            "      DO 11 J = 1, 10\n"
+            "      IF (A(I, J) .GT. 0.0) W(J) = A(I, J)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      B(I, J) = W(J)\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        assert "W" not in privatizable_arrays(lp, u.symtab)
+
+    def test_adjacent_region_merge(self):
+        """The arc3d pattern: [1:JM] plus row JMAX merges to [1:JMAX]."""
+        src = ("      SUBROUTINE T\n"
+               "      JMAX = 30\n      JM = JMAX - 1\n"
+               "      REAL W(30), B(5, 30)\n"
+               "      DO 10 I = 1, 5\n"
+               "      DO 11 J = 1, JM\n      W(J) = B(I, J)\n"
+               "   11 CONTINUE\n"
+               "      W(JMAX) = W(JM)\n"
+               "      DO 12 J = 1, JMAX\n      B(I, J) = W(J)\n"
+               "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        u = AnalyzedProgram.from_source(src).unit("T")
+        lp = u.loops.find("L1").loop
+        du = compute_defuse(u.cfg, u.symtab)
+        rel = symbolic_relations(du, u.cfg, lp.uid, u.symtab)
+        inv = invariant_names(lp, u.symtab)
+        env = {k: v for k, v in rel.items()
+               if k in inv and v.variables() <= inv}
+        assert "W" in privatizable_arrays(lp, u.symtab, env=env)
+        # and without the relation it cannot be proved
+        assert "W" not in privatizable_arrays(lp, u.symtab, env={})
+
+    def test_loop_index_subscript_in_range(self):
+        """ROW(I) with I the loop variable is inside [1:N]."""
+        u, lp = loop_of(
+            "      SUBROUTINE T\n      REAL W(10), B(10, 10)\n"
+            "      DO 10 I = 1, 10\n"
+            "      DO 11 J = 1, 10\n      W(J) = B(J, I)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      B(J, I) = W(J) + W(I)\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        assert "W" in privatizable_arrays(lp, u.symtab)
+
+    def test_live_out_risk_reported(self):
+        u, lp = loop_of(
+            "      SUBROUTINE T(W)\n      REAL W(10), B(5, 10)\n"
+            "      DO 10 I = 1, 5\n"
+            "      DO 11 J = 1, 10\n      W(J) = B(I, J)\n"
+            "   11 CONTINUE\n"
+            "      DO 12 J = 1, 10\n      B(I, J) = W(J)\n"
+            "   12 CONTINUE\n   10 CONTINUE\n      END\n")
+        (res,) = [r for r in array_kills(lp, u.symtab) if r.array == "W"]
+        assert res.privatizable and res.live_out_risk

@@ -1,0 +1,104 @@
+"""Statement-field lexer."""
+
+import pytest
+
+from repro.fortran.tokens import LexError, TokKind, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_name_and_int(self):
+        assert kinds("X 12") == [(TokKind.NAME, "X"), (TokKind.INT, "12")]
+
+    def test_case_folding(self):
+        assert kinds("foo")[0] == (TokKind.NAME, "FOO")
+
+    def test_operators(self):
+        assert [v for _, v in kinds("+ - * / ( ) , = :")] == \
+            ["+", "-", "*", "/", "(", ")", ",", "=", ":"]
+
+    def test_power(self):
+        assert kinds("X ** 2")[1] == (TokKind.OP, "**")
+
+    def test_eof(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokKind.INT, "42")]
+
+    def test_real_decimal(self):
+        assert kinds("3.14") == [(TokKind.REAL, "3.14")]
+
+    def test_real_trailing_dot(self):
+        assert kinds("1.") == [(TokKind.REAL, "1.")]
+
+    def test_real_leading_dot(self):
+        assert kinds(".5") == [(TokKind.REAL, ".5")]
+
+    def test_exponent_forms(self):
+        for text in ("1E3", "1.5E-3", "2D0", "1.D0"):
+            toks = kinds(text)
+            assert toks == [(TokKind.REAL, text.upper())], text
+
+    def test_integer_dot_operator_ambiguity(self):
+        # "1.EQ.2" must lex as INT OP INT, not a real constant
+        toks = kinds("1 .EQ. 2")
+        assert toks == [(TokKind.INT, "1"), (TokKind.OP, ".EQ."),
+                        (TokKind.INT, "2")]
+        toks = kinds("1.EQ.2")
+        assert toks == [(TokKind.INT, "1"), (TokKind.OP, ".EQ."),
+                        (TokKind.INT, "2")]
+
+
+class TestDotOperators:
+    @pytest.mark.parametrize("op", [".LT.", ".LE.", ".GT.", ".GE.", ".EQ.",
+                                    ".NE.", ".AND.", ".OR.", ".NOT.",
+                                    ".EQV.", ".NEQV."])
+    def test_each(self, op):
+        assert kinds(f"A {op} B")[1] == (TokKind.OP, op)
+
+    def test_logical_constants(self):
+        assert kinds(".TRUE.")[0] == (TokKind.OP, ".TRUE.")
+        assert kinds(".FALSE.")[0] == (TokKind.OP, ".FALSE.")
+
+    def test_lowercase_dot_op(self):
+        assert kinds("a .lt. b")[1] == (TokKind.OP, ".LT.")
+
+
+class TestModernRelationals:
+    def test_mapping(self):
+        assert kinds("A < B")[1] == (TokKind.OP, ".LT.")
+        assert kinds("A <= B")[1] == (TokKind.OP, ".LE.")
+        assert kinds("A > B")[1] == (TokKind.OP, ".GT.")
+        assert kinds("A >= B")[1] == (TokKind.OP, ".GE.")
+        assert kinds("A == B")[1] == (TokKind.OP, ".EQ.")
+        assert kinds("A /= B")[1] == (TokKind.OP, ".NE.")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokKind.STRING, "hello")]
+
+    def test_double_quote(self):
+        assert kinds('"hi"') == [(TokKind.STRING, "hi")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokKind.STRING, "it's")]
+
+    def test_case_preserved_in_string(self):
+        assert kinds("'MiXeD'") == [(TokKind.STRING, "MiXeD")]
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestErrors:
+    def test_unexpected_char(self):
+        with pytest.raises(LexError):
+            tokenize("X ? Y")

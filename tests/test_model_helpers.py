@@ -1,0 +1,123 @@
+"""Dependence model helpers and transformation infrastructure."""
+
+import pytest
+
+from repro.dependence import merge_vectors
+from repro.dependence.model import (ANY, EQ, GT, LT, Mark, carrier_level,
+                                    direction_str, expand_vector,
+                                    is_forward)
+from repro.fortran import ast, parse_program
+from repro.ir import AnalyzedProgram
+from repro.transform import get, names
+from repro.transform.base import Advice, add_expr, find_owner, fresh_name, \
+    sub_expr
+
+
+class TestDirectionVectors:
+    def test_carrier_level(self):
+        assert carrier_level((LT,)) == 1
+        assert carrier_level((EQ, LT)) == 2
+        assert carrier_level((EQ, EQ)) is None
+        assert carrier_level((GT, LT)) is None
+        assert carrier_level((ANY, EQ)) == 1
+
+    def test_is_forward(self):
+        assert is_forward((LT, GT))
+        assert is_forward((EQ, EQ))
+        assert not is_forward((GT,))
+        assert not is_forward((EQ, GT))
+        assert is_forward((ANY, GT))
+
+    def test_expand_vector(self):
+        got = set(expand_vector((ANY, EQ)))
+        assert got == {(LT, EQ), (EQ, EQ), (GT, EQ)}
+
+    def test_direction_str(self):
+        assert direction_str((LT, ANY)) == "(<,*)"
+
+    def test_merge_full_product(self):
+        vectors = [(d,) for d in (LT, EQ, GT)]
+        assert merge_vectors(vectors) == [(ANY,)]
+
+    def test_merge_partial_keeps_concrete(self):
+        vectors = [(LT,), (EQ,)]
+        assert sorted(merge_vectors(vectors)) == sorted([(EQ,), (LT,)])
+
+    def test_merge_2d_product(self):
+        vectors = [(a, EQ) for a in (LT, EQ, GT)]
+        assert merge_vectors(vectors) == [(ANY, EQ)]
+
+    def test_merge_non_product_unmerged(self):
+        vectors = [(LT, EQ), (EQ, LT)]
+        assert sorted(merge_vectors(vectors)) == sorted([(EQ, LT), (LT, EQ)])
+
+
+class TestMark:
+    def test_values(self):
+        assert Mark("pending") is Mark.PENDING
+        assert str(Mark.PROVEN) == "proven"
+
+
+class TestTransformBase:
+    def test_find_owner_nested(self):
+        src = ("      SUBROUTINE T\n      DO 10 I = 1, 5\n"
+               "      IF (I .GT. 2) THEN\n      X = I\n      ENDIF\n"
+               "   10 CONTINUE\n      END\n")
+        unit = parse_program(src).units[0]
+        ifb = unit.body[0].body[0]
+        target = ifb.then_body[0]
+        owner, idx = find_owner(unit.body, target)
+        assert owner is ifb.then_body and idx == 0
+
+    def test_find_owner_missing(self):
+        unit = parse_program("      SUBROUTINE T\n      X = 1\n"
+                             "      END\n").units[0]
+        stray = ast.Continue()
+        assert find_owner(unit.body, stray) is None
+
+    def test_fresh_name_avoids_collisions(self):
+        taken = {"TX1", "TX2"}
+        name = fresh_name("T", taken)
+        assert name not in taken and name.startswith("TX")
+
+    def test_expr_helpers_fold(self):
+        one = ast.IntConst(1)
+        two = ast.IntConst(2)
+        assert add_expr(one, two).value == 3
+        assert sub_expr(two, one).value == 1
+        x = ast.VarRef("X")
+        assert add_expr(x, ast.IntConst(0)) is x
+        assert str(add_expr(x, ast.IntConst(-3))) == "X - 3"
+
+    def test_advice_explain(self):
+        a = Advice(True, False, False, ["blocked by recurrence"])
+        text = a.explain()
+        assert "applicable" in text and "NOT safe" in text
+        assert "blocked by recurrence" in text
+        assert not a.ok
+        assert Advice.yes().ok
+
+    def test_registry_complete(self):
+        # every registered transformation instantiates and has metadata
+        for n in names():
+            t = get(n)
+            assert t.name == n and t.category
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError):
+            get("no_such_transform")
+
+    def test_apply_refused_does_not_mutate(self):
+        src = ("      PROGRAM T\n      REAL A(10)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 10\n      A(I) = A(I - 1)\n"
+               "   10 CONTINUE\n      PRINT *, A(10)\n      END\n")
+        program = AnalyzedProgram.from_source(src)
+        from repro.dependence import DependenceAnalyzer
+        from repro.transform import TContext
+        uir = program.unit("T")
+        before = program.source()
+        ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir),
+                       loop=uir.loops.find("L1"))
+        res = get("parallelize").apply(ctx)
+        assert not res.applied
+        assert program.source() == before

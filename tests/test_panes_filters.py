@@ -1,0 +1,155 @@
+"""Pane models and view-filter predicates."""
+
+from repro.dependence.model import Dependence, DepType, Mark, Reference
+from repro.ped import DependenceFilter, PedSession, SourceFilter, \
+    VariableFilter
+
+SRC = """\
+      PROGRAM P
+      INTEGER I, N
+      REAL A(20), B(20)
+      N = 20
+      DO 10 I = 2, N
+         A(I) = A(I - 1) + B(I)
+ 10   CONTINUE
+      PRINT *, A(N)
+      END
+"""
+
+
+def mk_dep(var="A", dtype=DepType.TRUE, vector=("<",), mark=Mark.PENDING,
+           src_line=6, snk_line=6, reason=""):
+    level = 1 if "<" in vector or "*" in vector else None
+    return Dependence(
+        dtype=dtype,
+        source=Reference(var, 1, src_line, True, f"{var}(I)"),
+        sink=Reference(var, 2, snk_line, False, f"{var}(I - 1)"),
+        vector=vector, level=level, mark=mark, reason=reason)
+
+
+class TestSourcePane:
+    def test_lines_have_ordinals_and_loop_markers(self):
+        s = PedSession(SRC)
+        lines = s.source_pane.lines()
+        ordinals = [ln.ordinal for ln in lines]
+        assert ordinals == sorted(ordinals)
+        assert any(ln.is_loop for ln in lines)
+        assert any(ln.label == 10 for ln in lines)
+
+    def test_ordinal_of_statement(self):
+        s = PedSession(SRC)
+        loop = s.loops()[0].loop
+        body_uid = loop.body[0].uid
+        assert s.source_pane.ordinal_of(body_uid) is not None
+
+    def test_filter_conceals(self):
+        s = PedSession(SRC)
+        s.source_pane.filter = SourceFilter(contains="PRINT")
+        visible = s.source_pane.visible()
+        assert len(visible) == 1 and "PRINT" in visible[0].text
+
+    def test_line_range_filter(self):
+        s = PedSession(SRC)
+        s.source_pane.filter = SourceFilter(line_range=(1, 3))
+        assert all(ln.ordinal <= 3 for ln in s.source_pane.visible())
+
+    def test_custom_predicate(self):
+        s = PedSession(SRC)
+        s.source_pane.filter = SourceFilter(
+            predicate=lambda info: "A(" in info["text"])
+        assert all("A(" in ln.text for ln in s.source_pane.visible())
+
+
+class TestDependenceFilter:
+    def test_type_filter(self):
+        f = DependenceFilter(dtype="true")
+        assert f.matches(mk_dep(dtype=DepType.TRUE))
+        assert not f.matches(mk_dep(dtype=DepType.ANTI))
+
+    def test_var_filter_case_insensitive(self):
+        f = DependenceFilter(var="a")
+        assert f.matches(mk_dep(var="A"))
+
+    def test_carried_and_level(self):
+        f = DependenceFilter(carried=True, level=1)
+        assert f.matches(mk_dep(vector=("<",)))
+        assert not f.matches(mk_dep(vector=("=",)))
+
+    def test_mark_filter(self):
+        assert DependenceFilter.pending_only().matches(mk_dep())
+        assert not DependenceFilter.pending_only().matches(
+            mk_dep(mark=Mark.PROVEN))
+
+    def test_endpoint_text(self):
+        f = DependenceFilter(source_contains="A(I)")
+        assert f.matches(mk_dep())
+        f2 = DependenceFilter(sink_contains="I - 1")
+        assert f2.matches(mk_dep())
+
+    def test_line_range(self):
+        f = DependenceFilter(line_range=(5, 7))
+        assert f.matches(mk_dep(src_line=6))
+        assert not f.matches(mk_dep(src_line=2, snk_line=3))
+
+    def test_reason_filter(self):
+        f = DependenceFilter(reason_contains="symbolic")
+        assert f.matches(mk_dep(reason="symbolic term(s): M"))
+        assert not f.matches(mk_dep(reason="exact test"))
+
+
+class TestDependencePane:
+    def test_selection_survives_refresh_of_same_deps(self):
+        s = PedSession(SRC)
+        s.select_loop("L1")
+        deps = s.dependence_pane.dependences
+        s.dependence_pane.select(deps[0])
+        assert deps[0] in s.dependence_pane.selected()
+        s.dependence_pane.clear_selection()
+        assert s.dependence_pane.selected() == []
+
+    def test_render_columns(self):
+        s = PedSession(SRC)
+        s.select_loop("L1")
+        text = s.dependence_pane.render()
+        for col in ("TYPE", "SOURCE", "SINK", "VECTOR", "MARK"):
+            assert col in text
+
+    def test_empty_render(self):
+        from repro.ped.panes import DependencePane
+        assert "no dependences" in DependencePane().render()
+
+
+class TestVariableFilter:
+    ROW = {"name": "COEFF", "dim": 2, "block": "BLK", "kind": "shared",
+           "defs": [3], "uses": [5], "reason": ""}
+
+    def test_kind(self):
+        assert VariableFilter(kind="shared").matches(self.ROW)
+        assert not VariableFilter(kind="private").matches(self.ROW)
+
+    def test_dim(self):
+        assert VariableFilter(dim=2).matches(self.ROW)
+        assert not VariableFilter(dim=1).matches(self.ROW)
+
+    def test_common_block(self):
+        assert VariableFilter(common_block="blk").matches(self.ROW)
+
+    def test_shared_arrays_predefined(self):
+        assert VariableFilter.shared_arrays().matches(self.ROW)
+        scalar = dict(self.ROW, dim=0)
+        assert not VariableFilter.shared_arrays().matches(scalar)
+
+
+class TestVariablePane:
+    def test_defs_uses_outside_loop_listed(self):
+        s = PedSession(SRC)
+        s.select_loop("L1")
+        rows = {r["name"]: r for r in s.variable_pane.rows()}
+        # A is used after the loop (PRINT): its USE> column shows a line
+        assert rows["A"]["uses"], rows["A"]
+        assert rows["N"]["defs"], rows["N"]
+
+    def test_render_contains_kind(self):
+        s = PedSession(SRC)
+        s.select_loop("L1")
+        assert "shared" in s.variable_pane.render()

@@ -1,0 +1,108 @@
+"""Adversarial parallelization fuzzing.
+
+Bodies here include offset array accesses (A(I-1), A(I+2), ...) that
+create genuine carried dependences in many combinations.  The property:
+whenever the analyzer approves parallelization, the fork-join simulation
+of the parallel loop produces observable state identical to sequential
+execution.  A single wrong approval fails loudly.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dependence import DependenceAnalyzer
+from repro.fortran import print_program
+from repro.interp import verify_equivalence
+from repro.ir import AnalyzedProgram
+from repro.transform import TContext, get
+
+STMTS = (
+    "A(I) = B(I) + 1.0",
+    "A(I) = A(I - 1) * 0.5",
+    "A(I + 1) = B(I)",
+    "B(I) = A(I + 2)",
+    "B(I) = A(I) - B(I)",
+    "T = B(I) * 2.0",
+    "A(I) = T + A(I)",
+    "S = S + A(I)",
+    "A(I) = A(41 - I)",
+    "B(I) = B(I - 2) + T",
+)
+
+
+def make_program(stmt_idx, lo, hi):
+    body = "\n".join(f"         {STMTS[i]}" for i in stmt_idx)
+    return (
+        "      PROGRAM F\n"
+        "      INTEGER I, N\n"
+        "      REAL A(44), B(44), S, T\n"
+        "      S = 0.0\n"
+        "      T = 1.0\n"
+        "      DO 5 I = 1, 44\n"
+        "         A(I) = I * 0.25\n"
+        "         B(I) = 44.0 - I\n"
+        "    5 CONTINUE\n"
+        f"      DO 10 I = {lo}, {hi}\n"
+        f"{body}\n"
+        "   10 CONTINUE\n"
+        "      PRINT *, S, T, A(3), A(21), A(40), B(3), B(21), B(40)\n"
+        "      END\n")
+
+
+cases = st.tuples(
+    st.lists(st.integers(0, len(STMTS) - 1), min_size=1, max_size=5),
+    st.integers(3, 6),
+    st.integers(7, 40),
+)
+
+
+@given(case=cases)
+@settings(max_examples=120, deadline=None)
+def test_approved_parallelization_is_always_correct(case):
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("F")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li)
+    t = get("parallelize")
+    if not t.check(ctx).ok:
+        return
+    assert t.apply(ctx).applied
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out
+
+
+@given(case=cases, factor=st.integers(2, 5))
+@settings(max_examples=60, deadline=None)
+def test_unrolling_always_correct_on_adversarial_bodies(case, factor):
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("F")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li,
+                   params={"factor": factor})
+    t = get("loop_unrolling")
+    if not t.check(ctx).ok:
+        return
+    assert t.apply(ctx).applied
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out
+
+
+@given(case=cases)
+@settings(max_examples=60, deadline=None)
+def test_distribution_always_correct_on_adversarial_bodies(case):
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("F")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li)
+    t = get("loop_distribution")
+    if not t.check(ctx).ok:
+        return
+    assert t.apply(ctx).applied
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out

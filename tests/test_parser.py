@@ -1,0 +1,300 @@
+"""Statement parsing and block structuring."""
+
+import pytest
+
+from repro.fortran import ParseError, ast, parse_program
+from repro.fortran.parser import parse_expr_text
+
+
+def unit_of(body_text: str) -> ast.ProgramUnit:
+    src = "      SUBROUTINE T\n" + body_text + "      END\n"
+    return parse_program(src).units[0]
+
+
+def first_stmt(body_text: str) -> ast.Stmt:
+    return unit_of(body_text).body[0]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expr_text("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_power_right_assoc(self):
+        e = parse_expr_text("2 ** 3 ** 2")
+        assert e.op == "**" and isinstance(e.right, ast.BinOp)
+        assert e.right.op == "**"
+
+    def test_unary_minus_binds_tighter_than_mult_left(self):
+        e = parse_expr_text("-A * B")
+        assert isinstance(e, ast.BinOp) and e.op == "*"
+        assert isinstance(e.left, ast.UnOp)
+
+    def test_unary_minus_power(self):
+        # -A**2 is -(A**2)
+        e = parse_expr_text("-A ** 2")
+        assert isinstance(e, ast.UnOp) and isinstance(e.operand, ast.BinOp)
+
+    def test_relational_and_logical(self):
+        e = parse_expr_text("A .LT. B .AND. C .GE. D")
+        assert e.op == ".AND."
+        assert e.left.op == ".LT." and e.right.op == ".GE."
+
+    def test_not_precedence(self):
+        e = parse_expr_text(".NOT. A .EQ. B")
+        assert isinstance(e, ast.UnOp) and e.op == ".NOT."
+        assert e.operand.op == ".EQ."
+
+    def test_name_with_args(self):
+        e = parse_expr_text("A(I, J + 1)")
+        assert isinstance(e, ast.NameRef) and len(e.args) == 2
+
+    def test_intrinsic_classified(self):
+        e = parse_expr_text("MAX(A, B)")
+        assert isinstance(e, ast.FuncRef) and e.intrinsic
+
+    def test_parenthesized(self):
+        e = parse_expr_text("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("1 + 2 3")
+
+
+class TestStatements:
+    def test_assignment(self):
+        s = first_stmt("      X = 1\n")
+        assert isinstance(s, ast.Assign)
+
+    def test_array_assignment(self):
+        s = first_stmt("      A(I) = 0\n")
+        assert isinstance(s.target, ast.NameRef)
+
+    def test_goto(self):
+        s = first_stmt("      GOTO 10\n   10 CONTINUE\n")
+        assert isinstance(s, ast.Goto) and s.target == 10
+
+    def test_go_to_two_words(self):
+        s = first_stmt("      GO TO 10\n   10 CONTINUE\n")
+        assert isinstance(s, ast.Goto)
+
+    def test_computed_goto(self):
+        s = first_stmt("      GOTO (10, 20), K\n"
+                       "   10 CONTINUE\n   20 CONTINUE\n")
+        assert isinstance(s, ast.ComputedGoto) and s.targets == [10, 20]
+
+    def test_arith_if(self):
+        s = first_stmt("      IF (X) 1, 2, 3\n"
+                       "    1 CONTINUE\n    2 CONTINUE\n    3 CONTINUE\n")
+        assert isinstance(s, ast.ArithIf)
+        assert (s.neg_label, s.zero_label, s.pos_label) == (1, 2, 3)
+
+    def test_logical_if(self):
+        s = first_stmt("      IF (X .GT. 0) Y = 1\n")
+        assert isinstance(s, ast.LogicalIf)
+        assert isinstance(s.stmt, ast.Assign)
+
+    def test_logical_if_goto(self):
+        s = first_stmt("      IF (X .GT. 0) GOTO 5\n    5 CONTINUE\n")
+        assert isinstance(s.stmt, ast.Goto)
+
+    def test_logical_if_cannot_hold_do(self):
+        with pytest.raises(ParseError):
+            parse_program("      SUBROUTINE T\n"
+                          "      IF (X) DO 1 I = 1, 2\n"
+                          "    1 CONTINUE\n      END\n")
+
+    def test_call_with_args(self):
+        s = first_stmt("      CALL FOO(X, 1)\n")
+        assert isinstance(s, ast.CallStmt) and len(s.args) == 2
+
+    def test_call_no_args(self):
+        s = first_stmt("      CALL FOO\n")
+        assert isinstance(s, ast.CallStmt) and s.args == ()
+
+    def test_return_stop(self):
+        u = unit_of("      RETURN\n      STOP\n")
+        assert isinstance(u.body[0], ast.Return)
+        assert isinstance(u.body[1], ast.Stop)
+
+    def test_print(self):
+        s = first_stmt("      PRINT *, X, Y\n")
+        assert isinstance(s, ast.WriteStmt) and len(s.items) == 2
+
+    def test_write_unit(self):
+        s = first_stmt("      WRITE (6) X\n")
+        assert isinstance(s, ast.WriteStmt) and s.unit == "6"
+
+    def test_read_star(self):
+        s = first_stmt("      READ *, N\n")
+        assert isinstance(s, ast.ReadStmt)
+
+
+class TestDeclarations:
+    def test_typed_arrays(self):
+        s = first_stmt("      REAL A(10, 20), B\n")
+        assert isinstance(s, ast.TypeDecl)
+        assert s.entities[0].dims and not s.entities[1].dims
+
+    def test_double_precision(self):
+        s = first_stmt("      DOUBLE PRECISION D\n")
+        assert s.type_name == "DOUBLEPRECISION"
+
+    def test_dimension(self):
+        s = first_stmt("      DIMENSION A(5)\n")
+        assert isinstance(s, ast.DimensionStmt)
+
+    def test_lower_bound_dims(self):
+        s = first_stmt("      REAL A(0:9)\n")
+        d = s.entities[0].dims[0]
+        assert isinstance(d.lower, ast.IntConst) and d.lower.value == 0
+
+    def test_assumed_size(self):
+        s = first_stmt("      REAL A(*)\n")
+        assert s.entities[0].dims[0].upper is None
+
+    def test_parameter(self):
+        s = first_stmt("      PARAMETER (N = 10, M = 20)\n")
+        assert isinstance(s, ast.ParameterStmt) and len(s.defs) == 2
+
+    def test_common_named(self):
+        s = first_stmt("      COMMON /BLK/ A, B\n")
+        assert s.blocks_[0][0] == "BLK"
+        assert [e.name for e in s.blocks_[0][1]] == ["A", "B"]
+
+    def test_common_blank(self):
+        s = first_stmt("      COMMON X\n")
+        assert s.blocks_[0][0] == ""
+
+    def test_common_multi_block(self):
+        s = first_stmt("      COMMON /A/ X /B/ Y\n")
+        assert [b[0] for b in s.blocks_] == ["A", "B"]
+
+    def test_data(self):
+        s = first_stmt("      DATA X, Y /1.0, 2.0/\n")
+        assert isinstance(s, ast.DataStmt)
+        assert len(s.groups[0][1]) == 2
+
+    def test_data_repeat(self):
+        s = first_stmt("      DATA A /3*0.0/\n")
+        assert len(s.groups[0][1]) == 3
+
+    def test_implicit_none(self):
+        s = first_stmt("      IMPLICIT NONE\n")
+        assert isinstance(s, ast.ImplicitStmt) and s.rules is None
+
+    def test_implicit_ranges(self):
+        s = first_stmt("      IMPLICIT REAL (A-H, O-Z)\n")
+        assert s.rules[0][0] == "REAL"
+        assert s.rules[0][1] == [("A", "H"), ("O", "Z")]
+
+    def test_save_external(self):
+        u = unit_of("      SAVE X\n      EXTERNAL F\n")
+        assert isinstance(u.body[0], ast.SaveStmt)
+        assert isinstance(u.body[1], ast.ExternalStmt)
+
+    def test_character_length(self):
+        s = first_stmt("      CHARACTER*8 NAME\n")
+        assert s.length.value == 8
+
+
+class TestDoLoops:
+    def test_enddo_form(self):
+        u = unit_of("      DO I = 1, 10\n      X = I\n      ENDDO\n")
+        lp = u.body[0]
+        assert isinstance(lp, ast.DoLoop) and lp.term_label is None
+        assert len(lp.body) == 1
+
+    def test_label_form(self):
+        u = unit_of("      DO 10 I = 1, 10\n      X = I\n"
+                    "   10 CONTINUE\n")
+        lp = u.body[0]
+        assert lp.term_label == 10
+        assert isinstance(lp.body[-1], ast.Continue)
+
+    def test_label_form_with_comma(self):
+        u = unit_of("      DO 10, I = 1, 10\n   10 CONTINUE\n")
+        assert u.body[0].term_label == 10
+
+    def test_step(self):
+        u = unit_of("      DO I = 10, 1, -1\n      ENDDO\n")
+        assert isinstance(u.body[0].step, ast.UnOp)
+
+    def test_shared_terminal_label(self):
+        u = unit_of("      DO 10 I = 1, 5\n      DO 10 J = 1, 5\n"
+                    "      X = I + J\n   10 CONTINUE\n")
+        outer = u.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, ast.DoLoop)
+        assert outer.term_label == inner.term_label == 10
+        assert len(u.body) == 1
+
+    def test_terminal_on_assignment(self):
+        u = unit_of("      DO 5 I = 1, 3\n    5 X = X + I\n")
+        lp = u.body[0]
+        assert isinstance(lp.body[-1], ast.Assign)
+
+    def test_unterminated_do(self):
+        with pytest.raises(ParseError):
+            parse_program("      SUBROUTINE T\n      DO I = 1, 2\n"
+                          "      END\n")
+
+    def test_parallel_do_with_private(self):
+        u = unit_of("      PARALLEL DO I = 1, 4 PRIVATE(T, S)\n"
+                    "      T = I\n      ENDDO\n")
+        lp = u.body[0]
+        assert lp.parallel and lp.private_vars == {"T", "S"}
+
+
+class TestIfBlocks:
+    def test_then_else(self):
+        u = unit_of("      IF (X .GT. 0) THEN\n      Y = 1\n"
+                    "      ELSE\n      Y = 2\n      ENDIF\n")
+        b = u.body[0]
+        assert isinstance(b, ast.IfBlock)
+        assert len(b.then_body) == 1 and len(b.else_body) == 1
+
+    def test_elseif_chain(self):
+        u = unit_of("      IF (X .GT. 0) THEN\n      Y = 1\n"
+                    "      ELSE IF (X .LT. 0) THEN\n      Y = 2\n"
+                    "      ELSE\n      Y = 3\n      END IF\n")
+        b = u.body[0]
+        assert len(b.elifs) == 1 and len(b.else_body) == 1
+
+    def test_nested(self):
+        u = unit_of("      IF (A) THEN\n      IF (B) THEN\n      X = 1\n"
+                    "      ENDIF\n      ENDIF\n")
+        assert isinstance(u.body[0].then_body[0], ast.IfBlock)
+
+    def test_unterminated_if(self):
+        with pytest.raises(ParseError):
+            parse_program("      SUBROUTINE T\n      IF (A) THEN\n"
+                          "      END\n")
+
+    def test_else_outside_if(self):
+        with pytest.raises(ParseError):
+            parse_program("      SUBROUTINE T\n      ELSE\n      END\n")
+
+
+class TestProgramUnits:
+    def test_multiple_units(self):
+        src = ("      PROGRAM P\n      END\n"
+               "      SUBROUTINE S(A)\n      END\n"
+               "      REAL FUNCTION F(X)\n      F = X\n      END\n")
+        prog = parse_program(src)
+        kinds = [(u.kind, u.name) for u in prog.units]
+        assert kinds == [("program", "P"), ("subroutine", "S"),
+                         ("function", "F")]
+        assert prog.units[2].result_type == "REAL"
+
+    def test_implicit_main(self):
+        prog = parse_program("      X = 1\n      END\n")
+        assert prog.units[0].kind == "program"
+
+    def test_unit_lookup(self):
+        prog = parse_program("      PROGRAM P\n      END\n")
+        assert prog.unit("p").name == "P"
+        with pytest.raises(KeyError):
+            prog.unit("NOPE")

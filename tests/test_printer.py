@@ -1,0 +1,110 @@
+"""Pretty-printer: formatting and parse/print round trips."""
+
+import pytest
+
+from repro.corpus import PROGRAMS
+from repro.fortran import ast, parse_program, print_program, print_stmt
+
+
+def roundtrip(src: str) -> None:
+    p1 = parse_program(src)
+    out1 = print_program(p1)
+    p2 = parse_program(out1)
+    out2 = print_program(p2)
+    assert out1 == out2
+
+
+class TestFormatting:
+    def test_fixed_form_columns(self):
+        s = ast.Assign(target=ast.VarRef("X"), value=ast.IntConst(1),
+                       label=10)
+        line = print_stmt(s)[0]
+        assert line.startswith("10   ")
+        assert line[5] == " "
+
+    def test_long_line_wrapped_with_continuation(self):
+        terms = ast.VarRef("A0")
+        for i in range(1, 25):
+            terms = ast.BinOp("+", terms, ast.VarRef(f"LONGNAME{i}"))
+        s = ast.Assign(target=ast.VarRef("X"), value=terms)
+        text = "\n".join(print_stmt(s))
+        lines = text.splitlines()
+        assert len(lines) > 1
+        for cont in lines[1:]:
+            assert cont[5] == "&"
+        # and it reparses
+        src = "      SUBROUTINE T\n" + text + "\n      END\n"
+        parse_program(src)
+
+    def test_operator_parens(self):
+        e = ast.BinOp("*", ast.BinOp("+", ast.VarRef("A"), ast.VarRef("B")),
+                      ast.VarRef("C"))
+        assert str(e) == "(A + B) * C"
+
+    def test_right_assoc_parens(self):
+        e = ast.BinOp("-", ast.VarRef("A"),
+                      ast.BinOp("-", ast.VarRef("B"), ast.VarRef("C")))
+        assert str(e) == "A - (B - C)"
+
+    def test_parallel_do(self):
+        src = ("      SUBROUTINE T\n"
+               "      PARALLEL DO I = 1, 4 PRIVATE(X)\n"
+               "      X = I\n      ENDDO\n      END\n")
+        out = print_program(parse_program(src))
+        assert "PARALLEL DO" in out and "PRIVATE(X)" in out
+
+
+class TestRoundTrips:
+    def test_kitchen_sink(self):
+        roundtrip("""
+      PROGRAM MAIN
+      IMPLICIT NONE
+      INTEGER I, J, N
+      REAL A(10), B(0:9), S
+      DOUBLE PRECISION D
+      CHARACTER*4 TAG
+      PARAMETER (N = 10)
+      COMMON /BLK/ A
+      DATA S /0.0/
+      DO 10 I = 1, N
+         IF (A(I) .GT. 0.0) THEN
+            S = S + A(I)
+         ELSE IF (A(I) .LT. 0.0) THEN
+            S = S - A(I)
+         ELSE
+            S = S * 0.5
+         ENDIF
+ 10   CONTINUE
+      IF (S) 20, 30, 30
+ 20   S = -S
+ 30   CONTINUE
+      PRINT *, S
+      END
+""")
+
+    def test_goto_loop(self):
+        roundtrip("""
+      SUBROUTINE G
+      INTEGER I
+      I = 1
+ 10   CONTINUE
+      I = I + 1
+      IF (I .LT. 5) GOTO 10
+      END
+""")
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_corpus_round_trips(self, name):
+        roundtrip(PROGRAMS[name].source)
+
+    def test_shared_terminal_label_roundtrip(self):
+        roundtrip("""
+      SUBROUTINE S(A, N)
+      INTEGER N, I, J
+      REAL A(N, N)
+      DO 10 I = 1, N
+         DO 10 J = 1, N
+            A(I, J) = 0.0
+ 10   CONTINUE
+      END
+""")

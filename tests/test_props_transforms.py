@@ -1,0 +1,110 @@
+"""Property-based semantic preservation: random loop programs survive
+the always-safe transformations unchanged in behaviour."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dependence import DependenceAnalyzer
+from repro.fortran import print_program
+from repro.interp import verify_equivalence
+from repro.ir import AnalyzedProgram
+from repro.transform import TContext, get
+
+# Random straight-line loop bodies over arrays A,B and scalars S,T.
+STMTS = (
+    "A(I) = I * 2.0",
+    "B(I) = A(I) + 1.0",
+    "T = A(I) * 0.5",
+    "B(I) = B(I) + T",
+    "A(I) = A(I) + B(I)",
+    "S = S + B(I)",
+)
+
+
+def make_program(stmt_idx, lo, hi):
+    body = "\n".join(f"         {STMTS[i]}" for i in stmt_idx)
+    return (
+        "      PROGRAM T\n"
+        "      REAL A(40), B(40), S, T\n"
+        "      S = 0.0\n"
+        "      T = 0.0\n"
+        "      DO 5 I = 1, 40\n"
+        "         A(I) = I * 0.1\n"
+        "         B(I) = 40.0 - I\n"
+        "    5 CONTINUE\n"
+        f"      DO 10 I = {lo}, {hi}\n"
+        f"{body}\n"
+        "   10 CONTINUE\n"
+        "      PRINT *, S, T, A(1), A(20), B(20)\n"
+        "      END\n")
+
+
+program_cases = st.tuples(
+    st.lists(st.integers(0, len(STMTS) - 1), min_size=1, max_size=4),
+    st.integers(1, 5),
+    st.integers(5, 40),
+)
+
+SAFE_ALWAYS = (
+    ("loop_unrolling", {"factor": 3}),
+    ("strip_mining", {"size": 4}),
+    ("loop_peeling", {"iterations": 2}),
+    ("loop_splitting", {"at": 10}),
+)
+
+
+@given(case=program_cases,
+       which=st.integers(0, len(SAFE_ALWAYS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_order_preserving_transforms_preserve_semantics(case, which):
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    name, params = SAFE_ALWAYS[which]
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("T")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li,
+                   params=dict(params))
+    res = get(name).apply(ctx)
+    if not res.applied:
+        return  # advice refused: nothing to verify
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], (name, out)
+
+
+@given(case=program_cases)
+@settings(max_examples=30, deadline=None)
+def test_advised_safe_distribution_preserves_semantics(case):
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("T")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li)
+    t = get("loop_distribution")
+    if not t.check(ctx).ok:
+        return
+    res = t.apply(ctx)
+    assert res.applied
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out
+
+
+@given(case=program_cases)
+@settings(max_examples=30, deadline=None)
+def test_advised_safe_parallelization_preserves_semantics(case):
+    """If the analyzer says a loop is safe to parallelize, the fork-join
+    simulation must produce identical observable state."""
+    stmt_idx, lo, hi = case
+    src = make_program(stmt_idx, lo, hi)
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit("T")
+    li = uir.loops.find("L2")
+    ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir), loop=li)
+    t = get("parallelize")
+    if not t.check(ctx).ok:
+        return
+    res = t.apply(ctx)
+    assert res.applied
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out

@@ -1,0 +1,101 @@
+"""End-to-end property: random structured programs survive the
+parse -> print -> parse round trip *behaviourally* (both versions run to
+identical observable state)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fortran import parse_program, print_program
+from repro.interp import run_program, verify_equivalence
+
+EXPRS = ("I", "I + 1", "2 * I - 1", "N - I", "A(I)", "A(I) + B(I)",
+         "MOD(I, 3)", "MAX(I, 2)")
+
+ASSIGNS = ("A(I) = {e}", "B(I) = {e}", "S = S + {e}", "T = {e}")
+
+CONDS = ("I .GT. N / 2", "A(I) .GT. 0.0", "MOD(I, 2) .EQ. 0")
+
+
+@st.composite
+def bodies(draw, depth=1):
+    n = draw(st.integers(1, 3))
+    stmts = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 2 if depth > 0 else 1))
+        if kind == 0:
+            tpl = draw(st.sampled_from(ASSIGNS))
+            e = draw(st.sampled_from(EXPRS))
+            stmts.append([tpl.format(e=e)])
+        elif kind == 1:
+            cond = draw(st.sampled_from(CONDS))
+            tpl = draw(st.sampled_from(ASSIGNS))
+            e = draw(st.sampled_from(EXPRS))
+            stmts.append([f"IF ({cond}) {tpl.format(e=e)}"])
+        else:
+            cond = draw(st.sampled_from(CONDS))
+            then = draw(bodies(depth=depth - 1))
+            els = draw(bodies(depth=depth - 1))
+            block = [f"IF ({cond}) THEN"]
+            block += ["   " + line for grp in then for line in grp]
+            block += ["ELSE"]
+            block += ["   " + line for grp in els for line in grp]
+            block += ["ENDIF"]
+            stmts.append(block)
+    return stmts
+
+
+@st.composite
+def programs(draw):
+    body = draw(bodies(depth=2))
+    lo = draw(st.integers(1, 3))
+    hi = draw(st.integers(3, 12))
+    lines = [
+        "      PROGRAM R",
+        "      INTEGER I, N",
+        "      REAL A(20), B(20), S, T",
+        f"      N = {hi}",
+        "      S = 0.0",
+        "      T = 0.0",
+        "      DO 5 I = 1, 20",
+        "         A(I) = I * 0.5",
+        "         B(I) = 20.0 - I",
+        "    5 CONTINUE",
+        f"      DO 10 I = {lo}, N",
+    ]
+    for grp in body:
+        for line in grp:
+            lines.append("         " + line)
+    lines += [
+        "   10 CONTINUE",
+        "      PRINT *, S, T, A(5), B(5)",
+        "      END",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+@given(src=programs())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_behaviour_identical(src):
+    printed = print_program(parse_program(src))
+    assert verify_equivalence(src, printed) == [], printed
+
+
+@given(src=programs())
+@settings(max_examples=40, deadline=None)
+def test_double_roundtrip_fixpoint(src):
+    once = print_program(parse_program(src))
+    twice = print_program(parse_program(once))
+    assert once == twice
+
+
+@given(src=programs())
+@settings(max_examples=25, deadline=None)
+def test_analysis_never_crashes_on_random_programs(src):
+    """Robustness: the whole analysis stack runs on anything the
+    generator produces."""
+    from repro.ped import PedSession
+    s = PedSession(src)
+    for li in s.loops():
+        s.select_loop(li)
+        s.dependences()
+        s.safe_transformations()

@@ -1,0 +1,249 @@
+"""The PED session: panes, progressive disclosure, filtering, marking,
+classification, power steering, assertions, editing, rendering."""
+
+import pytest
+
+from repro.dependence import Mark
+from repro.ped import DependenceFilter, PedSession, SourceFilter, \
+    VariableFilter
+
+SRC = """\
+      PROGRAM DEMO
+      INTEGER I, N
+      REAL A(50), B(50), S, T
+      N = 50
+      DO 10 I = 1, N
+         T = A(I) * 2.0
+         B(I) = T + 1.0
+ 10   CONTINUE
+      S = 0.0
+      DO 20 I = 2, N
+         A(I) = A(I - 1) + B(I)
+         S = S + A(I)
+ 20   CONTINUE
+      PRINT *, S
+      END
+"""
+
+
+@pytest.fixture
+def session():
+    return PedSession(SRC)
+
+
+class TestNavigation:
+    def test_units_and_loops(self, session):
+        assert session.units() == ["DEMO"]
+        assert [li.id for li in session.loops()] == ["L1", "L2"]
+
+    def test_select_loop_populates_panes(self, session):
+        session.select_loop("L2")
+        assert session.dependence_pane.dependences
+        names = {r["name"] for r in session.variable_pane.rows()}
+        assert {"A", "B", "S"} <= names
+
+    def test_progressive_disclosure_switches(self, session):
+        session.select_loop("L1")
+        first = list(session.dependence_pane.dependences)
+        session.select_loop("L2")
+        second = list(session.dependence_pane.dependences)
+        assert first != second
+
+    def test_hot_loops(self, session):
+        ranked = session.hot_loops()
+        assert ranked and ranked[0].loop.id in ("L1", "L2")
+
+    def test_find_references(self, session):
+        refs = session.find_references("S")
+        assert len(refs) >= 2
+
+    def test_event_log_features(self, session):
+        session.select_loop("L1")
+        session.hot_loops()
+        assert "program navigation" in session.features_used()
+
+
+class TestDependenceEditing:
+    def test_marks_persist_across_reanalysis(self, session):
+        session.select_loop("L2")
+        dep = [d for d in session.dependences()
+               if d.mark is Mark.PENDING][0]
+        session.mark_dependence(dep, Mark.REJECTED, "user knows better")
+        # force re-analysis via re-selection
+        session.select_loop("L1")
+        deps = session.select_loop("L2").dependences
+        deps = session.dependences()
+        rejected = [d for d in deps if d.mark is Mark.REJECTED]
+        assert rejected and rejected[0].reason == "user knows better"
+
+    def test_cannot_reject_proven(self, session):
+        session.select_loop("L2")
+        proven = [d for d in session.dependences()
+                  if d.mark is Mark.PROVEN][0]
+        with pytest.raises(ValueError):
+            session.mark_dependence(proven, Mark.REJECTED)
+
+    def test_power_steering_dialog(self, session):
+        session.select_loop("L2")
+        n = session.mark_dependences_where(
+            DependenceFilter(mark=Mark.PENDING), Mark.ACCEPTED,
+            "bulk accept")
+        assert n >= 1
+        assert all(d.mark is not Mark.PENDING
+                   for d in session.dependences())
+
+    def test_rejection_feeds_transform_safety(self, session):
+        session.select_loop("L2")
+        adv = session.advice("parallelize")
+        assert not adv.safe
+        session.mark_dependences_where(
+            DependenceFilter(mark=Mark.PENDING), Mark.REJECTED,
+            "user asserts independence")
+        # the A(I)=A(I-1) recurrence is proven, so still unsafe
+        adv2 = session.advice("parallelize")
+        assert not adv2.safe
+
+    def test_deletion_logged(self, session):
+        session.select_loop("L2")
+        dep = [d for d in session.dependences()
+               if d.mark is Mark.PENDING][0]
+        session.mark_dependence(dep, Mark.REJECTED)
+        assert "dependence deletion" in session.features_used()
+
+
+class TestVariableClassification:
+    def test_private_classification_removes_deps(self, session):
+        session.select_loop("L1")
+        row = [r for r in session.variable_pane.rows()
+               if r["name"] == "T"][0]
+        assert row["kind"] == "private"   # analysis already knows
+        session.classify_variable("T", "private", reason="killed")
+        assert "variable classification" in session.features_used()
+
+    def test_classify_dialog(self, session):
+        session.select_loop("L1")
+        n = session.classify_variables_where(
+            VariableFilter(kind="private"), "private", "bulk")
+        assert n >= 1
+
+    def test_shared_reclassification(self, session):
+        session.select_loop("L1")
+        session.classify_variable("T", "private")
+        session.classify_variable("T", "shared")
+        li = session.unit.loops.find("L1")
+        assert "T" not in li.loop.private_vars
+
+
+class TestFilters:
+    def test_dependence_filter(self, session):
+        session.select_loop("L2")
+        session.set_dependence_filter(DependenceFilter(var="A"))
+        assert all(d.var == "A" for d in session.dependence_pane.rows())
+        session.set_dependence_filter(None)
+        assert "view filtering" in session.features_used()
+
+    def test_source_filter_loop_structure(self, session):
+        session.set_source_filter(SourceFilter.loop_structure())
+        visible = session.source_pane.visible()
+        assert visible and all(ln.is_loop for ln in visible)
+
+    def test_variable_filter(self, session):
+        session.select_loop("L2")
+        session.set_variable_filter(VariableFilter(kind="shared"))
+        assert all(r["kind"] == "shared"
+                   for r in session.variable_pane.rows())
+
+
+class TestAssertionsAndAnalysisAccess:
+    def test_assert_fact_rechecks(self):
+        src = ("      PROGRAM T\n      INTEGER M\n      REAL A(50)\n"
+               "      DO 10 I = 1, 10\n      A(I) = A(I + M)\n"
+               "   10 CONTINUE\n      PRINT *, A(1)\n      END\n")
+        s = PedSession(src)
+        s.select_loop("L1")
+        assert not s.advice("parallelize").safe
+        s.assert_fact("M .GT. 10")
+        assert s.advice("parallelize").safe
+
+    def test_breaking_conditions_via_session(self):
+        src = ("      PROGRAM T\n      INTEGER M\n      REAL A(50)\n"
+               "      DO 10 I = 1, 10\n      A(I) = A(I + M)\n"
+               "   10 CONTINUE\n      END\n")
+        s = PedSession(src)
+        s.select_loop("L1")
+        dep = [d for d in s.dependences() if d.loop_carried][0]
+        bcs = s.breaking_conditions(dep)
+        assert any(b.eliminates for b in bcs)
+
+    def test_sections_summary(self, session):
+        session.select_loop("L1")
+        text = session.sections_summary()
+        assert "A(" in text and "B(" in text
+
+    def test_symbolic_info(self, session):
+        session.select_loop("L2")
+        info = session.symbolic_info()
+        assert "S" in info["reductions"]
+        assert info["environment"].get("N") is not None
+
+
+class TestTransformsViaSession:
+    def test_apply_and_source_updates(self, session):
+        session.select_loop("L1")
+        res = session.apply("parallelize")
+        assert res.applied
+        assert "PARALLEL DO" in session.source()
+
+    def test_safe_transformations_guidance(self, session):
+        session.select_loop("L1")
+        names = [n for n, _ in session.safe_transformations()]
+        assert "parallelize" in names
+        # distribution is NOT offered: the loop's statements are tied
+        # together by the scalar temporary T (it would need expansion)
+        assert "loop_distribution" not in names
+        assert "loop_reversal" in names
+
+    def test_current_loop_survives_transform(self, session):
+        session.select_loop("L1")
+        session.apply("parallelize")
+        assert session.current_loop is not None
+
+
+class TestEditing:
+    def test_valid_edit(self, session):
+        new = SRC.replace("B(I) = T + 1.0", "B(I) = T + 2.0")
+        assert session.edit(new) == []
+        assert "2.0" in session.source()
+
+    def test_syntax_error_reported(self, session):
+        errs = session.edit("      PROGRAM X\n      DO I = \n      END\n")
+        assert errs
+
+    def test_edit_resets_panes(self, session):
+        session.select_loop("L1")
+        session.edit(SRC)
+        assert session.current_loop is None
+        assert session.dependence_pane.dependences == []
+
+
+class TestRenderAndHelp:
+    def test_render_window(self, session):
+        session.select_loop("L2")
+        dep = session.dependences()[0]
+        session.select_dependence(dep)
+        text = session.render()
+        assert "ParaScope Editor" in text
+        assert "DEPENDENCES" in text and "VARIABLES" in text
+        assert "L2" in text
+
+    def test_help(self, session):
+        assert "topics" in session.help()
+        assert "proven" in session.help("marking")
+        assert "help" in session.features_used()
+
+    def test_check_program(self):
+        src = ("      PROGRAM P\n      CALL W(1, 2)\n      END\n"
+               "      SUBROUTINE W(A)\n      REAL A\n      END\n")
+        s = PedSession(src)
+        diags = s.check_program()
+        assert diags and "detect interface error" in s.features_used()

@@ -1,0 +1,119 @@
+"""Fixed-form source handling."""
+
+import pytest
+
+from repro.fortran.source import (LogicalLine, SourceError, count_code_lines,
+                                  is_comment_line, read_logical_lines,
+                                  split_line)
+
+
+class TestCommentDetection:
+    def test_c_comment(self):
+        assert is_comment_line("C this is a comment")
+
+    def test_lowercase_c(self):
+        assert is_comment_line("c lowercase")
+
+    def test_star_comment(self):
+        assert is_comment_line("* star comment")
+
+    def test_bang_comment(self):
+        assert is_comment_line("! modern comment")
+
+    def test_blank_line(self):
+        assert is_comment_line("")
+        assert is_comment_line("    ")
+
+    def test_code_line(self):
+        assert not is_comment_line("      X = 1")
+
+    def test_labelled_line_not_comment(self):
+        assert not is_comment_line("   10 CONTINUE")
+
+
+class TestSplitLine:
+    def test_plain_statement(self):
+        label, cont, stmt = split_line("      X = 1", 1)
+        assert label is None and not cont
+        assert stmt.strip() == "X = 1"
+
+    def test_label(self):
+        label, cont, stmt = split_line("   10 CONTINUE", 1)
+        assert label == 10 and not cont
+
+    def test_label_left_aligned(self):
+        label, _, _ = split_line("10    CONTINUE", 1)
+        assert label == 10
+
+    def test_continuation_marker(self):
+        _, cont, stmt = split_line("     &  + Y", 1)
+        assert cont and stmt.strip() == "+ Y"
+
+    def test_zero_is_not_continuation(self):
+        _, cont, _ = split_line("     0X = 1", 1)
+        assert not cont
+
+    def test_column_72_truncation(self):
+        raw = "      X = 1" + " " * 55 + "SEQUENCE"
+        _, _, stmt = split_line(raw, 1)
+        assert "SEQUENCE" not in stmt
+
+    def test_bad_label(self):
+        with pytest.raises(SourceError):
+            split_line("  1X  Y = 1", 3)
+
+    def test_tab_form(self):
+        label, cont, stmt = split_line("\tX = 1", 1)
+        assert label is None and not cont and stmt.strip() == "X = 1"
+
+    def test_tab_with_label(self):
+        label, _, stmt = split_line("10\tX = 1", 1)
+        assert label == 10 and stmt.strip() == "X = 1"
+
+    def test_inline_bang_comment_stripped(self):
+        _, _, stmt = split_line("      X = 1 ! set x", 1)
+        assert stmt.strip() == "X = 1"
+
+    def test_bang_inside_string_kept(self):
+        _, _, stmt = split_line("      S = 'A!B'", 1)
+        assert "'A!B'" in stmt
+
+
+class TestLogicalLines:
+    def test_simple(self):
+        lines = read_logical_lines("      X = 1\n      Y = 2\n")
+        assert [ln.text.strip() for ln in lines] == ["X = 1", "Y = 2"]
+
+    def test_continuation_joins(self):
+        src = "      X = 1 +\n     &    2\n"
+        (ln,) = read_logical_lines(src)
+        assert ln.text.replace(" ", "") == "X=1+2"
+        assert ln.physical_lines == [1, 2]
+
+    def test_comment_between_continuations(self):
+        src = "      X = 1 +\nC interleaved comment\n     &    2\n"
+        (ln,) = read_logical_lines(src)
+        assert ln.text.replace(" ", "") == "X=1+2"
+
+    def test_labels_preserved(self):
+        src = "   10 CONTINUE\n"
+        (ln,) = read_logical_lines(src)
+        assert ln.label == 10
+
+    def test_dangling_continuation(self):
+        with pytest.raises(SourceError):
+            read_logical_lines("     & + 2\n")
+
+    def test_label_on_continuation_rejected(self):
+        with pytest.raises(SourceError):
+            read_logical_lines("      X = 1 +\n   10& 2\n")
+
+    def test_comments_skipped(self):
+        lines = read_logical_lines("C hello\n      X = 1\n* world\n")
+        assert len(lines) == 1
+
+
+class TestCountCodeLines:
+    def test_counts_exclude_comments_and_blanks(self):
+        src = "C comment\n      X = 1\n\n      Y = 2\n* another\n"
+        assert count_code_lines(src) == 2

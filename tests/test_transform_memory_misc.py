@@ -1,0 +1,188 @@
+"""Memory-optimizing and miscellaneous transformations."""
+
+from repro.dependence import DependenceAnalyzer, Mark
+from repro.dependence.model import DepType
+from repro.fortran import ast, print_program
+from repro.interp import run_program, verify_equivalence
+from repro.ir import AnalyzedProgram
+from repro.transform import TContext, get
+
+
+def make_ctx(src, unit="T", loop="L1", **params):
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit(unit)
+    an = DependenceAnalyzer(uir)
+    li = uir.loops.find(loop) if loop else None
+    params.setdefault("program", program)
+    return program, TContext(uir=uir, analyzer=an, loop=li, params=params)
+
+
+def apply_and_verify(name, src, unit="T", loop="L1", **params):
+    program, ctx = make_ctx(src, unit, loop, **params)
+    res = get(name).apply(ctx)
+    assert res.applied, res.advice.explain()
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out
+    return program, out
+
+
+SIMPLE = ("      PROGRAM T\n      REAL A(17)\n"
+          "      DO 10 I = 1, 17\n      A(I) = I * 1.0\n"
+          "   10 CONTINUE\n      PRINT *, A(1), A(16), A(17)\n      END\n")
+
+
+class TestStripMining:
+    def test_preserves(self):
+        program, out = apply_and_verify("strip_mining", SIMPLE, size=4)
+        loops = program.unit("T").loops.all_loops()
+        assert len(loops) == 2 and loops[1].parent is loops[0]
+
+    def test_bad_size_refused(self):
+        _, ctx = make_ctx(SIMPLE, size=1)
+        assert not get("strip_mining").check(ctx).applicable
+
+
+class TestUnrolling:
+    def test_divisible_trip(self):
+        src = SIMPLE.replace("1, 17", "1, 16")
+        apply_and_verify("loop_unrolling", src, factor=4)
+
+    def test_remainder(self):
+        apply_and_verify("loop_unrolling", SIMPLE, factor=4)
+
+    def test_factor_larger_than_trip(self):
+        src = ("      PROGRAM T\n      REAL A(3)\n"
+               "      DO 10 I = 1, 3\n      A(I) = I\n   10 CONTINUE\n"
+               "      PRINT *, A(3)\n      END\n")
+        apply_and_verify("loop_unrolling", src, factor=8)
+
+    def test_recurrence_still_correct(self):
+        src = ("      PROGRAM T\n      REAL A(17)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 17\n      A(I) = A(I - 1) * 1.5\n"
+               "   10 CONTINUE\n      PRINT *, A(17)\n      END\n")
+        apply_and_verify("loop_unrolling", src, factor=3)
+
+
+class TestUnrollAndJam:
+    SRC = ("      PROGRAM T\n      REAL A(8, 8)\n"
+           "      DO 10 I = 1, 8\n      DO 10 J = 1, 8\n"
+           "      A(I, J) = I * 10 + J\n   10 CONTINUE\n"
+           "      PRINT *, A(3, 4), A(8, 8)\n      END\n")
+
+    def test_preserves(self):
+        apply_and_verify("unroll_and_jam", self.SRC, factor=2)
+
+    def test_lt_gt_dep_blocks(self):
+        src = ("      PROGRAM T\n      REAL A(10, 10)\n"
+               "      DO 10 I = 2, 8\n      DO 10 J = 2, 8\n"
+               "      A(I, J) = A(I - 1, J + 1)\n   10 CONTINUE\n"
+               "      END\n")
+        _, ctx = make_ctx(src, factor=2)
+        adv = get("unroll_and_jam").check(ctx)
+        assert not adv.safe
+
+
+class TestScalarReplacement:
+    def test_invariant_load_hoisted(self):
+        src = ("      PROGRAM T\n      REAL A(10), B(10)\n      K = 3\n"
+               "      A(K) = 7.0\n"
+               "      DO 10 I = 1, 10\n      B(I) = A(K) * I\n"
+               "   10 CONTINUE\n      PRINT *, B(4)\n      END\n")
+        program, ctx = make_ctx(src)
+        lp = program.unit("T").loops.find("L1").loop
+        ref = [n for n in ast.walk_expr(lp.body[0].value)
+               if isinstance(n, ast.ArrayRef)][0]
+        ctx.params["ref"] = ref
+        res = get("scalar_replacement").apply(ctx)
+        assert res.applied
+        out = print_program(program.ast)
+        assert verify_equivalence(src, out) == []
+
+    def test_written_ref_refused(self):
+        src = ("      PROGRAM T\n      REAL A(10)\n      K = 3\n"
+               "      DO 10 I = 1, 10\n      A(K) = A(K) + I\n"
+               "   10 CONTINUE\n      END\n")
+        program, ctx = make_ctx(src)
+        lp = program.unit("T").loops.find("L1").loop
+        ref = [n for n in ast.walk_expr(lp.body[0].value)
+               if isinstance(n, ast.ArrayRef)][0]
+        ctx.params["ref"] = ref
+        assert not get("scalar_replacement").check(ctx).safe
+
+
+class TestParallelizeSerialize:
+    def test_parallel_loop_results_identical(self):
+        src = ("      PROGRAM T\n      REAL A(50), B(50)\n"
+               "      DO 5 I = 1, 50\n      A(I) = I\n    5 CONTINUE\n"
+               "      DO 10 I = 1, 50\n      T1 = A(I) * 2.0\n"
+               "      B(I) = T1\n   10 CONTINUE\n"
+               "      PRINT *, B(25)\n      END\n")
+        program, ctx = make_ctx(src, loop="L2")
+        res = get("parallelize").apply(ctx)
+        assert res.applied
+        lp = program.unit("T").loops.find("L2").loop
+        assert lp.parallel and "T1" in lp.private_vars
+        out = print_program(program.ast)
+        assert verify_equivalence(src, out) == []
+
+    def test_carried_dep_refused(self):
+        src = ("      PROGRAM T\n      REAL A(20)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 20\n      A(I) = A(I - 1)\n"
+               "   10 CONTINUE\n      END\n")
+        _, ctx = make_ctx(src)
+        adv = get("parallelize").check(ctx)
+        assert adv.applicable and not adv.safe
+
+    def test_rejected_dependence_enables_parallelization(self):
+        """Dependence marking feeds transformation safety (Section 3.1)."""
+        src = ("      PROGRAM T\n      REAL F(100)\n      INTEGER IX(10)\n"
+               "      DO 10 N = 1, 10\n      F(IX(N)) = F(IX(N)) + 1.0\n"
+               "   10 CONTINUE\n      END\n")
+        program, ctx = make_ctx(src)
+        an = ctx.analyzer
+        ld = an.analyze_loop("L1")
+        assert not ld.parallelizable()
+        for d in ld.dependences:
+            if d.mark is Mark.PENDING:
+                d.mark = Mark.REJECTED
+        assert ld.parallelizable()
+
+    def test_serialize_roundtrip(self):
+        src = ("      PROGRAM T\n      REAL A(10)\n"
+               "      PARALLEL DO 10 I = 1, 10\n      A(I) = I\n"
+               "   10 CONTINUE\n      PRINT *, A(5)\n      END\n")
+        program, ctx = make_ctx(src)
+        res = get("serialize").apply(ctx)
+        assert res.applied
+        assert not program.unit("T").loops.find("L1").loop.parallel
+
+
+class TestStatementEdits:
+    def test_addition_and_deletion(self):
+        src = ("      PROGRAM T\n      X = 1.0\n      PRINT *, X\n"
+               "      END\n")
+        program, ctx = make_ctx(src, loop=None)
+        anchor = program.unit("T").unit.body[0]
+        ctx.params.update({"text": "X = X + 1.0", "anchor": anchor,
+                           "where": "after", "force": True})
+        res = get("statement_addition").apply(ctx)
+        assert res.applied
+        out1 = run_program(print_program(program.ast)).outputs
+        assert out1 == [2.0]
+        # now delete it again
+        added = program.unit("T").unit.body[1]
+        ctx2 = TContext(uir=program.unit("T"),
+                        analyzer=DependenceAnalyzer(program.unit("T")),
+                        params={"stmt": added, "force": True})
+        res2 = get("statement_deletion").apply(ctx2)
+        assert res2.applied
+        assert run_program(print_program(program.ast)).outputs == [1.0]
+
+    def test_bounds_adjusting(self):
+        src = ("      PROGRAM T\n      K = 0\n      DO 10 I = 1, 10\n"
+               "      K = K + 1\n   10 CONTINUE\n      PRINT *, K\n"
+               "      END\n")
+        program, ctx = make_ctx(src, end=5, force=True)
+        res = get("loop_bounds_adjusting").apply(ctx)
+        assert res.applied
+        assert run_program(print_program(program.ast)).outputs == [5]

@@ -1,0 +1,236 @@
+"""Reordering transformations: advice correctness + semantic preservation
+verified by the interpreter."""
+
+import pytest
+
+from repro.dependence import DependenceAnalyzer
+from repro.fortran import print_program
+from repro.interp import verify_equivalence
+from repro.ir import AnalyzedProgram
+from repro.transform import TContext, get
+
+
+def make_ctx(src, unit="T", loop="L1", **params):
+    program = AnalyzedProgram.from_source(src)
+    uir = program.unit(unit)
+    an = DependenceAnalyzer(uir)
+    li = uir.loops.find(loop) if loop else None
+    params.setdefault("program", program)
+    return program, TContext(uir=uir, analyzer=an, loop=li, params=params)
+
+
+def apply_and_verify(name, src, unit="T", loop="L1", **params):
+    program, ctx = make_ctx(src, unit, loop, **params)
+    t = get(name)
+    res = t.apply(ctx)
+    assert res.applied, res.advice.explain()
+    out = print_program(program.ast)
+    assert verify_equivalence(src, out) == [], out
+    return program, out
+
+
+DIST_SRC = """\
+      PROGRAM T
+      REAL A(20), B(20), C(20)
+      DO 10 I = 1, 20
+         A(I) = I * 1.0
+         B(I) = A(I) * 2.0
+         C(I) = 3.0
+ 10   CONTINUE
+      PRINT *, A(5), B(7), C(9)
+      END
+"""
+
+
+class TestDistribution:
+    def test_applies_and_preserves(self):
+        program, out = apply_and_verify("loop_distribution", DIST_SRC)
+        loops = program.unit("T").loops.all_loops()
+        assert len(loops) >= 2
+
+    def test_recurrence_stays_together(self):
+        src = ("      PROGRAM T\n      REAL A(20)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 20\n      A(I) = A(I - 1) + 1.0\n"
+               "      A(I) = A(I) * 2.0\n   10 CONTINUE\n"
+               "      PRINT *, A(20)\n      END\n")
+        _, ctx = make_ctx(src)
+        adv = get("loop_distribution").check(ctx)
+        # the two statements form a dependence cycle: one partition
+        assert not adv.applicable
+
+    def test_forward_carried_dep_distributable(self):
+        # producer feeds consumer at distance 1: acyclic, distributable
+        src = ("      PROGRAM T\n      REAL A(21), B(20)\n"
+               "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+               "      B(I) = A(I) + 1.0\n   10 CONTINUE\n"
+               "      PRINT *, B(20)\n      END\n")
+        apply_and_verify("loop_distribution", src)
+
+    def test_goto_blocks(self):
+        src = ("      PROGRAM T\n      REAL A(5)\n"
+               "      DO 10 I = 1, 5\n      IF (I .GT. 3) GOTO 5\n"
+               "      A(I) = 1.0\n    5 CONTINUE\n      A(I) = A(I)\n"
+               "   10 CONTINUE\n      END\n")
+        _, ctx = make_ctx(src)
+        assert not get("loop_distribution").check(ctx).applicable
+
+
+INTERCHANGE_SRC = """\
+      PROGRAM T
+      REAL A(10, 10)
+      DO 10 I = 1, 10
+         DO 10 J = 1, 10
+            A(I, J) = I + J * 2
+ 10   CONTINUE
+      PRINT *, A(3, 4)
+      END
+"""
+
+
+class TestInterchange:
+    def test_applies_and_preserves(self):
+        program, out = apply_and_verify("loop_interchange", INTERCHANGE_SRC)
+        loops = program.unit("T").loops.all_loops()
+        assert loops[0].var == "J" and loops[1].var == "I"
+
+    def test_lt_gt_dependence_blocks(self):
+        src = ("      PROGRAM T\n      REAL A(12, 12)\n"
+               "      DO 10 I = 2, 10\n      DO 10 J = 2, 10\n"
+               "      A(I, J) = A(I - 1, J + 1) + 1.0\n"
+               "   10 CONTINUE\n      PRINT *, A(5, 5)\n      END\n")
+        _, ctx = make_ctx(src)
+        adv = get("loop_interchange").check(ctx)
+        assert adv.applicable and not adv.safe
+
+    def test_lt_lt_dependence_allows(self):
+        src = ("      PROGRAM T\n      REAL A(12, 12)\n"
+               "      DO 10 I = 2, 10\n      DO 10 J = 2, 10\n"
+               "      A(I, J) = A(I - 1, J - 1) + 1.0\n"
+               "   10 CONTINUE\n      PRINT *, A(5, 5)\n      END\n")
+        apply_and_verify("loop_interchange", src)
+
+    def test_triangular_blocked(self):
+        src = ("      PROGRAM T\n      REAL A(10, 10)\n"
+               "      DO 10 I = 1, 10\n      DO 10 J = 1, I\n"
+               "      A(I, J) = 1.0\n   10 CONTINUE\n      END\n")
+        _, ctx = make_ctx(src)
+        assert not get("loop_interchange").check(ctx).applicable
+
+    def test_imperfect_blocked(self):
+        src = ("      PROGRAM T\n      REAL A(10, 10), B(10)\n"
+               "      DO 10 I = 1, 10\n      B(I) = 0.0\n"
+               "      DO 10 J = 1, 10\n      A(I, J) = 1.0\n"
+               "   10 CONTINUE\n      END\n")
+        _, ctx = make_ctx(src)
+        assert not get("loop_interchange").check(ctx).applicable
+
+
+FUSION_SRC = """\
+      PROGRAM T
+      REAL A(20), B(20)
+      DO 10 I = 1, 20
+         A(I) = I * 1.0
+ 10   CONTINUE
+      DO 20 I = 1, 20
+         B(I) = A(I) * 2.0
+ 20   CONTINUE
+      PRINT *, B(20)
+      END
+"""
+
+
+class TestFusion:
+    def test_applies_and_preserves(self):
+        program, out = apply_and_verify("loop_fusion", FUSION_SRC)
+        assert len(program.unit("T").loops.all_loops()) == 1
+
+    def test_fusion_preventing_dependence(self):
+        # second loop reads A(I+1): after fusion iteration i would read
+        # a value the first body has not produced yet
+        src = ("      PROGRAM T\n      REAL A(21), B(20)\n"
+               "      A(21) = 0.0\n"
+               "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+               "   10 CONTINUE\n"
+               "      DO 20 I = 1, 20\n      B(I) = A(I + 1)\n"
+               "   20 CONTINUE\n      PRINT *, B(5)\n      END\n")
+        _, ctx = make_ctx(src)
+        adv = get("loop_fusion").check(ctx)
+        assert adv.applicable and not adv.safe
+
+    def test_backward_read_fusable(self):
+        src = ("      PROGRAM T\n      REAL A(20), B(20)\n"
+               "      A(1) = 5.0\n"
+               "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+               "   10 CONTINUE\n"
+               "      DO 20 I = 2, 20\n      B(I) = A(I - 1)\n"
+               "   20 CONTINUE\n      PRINT *, B(5)\n      END\n")
+        _, ctx = make_ctx(src)
+        # bounds differ (1..20 vs 2..20): not applicable as-is
+        assert not get("loop_fusion").check(ctx).applicable
+
+    def test_different_vars_renamed(self):
+        src = ("      PROGRAM T\n      REAL A(20), B(20)\n"
+               "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+               "   10 CONTINUE\n"
+               "      DO 20 K = 1, 20\n      B(K) = A(K) * 2.0\n"
+               "   20 CONTINUE\n      PRINT *, B(20)\n      END\n")
+        apply_and_verify("loop_fusion", src)
+
+
+class TestReversal:
+    def test_applies_and_preserves(self):
+        src = ("      PROGRAM T\n      REAL A(20)\n"
+               "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+               "   10 CONTINUE\n      PRINT *, A(20)\n      END\n")
+        apply_and_verify("loop_reversal", src)
+
+    def test_carried_dep_blocks(self):
+        src = ("      PROGRAM T\n      REAL A(20)\n      A(1) = 1.0\n"
+               "      DO 10 I = 2, 20\n      A(I) = A(I - 1) + 1.0\n"
+               "   10 CONTINUE\n      PRINT *, A(20)\n      END\n")
+        _, ctx = make_ctx(src)
+        adv = get("loop_reversal").check(ctx)
+        assert adv.applicable and not adv.safe
+
+
+class TestSkewing:
+    def test_applies_and_preserves(self):
+        src = ("      PROGRAM T\n      REAL A(12, 12)\n"
+               "      DO 10 I = 1, 10\n      DO 10 J = 1, 10\n"
+               "      A(I, J) = I * 100 + J\n   10 CONTINUE\n"
+               "      PRINT *, A(4, 7)\n      END\n")
+        apply_and_verify("loop_skewing", src, factor=1)
+
+    def test_enables_interchange_of_wavefront(self):
+        src = ("      PROGRAM T\n      REAL A(12, 12)\n"
+               "      DO 5 I = 1, 12\n      A(I, 1) = I\n"
+               "      A(1, I) = I\n    5 CONTINUE\n"
+               "      DO 10 I = 2, 10\n      DO 10 J = 2, 10\n"
+               "      A(I, J) = A(I - 1, J) + A(I, J - 1)\n"
+               "   10 CONTINUE\n      PRINT *, A(9, 9)\n      END\n")
+        apply_and_verify("loop_skewing", src, loop="L2", factor=1)
+
+
+class TestStatementInterchange:
+    def test_independent_statements_swap(self):
+        src = ("      PROGRAM T\n      REAL A(5), B(5)\n"
+               "      DO 10 I = 1, 5\n      A(I) = I\n      B(I) = I * 2\n"
+               "   10 CONTINUE\n      PRINT *, A(3), B(3)\n      END\n")
+        program, ctx = make_ctx(src)
+        loop = program.unit("T").loops.find("L1").loop
+        ctx.params["stmt"] = loop.body[0]
+        t = get("statement_interchange")
+        res = t.apply(ctx)
+        assert res.applied
+        out = print_program(program.ast)
+        assert verify_equivalence(src, out) == []
+
+    def test_dependent_statements_blocked(self):
+        src = ("      PROGRAM T\n      REAL A(5), B(5)\n"
+               "      DO 10 I = 1, 5\n      A(I) = I\n"
+               "      B(I) = A(I) * 2\n   10 CONTINUE\n      END\n")
+        program, ctx = make_ctx(src)
+        loop = program.unit("T").loops.find("L1").loop
+        ctx.params["stmt"] = loop.body[0]
+        adv = get("statement_interchange").check(ctx)
+        assert not adv.safe
