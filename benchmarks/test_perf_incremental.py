@@ -1,0 +1,115 @@
+"""A6: incremental dependence engine payoff.
+
+The interactive loop the paper's users live in is transform -> look at
+the dependence pane again.  With scoped invalidation and the memoized
+pair tester that cycle only re-derives the dirty loop nest; this module
+measures the payoff against a cold whole-program analysis and checks the
+pair-test memo actually hits on repeat analysis.
+"""
+
+import time
+
+from repro.corpus import PROGRAMS
+from repro.dependence import tests as dep_tests
+from repro.ped import PedSession
+from repro.perf import counters
+
+SRC = PROGRAMS["arc3d"].source
+
+#: acceptance floor; measured payoff is typically well above this
+MIN_SPEEDUP = 3.0
+
+
+def _parallelizable_loop(session):
+    for li in session.loops():
+        if session.advice("parallelize", loop=li).ok:
+            return li
+    raise AssertionError("no parallelizable loop in arc3d main unit")
+
+
+def _cold_analysis_time():
+    best = None
+    for _ in range(3):
+        dep_tests.clear_pair_cache()
+        s = PedSession(SRC)
+        t0 = time.perf_counter()
+        s.analyze_all()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def test_incremental_requery_speedup(reporter):
+    cold = _cold_analysis_time()
+
+    dep_tests.clear_pair_cache()
+    session = PedSession(SRC)
+    session.analyze_all()
+    target = _parallelizable_loop(session)
+    counters.reset()
+    t0 = time.perf_counter()
+    session.apply("parallelize", loop=target)
+    session.analyze_all()
+    warm = time.perf_counter() - t0
+    snap = counters.snapshot()
+
+    speedup = cold / warm
+    reporter("A6: incremental re-query vs cold analysis (arc3d)",
+             ["metric", "value"],
+             [["cold analyze_all (s)", f"{cold:.4f}"],
+              ["transform + re-query (s)", f"{warm:.4f}"],
+              ["speedup", f"{speedup:.1f}x"],
+              ["deps evicted", snap["deps_evicted"]],
+              ["deps retained", snap["deps_retained"]],
+              ["summaries rebuilt", snap["summaries_rebuilt"]],
+              ["summaries retained", snap["summaries_retained"]]])
+    assert snap["scoped_invalidations"] == 1
+    assert snap["deps_retained"] > snap["deps_evicted"]
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_pair_cache_hit_rate_on_repeat_analysis(reporter):
+    dep_tests.clear_pair_cache()
+    counters.reset()
+    s1 = PedSession(SRC)
+    s1.analyze_all()
+    first = counters.snapshot()
+    s2 = PedSession(SRC)
+    s2.analyze_all()
+    snap = counters.snapshot()
+    hits = snap["pair_hits"] - first["pair_hits"]
+    misses = snap["pair_misses"] - first["pair_misses"]
+    rate = hits / (hits + misses) if hits + misses else 0.0
+    reporter("A6: pair-test memo, second analysis pass (arc3d)",
+             ["metric", "value"],
+             [["first-pass tests", first["pair_tests"]],
+              ["second-pass hits", hits],
+              ["second-pass misses", misses],
+              ["hit rate", f"{rate:.0%}"]])
+    assert rate > 0.5
+
+
+def test_bench_cold_analyze_all(benchmark):
+    def cold():
+        dep_tests.clear_pair_cache()
+        s = PedSession(SRC)
+        return s.analyze_all()
+
+    deps = benchmark(cold)
+    assert deps
+
+
+def test_bench_incremental_cycle(benchmark):
+    def setup():
+        dep_tests.clear_pair_cache()
+        s = PedSession(SRC)
+        s.analyze_all()
+        return (s, _parallelizable_loop(s).id), {}
+
+    def cycle(s, target_id):
+        s.apply("parallelize", loop=target_id)
+        s.apply("serialize", loop=target_id)
+        return s.analyze_all()
+
+    deps = benchmark.pedantic(cycle, setup=setup, rounds=5, iterations=1)
+    assert deps

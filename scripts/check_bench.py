@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage: check_bench.py <current.json> <baseline.json> [max_slowdown]
+
+Benchmarks run on whatever machine CI hands us, so this is a guardrail
+against order-of-magnitude regressions, not a micro-benchmark gate:
+a test fails the check only when its mean time exceeds the baseline
+mean by ``max_slowdown`` (default 10x).  Missing-from-baseline tests
+pass (new benchmarks establish their numbers on the next baseline
+refresh).
+"""
+
+import json
+import sys
+
+
+def load(path: str) -> dict[str, float]:
+    with open(path) as f:
+        data = json.load(f)
+    return {b["fullname"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+    max_slowdown = float(argv[3]) if len(argv) > 3 else 10.0
+    failures = []
+    for name, mean in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW      {name}: {mean * 1e3:.2f} ms (no baseline)")
+            continue
+        ratio = mean / base if base else float("inf")
+        tag = "OK" if ratio <= max_slowdown else "REGRESSED"
+        print(f"{tag:<8} {name}: {mean * 1e3:.2f} ms "
+              f"vs baseline {base * 1e3:.2f} ms ({ratio:.2f}x)")
+        if ratio > max_slowdown:
+            failures.append(name)
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{max_slowdown:.0f}x over baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

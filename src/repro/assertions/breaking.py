@@ -42,7 +42,8 @@ def _find_sites(analyzer: DependenceAnalyzer, li: LoopInfo,
     refs = analyzer._collect_refs(li)
     copies = analyzer._iteration_copies(li)
     aux_subst, _ = analyzer._aux_subst(li)
-    for r in refs:
+    from dataclasses import replace
+    for i, r in enumerate(refs):
         if r.test_subs is not None:
             subs = r.test_subs
             if copies:
@@ -50,7 +51,8 @@ def _find_sites(analyzer: DependenceAnalyzer, li: LoopInfo,
                              for x in subs)
             if aux_subst:
                 subs = tuple(ast.substitute(x, aux_subst) for x in subs)
-            r.test_subs = subs
+            if subs != r.test_subs:
+                refs[i] = replace(r, test_subs=subs)
     src = snk = None
     for r in refs:
         if r.stmt.uid == dep.source.stmt_uid and r.var == dep.var \

@@ -22,7 +22,7 @@ Supporting analyses are folded in exactly as Section 4.1 describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..analysis.constants import propagate_constants
 from ..analysis.defuse import SideEffectOracle, accesses, compute_defuse
@@ -39,8 +39,16 @@ from .model import ANY, EQ, GT, LT, DepType, Dependence, DirectionVector, \
 from .tests import LoopCtx, PairResult, test_pair
 
 
-@dataclass
+@dataclass(frozen=True, eq=False)
 class RefSite:
+    """One reference participating in pair testing.
+
+    Frozen (with identity hashing -- ``eq=False`` keeps hashing free of
+    the unhashable statement payload) so sites can serve directly as
+    cache keys without defensive copying; the subscript-rewriting passes
+    build updated sites with :func:`dataclasses.replace`.
+    """
+
     var: str
     stmt: ast.Stmt
     is_write: bool
@@ -348,7 +356,7 @@ class DependenceAnalyzer:
         aux_subst, _aux_last = self._aux_subst(li)
         copies = self._iteration_copies(li)
 
-        for r in refs:
+        for i, r in enumerate(refs):
             if r.test_subs is None:
                 continue
             subs = r.test_subs
@@ -357,7 +365,8 @@ class DependenceAnalyzer:
                              for sub in subs)
             if aux_subst:
                 subs = tuple(ast.substitute(sub, aux_subst) for sub in subs)
-            r.test_subs = subs
+            if subs != r.test_subs:
+                refs[i] = replace(r, test_subs=subs)
 
         private = set(li.loop.private_vars)
         if self.use_scalar_kills:

@@ -23,12 +23,15 @@ marking discipline of Section 3.1.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
 from math import gcd
 
 from ..analysis.linear import LinearExpr, linearize
 from ..fortran import ast
+from ..perf import counters as _counters
 from .facts import FactBase
 from .model import ANY, EQ, GT, LT, DirectionVector, expand_vector
 
@@ -353,8 +356,62 @@ def _strong_siv_distance(h: LinearExpr, level: int,
 
 
 # --------------------------------------------------------------------------
-# Reference-pair testing
+# Reference-pair testing (memoized)
 # --------------------------------------------------------------------------
+
+#: bounded LRU over canonical pair signatures -> PairResult
+_PAIR_CACHE: OrderedDict = OrderedDict()
+_PAIR_CACHE_LOCK = threading.Lock()
+_PAIR_CACHE_LIMIT = 8192
+
+
+def _pair_signature(src_subs: tuple[ast.Expr, ...],
+                    snk_subs: tuple[ast.Expr, ...],
+                    loops: list[LoopCtx],
+                    env: dict[str, LinearExpr],
+                    facts: FactBase):
+    """Canonical, hashable signature of one ``test_pair`` invocation.
+
+    Every input that can influence the verdict participates: the
+    subscript expression trees (frozen dataclasses, structural
+    equality), the loop-bound contexts, the linearizer environment, and
+    the fact base (linear facts, index-array facts, ranges).  Two calls
+    with equal signatures are guaranteed the same result, so unchanged
+    loops re-resolve their DDGs from cached verdicts.
+    """
+    return (
+        src_subs, snk_subs,
+        tuple((lp.var, lp.lo, lp.hi, lp.step) for lp in loops),
+        tuple(sorted(env.items(), key=lambda kv: kv[0])),
+        tuple(facts.linear),
+        tuple(facts.index_arrays),
+        tuple(sorted(facts.ranges.items())),
+    )
+
+
+def clear_pair_cache() -> None:
+    with _PAIR_CACHE_LOCK:
+        _PAIR_CACHE.clear()
+
+
+def set_pair_cache_limit(n: int) -> None:
+    """Resize the memo LRU (0 disables caching)."""
+    global _PAIR_CACHE_LIMIT
+    with _PAIR_CACHE_LOCK:
+        _PAIR_CACHE_LIMIT = max(0, n)
+        while len(_PAIR_CACHE) > _PAIR_CACHE_LIMIT:
+            _PAIR_CACHE.popitem(last=False)
+
+
+def pair_cache_info() -> dict:
+    """Size/limit plus the process-wide hit/miss counters."""
+    with _PAIR_CACHE_LOCK:
+        size = len(_PAIR_CACHE)
+        limit = _PAIR_CACHE_LIMIT
+    c = _counters.COUNTERS
+    return {"size": size, "limit": limit, "hits": c.pair_hits,
+            "misses": c.pair_misses, "hit_rate": c.pair_hit_rate()}
+
 
 def test_pair(src_subs: tuple[ast.Expr, ...], snk_subs: tuple[ast.Expr, ...],
               loops: list[LoopCtx],
@@ -363,10 +420,46 @@ def test_pair(src_subs: tuple[ast.Expr, ...], snk_subs: tuple[ast.Expr, ...],
     """Test a pair of array references for dependence.
 
     Returns the feasible concrete direction vectors over the common nest
-    plus exactness and distance information.
+    plus exactness and distance information.  Results are memoized on a
+    canonical signature of the inputs (bounded LRU): re-analysis of an
+    unchanged loop answers from cached verdicts instead of re-running
+    the hierarchical suite.
     """
     env = env or {}
     facts = facts or FactBase()
+    try:
+        key = _pair_signature(src_subs, snk_subs, loops, env, facts)
+    except TypeError:           # unhashable oddity: run uncached
+        key = None
+    if key is not None:
+        with _PAIR_CACHE_LOCK:
+            hit = _PAIR_CACHE.get(key)
+            if hit is not None:
+                _PAIR_CACHE.move_to_end(key)
+                _counters.COUNTERS.pair_hits += 1
+                return PairResult(vectors=list(hit.vectors),
+                                  distances=dict(hit.distances),
+                                  exact=hit.exact, reason=hit.reason)
+            _counters.COUNTERS.pair_misses += 1
+    result = _test_pair_uncached(src_subs, snk_subs, loops, env, facts)
+    if key is not None and _PAIR_CACHE_LIMIT > 0:
+        with _PAIR_CACHE_LOCK:
+            _PAIR_CACHE[key] = PairResult(vectors=list(result.vectors),
+                                          distances=dict(result.distances),
+                                          exact=result.exact,
+                                          reason=result.reason)
+            _PAIR_CACHE.move_to_end(key)
+            while len(_PAIR_CACHE) > _PAIR_CACHE_LIMIT:
+                _PAIR_CACHE.popitem(last=False)
+                _counters.COUNTERS.pair_evictions += 1
+    return result
+
+
+def _test_pair_uncached(src_subs: tuple[ast.Expr, ...],
+                        snk_subs: tuple[ast.Expr, ...],
+                        loops: list[LoopCtx],
+                        env: dict[str, LinearExpr],
+                        facts: FactBase) -> PairResult:
     # A dependence needs both iterations to execute, so every common loop
     # ran at least once: hi - lo >= 0 holds within the test.
     exec_facts = FactBase(list(facts.linear), list(facts.index_arrays),

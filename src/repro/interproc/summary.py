@@ -182,22 +182,36 @@ def _subscript_section(e: ast.Expr,
 
 
 class SummaryBuilder:
-    """Computes :class:`ProcSummary` for every unit, bottom-up."""
+    """Computes :class:`ProcSummary` for every unit, bottom-up.
 
-    def __init__(self, program: AnalyzedProgram):
+    ``reuse`` supplies still-valid summaries from a previous build (the
+    scoped-invalidation path: a transformation dirtied one unit, so only
+    that unit and its transitive callers need re-summarizing; everything
+    else is carried over untouched).
+    """
+
+    def __init__(self, program: AnalyzedProgram,
+                 reuse: dict[str, ProcSummary] | None = None):
         self.program = program
         self.callgraph: CallGraph = program.callgraph
+        self.reuse = dict(reuse or {})
         self.summaries: dict[str, ProcSummary] = {}
+
+    def _summary_for(self, name: str) -> ProcSummary:
+        kept = self.reuse.get(name)
+        if kept is not None:
+            return kept
+        return self._summarize(name)
 
     def build(self) -> dict[str, ProcSummary]:
         self._propagate_common_symbols()
         for name in self.callgraph.reverse_topo_order():
             if name in self.program.units:
-                self.summaries[name] = self._summarize(name)
+                self.summaries[name] = self._summary_for(name)
         # Units unreachable in topo order (defensive)
         for name in self.program.units:
             if name not in self.summaries:
-                self.summaries[name] = self._summarize(name)
+                self.summaries[name] = self._summary_for(name)
         return self.summaries
 
     def _propagate_common_symbols(self) -> None:

@@ -1,9 +1,16 @@
 """AnalyzedProgram: parsed + resolved program with per-unit IR artifacts.
 
 This is the object every higher layer (analysis, dependence, transforms,
-the PED session) works from.  Artifacts are built lazily and invalidated
-wholesale after an edit or transformation -- PED's "incremental" update is
-re-derivation scoped by the session layer.
+the PED session) works from.  Artifacts are built lazily; invalidation is
+*scoped*: each :class:`UnitIR` carries a generation counter that advances
+when that unit's AST is mutated, so the session layer can evict exactly
+the derived results whose unit (or loop nest) changed instead of
+re-deriving the whole program.
+
+Construction fans the per-unit symbol-table + name-resolution work across
+the analysis pool (:mod:`repro.perf.pool`) when the program is large
+enough to benefit; results merge in source order, so parallel and serial
+construction are byte-identical.
 """
 
 from __future__ import annotations
@@ -16,11 +23,16 @@ from .cfg import CFG, build_cfg
 from .loops import LoopTree, build_loop_tree
 from .symtab import SymbolTable, build_symbol_table, resolve_unit
 
+#: fan out unit resolution only when there is enough work to amortize it
+_PARALLEL_UNIT_THRESHOLD = 3
+
 
 @dataclass
 class UnitIR:
     unit: ast.ProgramUnit
     symtab: SymbolTable
+    #: bumped on every invalidation; derived caches key on (unit, gen)
+    generation: int = 0
     _cfg: CFG | None = field(default=None, repr=False)
     _loops: LoopTree | None = field(default=None, repr=False)
 
@@ -39,24 +51,43 @@ class UnitIR:
     def invalidate(self) -> None:
         self._cfg = None
         self._loops = None
+        self.generation += 1
+
+
+def _resolve_one(u: ast.ProgramUnit,
+                 proc_names: frozenset[str]) -> UnitIR:
+    """Build one unit's symbol table and resolve its names."""
+    st = build_symbol_table(u)
+    resolve_unit(u, st, proc_names)
+    return UnitIR(unit=u, symtab=st)
 
 
 class AnalyzedProgram:
     """A whole-program container with name resolution applied."""
 
-    def __init__(self, prog: ast.Program):
+    def __init__(self, prog: ast.Program, parallel: bool | None = None):
         self.ast = prog
         proc_names = frozenset(u.name for u in prog.units)
         self.units: dict[str, UnitIR] = {}
-        for u in prog.units:
-            st = build_symbol_table(u)
-            resolve_unit(u, st, proc_names)
-            self.units[u.name] = UnitIR(unit=u, symtab=st)
+        units = list(prog.units)
+        if parallel is None:
+            parallel = len(units) >= _PARALLEL_UNIT_THRESHOLD
+        if parallel and len(units) > 1:
+            from ..perf import pool
+            built = pool.run_tasks(
+                [lambda u=u: _resolve_one(u, proc_names) for u in units],
+                parallel=True)
+        else:
+            built = [_resolve_one(u, proc_names) for u in units]
+        # deterministic merge: source order, independent of completion order
+        for u, uir in zip(units, built):
+            self.units[u.name] = uir
         self._callgraph: CallGraph | None = None
 
     @classmethod
-    def from_source(cls, text: str) -> "AnalyzedProgram":
-        return cls(parse_program(text))
+    def from_source(cls, text: str,
+                    parallel: bool | None = None) -> "AnalyzedProgram":
+        return cls(parse_program(text), parallel=parallel)
 
     @property
     def callgraph(self) -> CallGraph:
@@ -70,6 +101,14 @@ class AnalyzedProgram:
     def unit_names(self) -> list[str]:
         return list(self.units.keys())
 
+    def generation(self, unit_name: str) -> int:
+        """Current invalidation generation of one unit."""
+        return self.units[unit_name.upper()].generation
+
+    def generations(self) -> dict[str, int]:
+        """Per-unit generation counters (a cheap whole-program version)."""
+        return {name: u.generation for name, u in self.units.items()}
+
     @property
     def main_unit(self) -> UnitIR | None:
         for u in self.units.values():
@@ -82,7 +121,13 @@ class AnalyzedProgram:
         return print_program(self.ast)
 
     def invalidate(self, unit_name: str | None = None) -> None:
-        """Drop derived artifacts after the AST was mutated."""
+        """Drop derived artifacts after the AST was mutated.
+
+        With a unit name, only that unit's artifacts (CFG, loop tree)
+        are dropped and its generation advances; other units keep their
+        derived state.  The call graph is always reset -- call sites may
+        have moved and its reconstruction is cheap.
+        """
         if unit_name is None:
             for u in self.units.values():
                 u.invalidate()

@@ -71,22 +71,29 @@ class GroupReport:
         return out
 
 
+#: corpus program sources, keyed by program name (filled on first use;
+#: sources are immutable so the cache never needs invalidation)
+_SOURCE_CACHE: dict[str, str] = {}
+
+
+def program_source(prog_name: str) -> str:
+    """The corpus program's source text, cached by program name."""
+    if prog_name not in _SOURCE_CACHE:
+        _SOURCE_CACHE[prog_name] = PROGRAMS[prog_name].source
+    return _SOURCE_CACHE[prog_name]
+
+
 def _session(prog_name: str) -> PedSession:
-    return PedSession(PROGRAMS[prog_name].source)
+    return PedSession(program_source(prog_name))
 
 
 def _loop_by_line(s: PedSession, unit: str, line_text: str):
     """Find a loop whose header contains the given text."""
     s.select_unit(unit)
-    src = PROGRAMS_SOURCE_CACHE.setdefault(
-        id(s), s.source()).splitlines()
     for li in s.loops():
         if line_text.upper().replace(" ", "") in _header_text(s, li):
             return li
     raise LookupError(f"no loop matching {line_text!r} in {unit}")
-
-
-PROGRAMS_SOURCE_CACHE: dict[int, str] = {}
 
 
 def _header_text(s: PedSession, li) -> str:

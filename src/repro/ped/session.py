@@ -38,9 +38,11 @@ from ..interp import Interpreter
 from ..interproc import InterproceduralOracle, SummaryBuilder, check_program
 from ..ir.loops import LoopInfo
 from ..ir.program import AnalyzedProgram
+from ..perf import counters as perf_counters
 from ..perf import estimate_program, navigation_report
 from ..transform import TContext, get as get_transform, names as \
     transform_names
+from ..transform.base import DirtyScope
 from .filters import DependenceFilter, SourceFilter, VariableFilter
 from .panes import DependencePane, SourcePane, VariablePane
 
@@ -123,11 +125,77 @@ class PedSession:
                 extra_env=env)
         return self._analyzers[name]
 
-    def _invalidate(self) -> None:
-        self.program.invalidate()
-        self._summaries = None
-        self._analyzers.clear()
-        self._deps_cache.clear()
+    def _invalidate(self, scope: DirtyScope | None = None) -> None:
+        """Drop derived analyses after an AST mutation.
+
+        Without a scope (the conservative path: editing, new program
+        units) everything derived is discarded.  With a
+        :class:`DirtyScope` the eviction is surgical: only the dirty
+        unit's artifacts, the cached loop dependences whose loop chain
+        intersects the dirty loop set, and -- transitively up the call
+        graph -- the summaries and analyzers of units whose
+        interprocedural view of the dirty unit may have changed.
+        """
+        if scope is None:
+            perf_counters.bump("invalidations")
+            perf_counters.bump("deps_evicted", len(self._deps_cache))
+            self.program.invalidate()
+            self._summaries = None
+            self._analyzers.clear()
+            self._deps_cache.clear()
+        else:
+            self._invalidate_scoped(scope)
+        self._rebind_panes()
+
+    def _invalidate_scoped(self, scope: DirtyScope) -> None:
+        perf_counters.bump("scoped_invalidations")
+        dirty_unit = scope.unit.upper()
+        self.program.invalidate(dirty_unit)
+        # Units whose interprocedural summaries may observe the change:
+        # the dirty unit plus its transitive callers.
+        dirty_units = {dirty_unit}
+        cg = self.program.callgraph
+        frontier = [dirty_unit]
+        while frontier:
+            name = frontier.pop()
+            for caller in cg.callers(name):
+                if caller not in dirty_units:
+                    dirty_units.add(caller)
+                    frontier.append(caller)
+        self._refresh_summaries(dirty_units)
+        for name in dirty_units:
+            if self._analyzers.pop(name, None) is not None:
+                perf_counters.bump("analyzers_evicted")
+        perf_counters.bump(
+            "analyzers_retained", len(self._analyzers))
+        evict = []
+        for key in self._deps_cache:
+            unit_name, loop_uid = key
+            if scope.covers(unit_name, loop_uid):
+                evict.append(key)
+            elif unit_name in dirty_units and unit_name != dirty_unit:
+                # a caller's dependences may embed the dirty unit's
+                # side-effect summary: conservatively whole-unit
+                evict.append(key)
+        for key in evict:
+            del self._deps_cache[key]
+        perf_counters.bump("deps_evicted", len(evict))
+        perf_counters.bump("deps_retained", len(self._deps_cache))
+
+    def _refresh_summaries(self, dirty_units: set[str]) -> None:
+        """Rebuild interprocedural summaries for the dirty units only,
+        reusing every untouched unit's summary object as-is."""
+        if self._summaries is None:
+            return
+        retained = {name: s for name, s in self._summaries.items()
+                    if name not in dirty_units}
+        perf_counters.bump("summaries_retained", len(retained))
+        perf_counters.bump(
+            "summaries_rebuilt", len(self._summaries) - len(retained))
+        self._summaries = SummaryBuilder(
+            self.program, reuse=retained).build()
+
+    def _rebind_panes(self) -> None:
         self.source_pane = SourcePane(self.unit)
         if self.current_loop is not None:
             # Relocate the current loop by line if it survived.
@@ -184,6 +252,41 @@ class PedSession:
         if key not in self._deps_cache:
             self._deps_cache[key] = self.analyzer().analyze_loop(li)
         return self._deps_cache[key]
+
+    def analyze_all(self, parallel: bool | None = None
+                    ) -> dict[tuple[str, int], LoopDependences]:
+        """Analyze every loop of every unit, filling the dependence cache.
+
+        Per-loop dependence construction fans across the analysis pool
+        (:mod:`repro.perf.pool`); results merge in deterministic
+        (unit, source) order so parallel and serial runs are identical.
+        Already-cached loops are skipped -- after a scoped invalidation
+        only the dirty loops are re-analyzed.
+        """
+        from ..perf import pool
+        jobs: list[tuple[tuple[str, int],
+                         DependenceAnalyzer, LoopInfo]] = []
+        for name in self.program.unit_names():
+            uir = self.program.units[name]
+            an = self.analyzer(name)
+            # Materialize the analyzer's shared lazies (def-use chains,
+            # constant map) before fanning out: workers then only read.
+            an.defuse
+            an.constmap
+            for li in uir.loops.all_loops():
+                key = (name, li.loop.uid)
+                if key not in self._deps_cache:
+                    jobs.append((key, an, li))
+        results = pool.run_tasks(
+            [lambda an=an, li=li: an.analyze_loop(li)
+             for _, an, li in jobs],
+            parallel=parallel)
+        for (key, _, _), ld in zip(jobs, results):
+            self._deps_cache[key] = ld
+        self._log("access to analysis",
+                  f"analyze all: {len(jobs)} loops analyzed, "
+                  f"{len(self._deps_cache) - len(jobs)} cached")
+        return dict(self._deps_cache)
 
     def hot_loops(self, top: int = 10):
         """Static performance-estimation ranking (navigation assistance)."""
@@ -494,11 +597,13 @@ class PedSession:
                   f"{name}: {'applied' if result.applied else 'refused'} "
                   f"({result.advice.explain()})")
         if result.applied:
-            for nu in result.new_units:
-                self.program.ast.units.append(nu)
             if result.new_units:
+                for nu in result.new_units:
+                    self.program.ast.units.append(nu)
                 self.program.__init__(self.program.ast)  # re-resolve
-            self._invalidate()
+                self._invalidate()
+            else:
+                self._invalidate(result.dirty)
         return result
 
     def safe_transformations(self, loop=None) -> list[tuple[str, object]]:

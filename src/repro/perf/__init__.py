@@ -1,9 +1,12 @@
-"""Performance estimation and profile-guided navigation."""
+"""Performance estimation, profile-guided navigation, and the
+incremental-engine observability layer (counters + analysis pool)."""
 
+from . import counters, pool
 from .estimate import DEFAULT_TRIP, Estimator, LoopEstimate, \
     ProgramEstimate, estimate_program, navigation_report
 
 __all__ = [
     "DEFAULT_TRIP", "Estimator", "LoopEstimate", "ProgramEstimate",
     "estimate_program", "navigation_report",
+    "counters", "pool",
 ]

@@ -1,0 +1,130 @@
+"""Engine counters: observability for the incremental analysis engine.
+
+The incremental dependence engine (scoped invalidation, memoized pair
+testing, pooled whole-program analysis) is a performance feature, and
+performance features regress silently unless they are measurable.  This
+module keeps one process-wide :class:`EngineCounters` record that the
+engine layers update as they work:
+
+* **pair testing** -- hit/miss counts of the ``test_pair`` memo cache
+  (:mod:`repro.dependence.tests`);
+* **invalidation scope** -- per-event eviction/retention counts for the
+  session's loop-dependence cache and the interprocedural summary store
+  (:mod:`repro.ped.session`);
+* **pool utilization** -- how many tasks ran through the analysis pool,
+  in which mode, over how many workers (:mod:`repro.perf.pool`).
+
+Benchmarks and regression tests read the counters through
+:func:`snapshot` after :func:`reset`-ing them around the region of
+interest.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field, fields
+
+
+@dataclass
+class EngineCounters:
+    """Mutable process-wide counters for the incremental engine."""
+
+    # -- memoized pair testing ------------------------------------------------
+    pair_hits: int = 0
+    pair_misses: int = 0
+    pair_evictions: int = 0
+
+    # -- scoped invalidation --------------------------------------------------
+    #: invalidation events processed by the session layer
+    invalidations: int = 0
+    #: events that used a transformation-declared dirty scope
+    scoped_invalidations: int = 0
+    #: loop-dependence cache entries dropped / kept across all events
+    deps_evicted: int = 0
+    deps_retained: int = 0
+    #: interprocedural summaries rebuilt / reused across all events
+    summaries_rebuilt: int = 0
+    summaries_retained: int = 0
+    #: analyzers dropped / kept across all events
+    analyzers_evicted: int = 0
+    analyzers_retained: int = 0
+
+    # -- pool utilization -----------------------------------------------------
+    pool_batches: int = 0
+    pool_tasks: int = 0
+    #: tasks that actually went through an executor (not the serial path)
+    pool_parallel_tasks: int = 0
+    pool_workers: int = 0
+    pool_mode: str = ""
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def pair_tests(self) -> int:
+        return self.pair_hits + self.pair_misses
+
+    def pair_hit_rate(self) -> float:
+        total = self.pair_tests
+        return self.pair_hits / total if total else 0.0
+
+    def retention_rate(self) -> float:
+        total = self.deps_evicted + self.deps_retained
+        return self.deps_retained / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        out = asdict(self)
+        out["pair_tests"] = self.pair_tests
+        out["pair_hit_rate"] = self.pair_hit_rate()
+        out["deps_retention_rate"] = self.retention_rate()
+        return out
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+
+#: the process-wide counter record (reset between measured regions)
+COUNTERS = EngineCounters()
+
+#: guards increments arriving from pool worker threads
+_LOCK = threading.Lock()
+
+
+def reset() -> None:
+    """Zero every counter (start of a measured region)."""
+    with _LOCK:
+        COUNTERS.reset()
+
+
+def snapshot() -> dict:
+    """Current counter values plus derived rates, as a plain dict."""
+    with _LOCK:
+        return COUNTERS.snapshot()
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Thread-safe increment of one counter field."""
+    with _LOCK:
+        setattr(COUNTERS, name, getattr(COUNTERS, name) + n)
+
+
+def report() -> str:
+    """Human-readable one-screen counter report."""
+    s = snapshot()
+    lines = [
+        "incremental engine counters",
+        f"  pair tests     {s['pair_tests']:>8}  "
+        f"(hits {s['pair_hits']}, misses {s['pair_misses']}, "
+        f"hit rate {s['pair_hit_rate']:.1%})",
+        f"  invalidations  {s['invalidations']:>8}  "
+        f"(scoped {s['scoped_invalidations']})",
+        f"  deps cache     evicted {s['deps_evicted']}, "
+        f"retained {s['deps_retained']} "
+        f"({s['deps_retention_rate']:.1%} retained)",
+        f"  summaries      rebuilt {s['summaries_rebuilt']}, "
+        f"retained {s['summaries_retained']}",
+        f"  pool           {s['pool_tasks']} tasks in "
+        f"{s['pool_batches']} batches, mode "
+        f"{s['pool_mode'] or '-'}, workers {s['pool_workers']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Analysis pool: fan independent analysis tasks across workers.
+
+``AnalyzedProgram.from_source`` (per-unit resolution) and
+``PedSession.analyze_all`` (per-loop DDG construction) submit batches of
+independent zero-argument callables here.  The pool
+
+* auto-selects its mode: ``thread`` on multi-core hosts, ``serial`` on a
+  single core, with the ``REPRO_PARALLEL`` environment variable
+  (``thread`` / ``process`` / ``serial``) as an override;
+* falls back from ``process`` to ``thread`` for closure tasks (session
+  and analyzer objects are not picklable -- only module-level functions
+  can cross a process boundary);
+* returns results in submission order regardless of completion order, so
+  callers merge deterministically and parallel output is byte-identical
+  to serial output.
+
+Utilization is recorded in :mod:`repro.perf.counters`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from . import counters
+
+#: environment override: thread | process | serial (anything else = auto)
+ENV_VAR = "REPRO_PARALLEL"
+
+_MODES = ("thread", "process", "serial")
+
+
+def cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def pool_mode(requested: str | None = None) -> str:
+    """Resolve the pool mode: explicit request > env override > auto."""
+    for mode in (requested, os.environ.get(ENV_VAR, "").lower() or None):
+        if mode in _MODES:
+            return mode
+        if mode in ("off", "none"):
+            return "serial"
+    return "thread" if cpu_count() > 1 else "serial"
+
+
+def worker_count(n_tasks: int, max_workers: int | None = None) -> int:
+    return max(1, min(n_tasks, max_workers or cpu_count()))
+
+
+def run_tasks(tasks: Sequence[Callable[[], object]],
+              parallel: bool | None = None,
+              mode: str | None = None,
+              max_workers: int | None = None,
+              picklable: bool = False) -> list:
+    """Run independent zero-arg callables; results in submission order.
+
+    ``parallel=None`` auto-selects (pool when the resolved mode is not
+    serial and there is more than one task); ``parallel=False`` forces
+    the serial path; ``parallel=True`` forces a pool even on one core
+    (useful for determinism regression tests).
+    """
+    tasks = list(tasks)
+    resolved = pool_mode(mode)
+    if resolved == "process" and not picklable:
+        resolved = "thread"   # closures cannot cross a process boundary
+    if parallel is None:
+        parallel = resolved != "serial" and len(tasks) > 1
+    if parallel and resolved == "serial":
+        resolved = "thread"   # explicit request overrides the auto pick
+
+    counters.bump("pool_batches")
+    counters.bump("pool_tasks", len(tasks))
+
+    if not parallel or len(tasks) <= 1:
+        with counters._LOCK:
+            counters.COUNTERS.pool_mode = "serial"
+        return [t() for t in tasks]
+
+    workers = worker_count(len(tasks), max_workers)
+    counters.bump("pool_parallel_tasks", len(tasks))
+    with counters._LOCK:
+        counters.COUNTERS.pool_mode = resolved
+        counters.COUNTERS.pool_workers = max(
+            counters.COUNTERS.pool_workers, workers)
+    executor_cls = ProcessPoolExecutor if resolved == "process" \
+        else ThreadPoolExecutor
+    with executor_cls(max_workers=workers) as ex:
+        futures = [ex.submit(t) for t in tasks]
+        # submission order, not completion order: deterministic merge
+        return [f.result() for f in futures]

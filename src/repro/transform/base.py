@@ -64,6 +64,38 @@ class Advice:
                       [message] if message else [])
 
 
+@dataclass(frozen=True)
+class DirtyScope:
+    """What a transformation mutated, for scoped invalidation.
+
+    ``loop_uids`` of ``None`` means the whole unit is dirty (the
+    conservative default); otherwise it is the closed loop set -- the
+    target loop, its ancestors (their analyses include the mutated
+    statements), and its descendants -- captured *before* the mutation,
+    while the loop tree is still valid.  The session evicts exactly the
+    cached results whose loop chain intersects this set and propagates
+    summary invalidation transitively up the call graph.
+    """
+
+    unit: str
+    loop_uids: frozenset[int] | None = None
+
+    @property
+    def whole_unit(self) -> bool:
+        return self.loop_uids is None
+
+    def covers(self, unit: str, loop_uid: int) -> bool:
+        if unit.upper() != self.unit.upper():
+            return False
+        return self.loop_uids is None or loop_uid in self.loop_uids
+
+
+def loop_closure(loop: LoopInfo) -> frozenset[int]:
+    """Uids of the loop, its ancestors, and its descendants."""
+    return frozenset({li.uid for li in loop.nest()}
+                     | {li.uid for li in loop.inner_loops()})
+
+
 @dataclass
 class TransformResult:
     advice: Advice
@@ -72,6 +104,8 @@ class TransformResult:
     description: str = ""
     #: any new program units created (loop embedding/extraction)
     new_units: list[ast.ProgramUnit] = field(default_factory=list)
+    #: declared mutation scope (None when nothing was applied)
+    dirty: DirtyScope | None = None
 
 
 @dataclass
@@ -103,18 +137,40 @@ class Transformation:
     name: str = ""
     category: str = ""
     needs_loop: bool = True
+    #: invalidation scope the transformation declares: "unit" (the
+    #: conservative default -- everything derived for the unit is dirty)
+    #: or "loop" (mutations confined to the target loop's nest; sibling
+    #: loops' cached analyses stay valid)
+    scope: str = "unit"
 
     def check(self, ctx: TContext) -> Advice:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def dirty_scope(self, ctx: TContext) -> DirtyScope:
+        """Declare what :meth:`_do` is about to mutate.
+
+        Called *before* the mutation so the loop-nest closure can be
+        read off the still-valid loop tree.  Subclasses with unusual
+        footprints (e.g. fusing into a sibling) may override.
+        """
+        unit = ctx.uir.unit.name
+        if self.scope == "loop" and ctx.loop is not None:
+            return DirtyScope(unit=unit, loop_uids=loop_closure(ctx.loop))
+        return DirtyScope(unit=unit)
 
     def apply(self, ctx: TContext) -> TransformResult:
         advice = self.check(ctx)
         if not advice.ok:
             return TransformResult(advice=advice, applied=False)
+        dirty = self.dirty_scope(ctx)
         desc, new_units = self._do(ctx)
         ctx.uir.invalidate()
+        if new_units:
+            # new program units force whole-program re-resolution anyway
+            dirty = DirtyScope(unit=dirty.unit)
         return TransformResult(advice=advice, applied=True,
-                               description=desc, new_units=new_units)
+                               description=desc, new_units=new_units,
+                               dirty=dirty)
 
     def _do(self, ctx: TContext
             ) -> tuple[str, list[ast.ProgramUnit]]:  # pragma: no cover

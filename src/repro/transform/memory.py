@@ -19,6 +19,7 @@ class StripMining(Transformation):
 
     name = "strip_mining"
     category = "Memory Optimizing"
+    scope = "loop"
 
     def check(self, ctx: TContext) -> Advice:
         if ctx.loop is None:
@@ -59,6 +60,7 @@ class LoopUnrolling(Transformation):
 
     name = "loop_unrolling"
     category = "Memory Optimizing"
+    scope = "loop"
 
     def check(self, ctx: TContext) -> Advice:
         if ctx.loop is None:

@@ -21,6 +21,7 @@ class Parallelize(Transformation):
 
     name = "parallelize"
     category = "Miscellaneous"
+    scope = "loop"
 
     def check(self, ctx: TContext) -> Advice:
         if ctx.loop is None:
@@ -51,6 +52,7 @@ class Serialize(Transformation):
 
     name = "serialize"
     category = "Miscellaneous"
+    scope = "loop"
 
     def check(self, ctx: TContext) -> Advice:
         if ctx.loop is None:

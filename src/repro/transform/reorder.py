@@ -53,6 +53,7 @@ class LoopDistribution(Transformation):
 
     name = "loop_distribution"
     category = "Reordering"
+    scope = "loop"
 
     def _partitions(self, ctx: TContext) -> list[list[int]] | None:
         loop = ctx.loop.loop
@@ -151,6 +152,7 @@ class LoopInterchange(Transformation):
 
     name = "loop_interchange"
     category = "Reordering"
+    scope = "loop"
 
     def _inner(self, ctx: TContext) -> LoopInfo | None:
         return ctx.loop.is_perfect_nest_with() if ctx.loop else None
@@ -299,6 +301,7 @@ class LoopReversal(Transformation):
 
     name = "loop_reversal"
     category = "Reordering"
+    scope = "loop"
 
     def check(self, ctx: TContext) -> Advice:
         if ctx.loop is None:
