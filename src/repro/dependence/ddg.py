@@ -33,6 +33,8 @@ from ..analysis.symbolic import auxiliary_inductions, invariant_names, \
 from ..fortran import ast
 from ..ir.loops import LoopInfo, LoopTree
 from ..ir.program import UnitIR
+from ..perf import budget as _budget
+from ..perf import counters as _counters
 from .facts import FactBase
 from .model import ANY, EQ, GT, LT, DepType, Dependence, DirectionVector, \
     Mark, Reference
@@ -84,14 +86,46 @@ class LoopDependences:
     privatizable: set[str]
     #: names of scalars involved in recognized reduction patterns
     reductions: set[str] = field(default_factory=set)
+    #: degraded-mode notes: non-empty when part of the analysis failed
+    #: or ran out of budget and dependences were conservatively assumed
+    degraded: list[str] = field(default_factory=list)
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
 
     def carried(self) -> list[Dependence]:
         return [d for d in self.dependences if d.loop_carried and d.active]
 
     def parallelizable(self) -> bool:
-        """No active loop-carried dependence at this loop's level."""
+        """No active loop-carried dependence at this loop's level.
+
+        A degraded analysis is never parallelizable: incomplete
+        information must read as "dependence assumed" (the sound
+        conservative fallback), not as independence.
+        """
+        if self.degraded:
+            return False
         return not [d for d in self.carried() if d.level == 1
                     and d.dtype is not DepType.INPUT]
+
+
+def degraded_loop_dependences(li: LoopInfo, reason: str) -> LoopDependences:
+    """Conservative stand-in when a loop's analysis failed outright.
+
+    One synthetic assumed dependence keeps every safety check honest
+    (``parallelizable()`` is False, transformations see a carried edge)
+    and gives the dependence pane a row to flag.
+    """
+    ref = Reference(var="*", stmt_uid=li.loop.uid, line=li.line,
+                    is_write=True, text=f"{li.id} (unanalyzed)")
+    dep = Dependence(dtype=DepType.TRUE, source=ref, sink=ref,
+                     vector=(ANY,), distances=(None,), level=1,
+                     mark=Mark.PENDING,
+                     reason=f"dependence assumed: {reason}",
+                     nest_ids=(li.id,))
+    return LoopDependences(loop=li, dependences=[dep], privatizable=set(),
+                           degraded=[reason])
 
 
 def _reverse_vector(dv: DirectionVector) -> DirectionVector:
@@ -137,7 +171,8 @@ class DependenceAnalyzer:
                  use_scalar_kills: bool = True,
                  use_symbolic_relations: bool = True,
                  use_constants: bool = True,
-                 extra_env: dict[str, LinearExpr] | None = None):
+                 extra_env: dict[str, LinearExpr] | None = None,
+                 budget: "_budget.AnalysisBudget | None" = None):
         self.uir = uir
         self.oracle = oracle or SideEffectOracle()
         self.facts = facts or FactBase()
@@ -147,6 +182,8 @@ class DependenceAnalyzer:
         self.use_constants = use_constants
         #: additional substitutions (e.g. equality assertions JM = JMAX-1)
         self.extra_env = dict(extra_env or {})
+        #: per-loop step/time budget; None defers to repro.perf.budget
+        self.budget = budget
         self._defuse = None
         self._constmap = None
 
@@ -347,39 +384,83 @@ class DependenceAnalyzer:
 
     def analyze_loop(self, loop: "LoopInfo | str | ast.DoLoop"
                      ) -> LoopDependences:
-        tree = self.uir.loops
-        li = tree.find(loop)
-        st = self.uir.symtab
-        env = self._env_at(li)
-        facts = self._facts_with_ranges(env)
-        refs = self._collect_refs(li)
-        aux_subst, _aux_last = self._aux_subst(li)
-        copies = self._iteration_copies(li)
+        """Analyze one loop, degrading (never raising) on internal faults.
 
-        for i, r in enumerate(refs):
-            if r.test_subs is None:
-                continue
-            subs = r.test_subs
-            if copies:
-                subs = tuple(self._apply_copies(sub, copies, r.order)
-                             for sub in subs)
-            if aux_subst:
-                subs = tuple(ast.substitute(sub, aux_subst) for sub in subs)
-            if subs != r.test_subs:
-                refs[i] = replace(r, test_subs=subs)
+        A bad loop key still raises (that is a caller error); once the
+        loop is found, any failure inside the analysis pipeline or an
+        exhausted budget produces a conservative result whose
+        ``degraded`` notes say what was skipped.
+        """
+        li = self.uir.loops.find(loop)
+        try:
+            return self._analyze(li)
+        except Exception as e:  # degraded mode: assume dependence
+            _counters.bump("degraded_loops")
+            return degraded_loop_dependences(
+                li, f"loop analysis failed: {type(e).__name__}: {e}")
+
+    @staticmethod
+    def _guard(thunk, fallback, notes: list[str], what: str):
+        """Run one optional analysis phase; on failure note it and fall
+        back to the (conservative) default instead of aborting."""
+        try:
+            return thunk()
+        except Exception as e:
+            notes.append(f"{what} unavailable ({type(e).__name__}: {e})")
+            return fallback
+
+    def _analyze(self, li: LoopInfo) -> LoopDependences:
+        st = self.uir.symtab
+        notes: list[str] = []
+        meter = (self.budget or _budget.current()).meter()
+        # Refinement phases may fail individually: each falls back to
+        # "no information", which only weakens (never unsounds) testing.
+        env = self._guard(lambda: self._env_at(li), {}, notes,
+                          "symbolic environment")
+        facts = self._guard(lambda: self._facts_with_ranges(env),
+                            self.facts, notes, "fact base ranges")
+        refs = self._collect_refs(li)
+        aux_subst, _aux_last = self._guard(
+            lambda: self._aux_subst(li), ({}, {}), notes,
+            "auxiliary induction analysis")
+        copies = self._guard(lambda: self._iteration_copies(li), {}, notes,
+                             "iteration-copy propagation")
+
+        def rewrite_subs():
+            for i, r in enumerate(refs):
+                if r.test_subs is None:
+                    continue
+                subs = r.test_subs
+                if copies:
+                    subs = tuple(self._apply_copies(sub, copies, r.order)
+                                 for sub in subs)
+                if aux_subst:
+                    subs = tuple(ast.substitute(sub, aux_subst)
+                                 for sub in subs)
+                if subs != r.test_subs:
+                    refs[i] = replace(r, test_subs=subs)
+
+        self._guard(rewrite_subs, None, notes, "subscript rewriting")
 
         private = set(li.loop.private_vars)
         if self.use_scalar_kills:
-            private |= privatizable_names(li.loop, st, self.oracle)
+            private |= self._guard(
+                lambda: privatizable_names(li.loop, st, self.oracle),
+                set(), notes, "scalar kill analysis")
 
         deps: list[Dependence] = []
-        deps.extend(self._array_dependences(li, refs, env, facts))
-        scalar_deps, reductions = self._scalar_dependences(
-            li, refs, private, aux_subst)
+        deps.extend(self._array_dependences(li, refs, env, facts,
+                                            meter, notes))
+        scalar_deps, reductions = self._guard(
+            lambda: self._scalar_dependences(li, refs, private, aux_subst),
+            ([], set()), notes, "scalar dependence analysis")
         deps.extend(scalar_deps)
         deps.sort(key=lambda d: (d.var, d.source.line, d.sink.line))
+        if notes:
+            _counters.bump("degraded_loops")
         return LoopDependences(loop=li, dependences=deps,
-                               privatizable=private, reductions=reductions)
+                               privatizable=private, reductions=reductions,
+                               degraded=notes)
 
     def _facts_with_ranges(self, env: dict[str, LinearExpr]) -> FactBase:
         fb = FactBase(list(self.facts.linear),
@@ -395,9 +476,11 @@ class DependenceAnalyzer:
 
     def _array_dependences(self, li: LoopInfo, refs: list[RefSite],
                            env: dict[str, LinearExpr],
-                           facts: FactBase) -> list[Dependence]:
+                           facts: FactBase,
+                           meter: "_budget.BudgetMeter | None" = None,
+                           notes: list[str] | None = None
+                           ) -> list[Dependence]:
         st = self.uir.symtab
-        tree = self.uir.loops
         arrays: dict[str, list[RefSite]] = {}
         for r in refs:
             if r.var in li.loop.private_vars:
@@ -417,7 +500,8 @@ class DependenceAnalyzer:
                             continue
                     if i == j:
                         continue
-                    out.extend(self._test_site_pair(li, a, b, env, facts))
+                    out.extend(self._test_site_pair(li, a, b, env, facts,
+                                                    meter, notes))
         return out
 
     def _loop_ctxs(self, li: LoopInfo, chain: tuple[int, ...],
@@ -440,7 +524,9 @@ class DependenceAnalyzer:
 
     def _test_site_pair(self, li: LoopInfo, a: RefSite, b: RefSite,
                         env: dict[str, LinearExpr],
-                        facts: FactBase) -> list[Dependence]:
+                        facts: FactBase,
+                        meter: "_budget.BudgetMeter | None" = None,
+                        notes: list[str] | None = None) -> list[Dependence]:
         # common nest: longest common prefix of the two loop chains
         chain: list[int] = []
         for x, y in zip(a.chain, b.chain):
@@ -460,7 +546,29 @@ class DependenceAnalyzer:
                 exact=False,
                 reason="summarized array access (no section information)")
         else:
-            result = test_pair(a.test_subs, b.test_subs, loops, env, facts)
+            try:
+                if meter is not None:
+                    meter.tick()
+                result = test_pair(a.test_subs, b.test_subs, loops, env,
+                                   facts)
+            except Exception as e:
+                # Degraded pair: assume every direction rather than fail
+                # the whole loop.  Budget exhaustion lands here too (the
+                # meter keeps raising, so every remaining pair degrades).
+                if isinstance(e, _budget.BudgetExhausted):
+                    reason = str(e)
+                else:
+                    reason = f"pair test failed: {type(e).__name__}: {e}"
+                note = f"{a.var}: dependence assumed ({reason})"
+                if notes is not None and note not in notes:
+                    notes.append(note)
+                    if isinstance(e, _budget.BudgetExhausted):
+                        _counters.bump("budget_exhaustions")
+                _counters.bump("degraded_pairs")
+                result = PairResult(
+                    vectors=[v for v in _all_vectors(len(loops))],
+                    exact=False,
+                    reason=f"dependence assumed: {reason}")
 
         return self._emit(a, b, result, nest_ids)
 

@@ -425,6 +425,8 @@ def test_pair(src_subs: tuple[ast.Expr, ...], snk_subs: tuple[ast.Expr, ...],
     unchanged loop answers from cached verdicts instead of re-running
     the hierarchical suite.
     """
+    from ..testing import faults
+    faults.check("pair_test")
     env = env or {}
     facts = facts or FactBase()
     try:

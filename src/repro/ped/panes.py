@@ -159,9 +159,13 @@ class DependencePane:
         self.dependences: list[Dependence] = []
         self.filter: DependenceFilter | None = None
         self.selection: list[int] = []   # dependence ids
+        #: degraded-analysis notes for the current loop (empty = clean)
+        self.degraded: list[str] = []
 
-    def set_dependences(self, deps: list[Dependence]) -> None:
+    def set_dependences(self, deps: list[Dependence],
+                        degraded: list[str] | None = None) -> None:
         self.dependences = deps
+        self.degraded = list(degraded or [])
         self.selection = [i for i in self.selection
                           if any(d.id == i for d in deps)]
 
@@ -184,8 +188,14 @@ class DependencePane:
 
     def render(self) -> str:
         rows = self.rows()
+        banner = ""
+        if self.degraded:
+            banner = ("!! DEGRADED ANALYSIS -- dependences assumed "
+                      "conservatively\n"
+                      + "".join(f"!!   {n}\n" for n in self.degraded))
         if not rows:
-            return "(no dependences)"
+            return banner + "(no dependences)" if banner \
+                else "(no dependences)"
         data = []
         for d in rows:
             sel = ">" if d.id in self.selection else " "
@@ -196,7 +206,7 @@ class DependencePane:
         widths = [1, 6, 20, 20, 10, 5, 8, 40]
         header = " " + "  ".join(
             c.ljust(w) for c, w in zip(self.COLUMNS, widths[1:]))
-        lines = [header]
+        lines = ([banner.rstrip("\n")] if banner else []) + [header]
         for row in data:
             lines.append("".join(
                 str(c)[:w].ljust(w) + ("  " if i else "")

@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from ..analysis.arraykills import array_kills
 from ..analysis.defuse import compute_defuse
 from ..assertions import AssertionSet, derive_breaking_conditions
-from ..dependence.ddg import DependenceAnalyzer, LoopDependences
+from ..dependence.ddg import DependenceAnalyzer, LoopDependences, \
+    degraded_loop_dependences
 from ..dependence.model import Dependence, Mark
 from ..fortran import ParseError, ast, parse_program
 from ..interp import Interpreter
@@ -42,7 +43,9 @@ from ..perf import counters as perf_counters
 from ..perf import estimate_program, navigation_report
 from ..transform import TContext, get as get_transform, names as \
     transform_names
-from ..transform.base import DirtyScope
+from ..transform.base import Advice, DirtyScope, TransformError, \
+    TransformResult
+from ..transform.transaction import ProgramSnapshot
 from .filters import DependenceFilter, SourceFilter, VariableFilter
 from .panes import DependencePane, SourcePane, VariablePane
 
@@ -64,27 +67,110 @@ class _DepSig:
                        d.vector)
 
 
+@dataclass(frozen=True)
+class _LooseSig:
+    """uid-free mark signature.
+
+    ``_DepSig`` pins a mark to statement uids, which a re-parse
+    regenerates; this looser (variable, type, endpoint text, vector)
+    key lets accepted/rejected marks survive an :meth:`PedSession.edit`.
+    """
+
+    var: str
+    dtype: str
+    source_text: str
+    sink_text: str
+    vector: tuple[str, ...]
+
+    @staticmethod
+    def of(d: Dependence) -> "_LooseSig":
+        return _LooseSig(d.var, str(d.dtype), d.source.text, d.sink.text,
+                         d.vector)
+
+
 @dataclass
 class Event:
     feature: str
     detail: str
 
 
+@dataclass
+class JournalEntry:
+    """One applied transformation on the undo/redo journal."""
+
+    name: str
+    description: str
+    pre: ProgramSnapshot
+    post: ProgramSnapshot
+    dirty: DirtyScope | None
+
+
+@dataclass
+class HealthReport:
+    """What has gone wrong (and been survived) in this session."""
+
+    #: loops whose cached analysis ran degraded (conservative fallbacks)
+    degraded_loops: list[dict]
+    #: unit/loop analysis failures recorded by :meth:`analyze_all`
+    failed_units: list[dict]
+    transform_failures: list[dict]
+    guidance_failures: list[dict]
+    edit_failures: list[dict]
+    undo_depth: int = 0
+    redo_depth: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.degraded_loops or self.failed_units
+                    or self.transform_failures or self.guidance_failures
+                    or self.edit_failures)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"session healthy (journal: {self.undo_depth} undo, "
+                    f"{self.redo_depth} redo)")
+        lines = ["session degraded:"]
+        for d in self.degraded_loops:
+            lines.append(f"  loop {d['unit']}/{d['loop']}: "
+                         + "; ".join(d["notes"]))
+        for d in self.failed_units:
+            lines.append(f"  unit {d['unit']}/{d['loop']}: {d['reason']}")
+        for d in self.transform_failures:
+            lines.append(f"  transform {d['transform']}: {d['error']}")
+        for d in self.guidance_failures:
+            lines.append(f"  guidance {d['transform']}: {d['error']}")
+        for d in self.edit_failures:
+            lines.append(f"  edit: {d['error']}")
+        lines.append(f"  journal: {self.undo_depth} undo, "
+                     f"{self.redo_depth} redo")
+        return "\n".join(lines)
+
+
 class PedSession:
     """An interactive editing/parallelization session over one program."""
 
     def __init__(self, source: str, interprocedural: bool = True,
-                 include_input_deps: bool = False):
+                 include_input_deps: bool = False,
+                 journal_limit: int = 32):
         self.program = AnalyzedProgram.from_source(source)
         self.interprocedural = interprocedural
         self.include_input_deps = include_input_deps
         self.assertions = AssertionSet()
         self.events: list[Event] = []
         self._marks: dict[_DepSig, tuple[Mark, str]] = {}
+        self._loose_marks: dict[_LooseSig, tuple[Mark, str]] = {}
         self._var_reasons: dict[tuple[str, int, str], str] = {}
         self._summaries = None
         self._analyzers: dict[str, DependenceAnalyzer] = {}
         self._deps_cache: dict[tuple[str, int], LoopDependences] = {}
+        #: structured failure records surfaced through :meth:`health`
+        self.diagnostics: list[dict] = []
+        #: (unit, loop id) -> reason for analyses that fell back
+        self._degraded: dict[tuple[str, str], str] = {}
+        #: bounded undo/redo journal of applied transformations
+        self.journal_limit = journal_limit
+        self._undo: list[JournalEntry] = []
+        self._redo: list[JournalEntry] = []
         names = self.program.unit_names()
         main = self.program.main_unit
         self.current_unit_name = main.unit.name if main else names[0]
@@ -237,7 +323,7 @@ class PedSession:
         self.current_loop = li
         ld = self._loop_deps(li)
         deps = self._with_marks(ld.dependences)
-        self.dependence_pane.set_dependences(deps)
+        self.dependence_pane.set_dependences(deps, degraded=ld.degraded)
         self.variable_pane.set_rows(self._variable_rows(li, ld))
         self.source_pane.current_uids = {
             s.uid for s in li.statements()} | {li.loop.uid}
@@ -262,26 +348,60 @@ class PedSession:
         (unit, source) order so parallel and serial runs are identical.
         Already-cached loops are skipped -- after a scoped invalidation
         only the dirty loops are re-analyzed.
+
+        Failures are isolated, never fatal: a unit whose shared analyses
+        cannot be built, or a loop whose pool worker dies, degrades to a
+        conservative "dependence assumed" result recorded in
+        :meth:`health` -- the rest of the program still analyzes.
         """
         from ..perf import pool
         jobs: list[tuple[tuple[str, int],
                          DependenceAnalyzer, LoopInfo]] = []
         for name in self.program.unit_names():
             uir = self.program.units[name]
-            an = self.analyzer(name)
-            # Materialize the analyzer's shared lazies (def-use chains,
-            # constant map) before fanning out: workers then only read.
-            an.defuse
-            an.constmap
-            for li in uir.loops.all_loops():
+            try:
+                an = self.analyzer(name)
+                # Materialize the analyzer's shared lazies (def-use
+                # chains, constant map) before fanning out: workers then
+                # only read.
+                an.defuse
+                an.constmap
+                loops = uir.loops.all_loops()
+            except Exception as e:
+                reason = (f"unit analysis failed: "
+                          f"{type(e).__name__}: {e}")
+                self._degraded[(name, "*")] = reason
+                self._log("access to analysis", f"{name}: {reason}")
+                try:
+                    loops = uir.loops.all_loops()
+                except Exception:
+                    loops = []
+                for li in loops:
+                    key = (name, li.loop.uid)
+                    if key not in self._deps_cache:
+                        self._deps_cache[key] = \
+                            degraded_loop_dependences(li, reason)
+                        perf_counters.bump("degraded_loops")
+                continue
+            for li in loops:
                 key = (name, li.loop.uid)
                 if key not in self._deps_cache:
                     jobs.append((key, an, li))
         results = pool.run_tasks(
             [lambda an=an, li=li: an.analyze_loop(li)
              for _, an, li in jobs],
-            parallel=parallel)
-        for (key, _, _), ld in zip(jobs, results):
+            parallel=parallel,
+            contexts=[(key[0], li.id) for key, _, li in jobs],
+            on_error="return")
+        for (key, _, li), ld in zip(jobs, results):
+            if isinstance(ld, pool.TaskFailure):
+                reason = (f"worker failed: "
+                          f"{type(ld.error).__name__}: {ld.error}")
+                self._degraded[(key[0], li.id)] = reason
+                self._log("access to analysis",
+                          f"{key[0]}/{li.id}: {reason}")
+                ld = degraded_loop_dependences(li, reason)
+                perf_counters.bump("degraded_loops")
             self._deps_cache[key] = ld
         self._log("access to analysis",
                   f"analyze all: {len(jobs)} loops analyzed, "
@@ -422,6 +542,16 @@ class PedSession:
             sig = _DepSig.of(d)
             if sig in self._marks:
                 d.mark, d.reason = self._marks[sig]
+                continue
+            # uid-free fallback: a re-parse regenerates statement uids,
+            # but the loose (var, type, text, vector) signature survives
+            loose = self._loose_marks.get(_LooseSig.of(d))
+            if loose is not None:
+                mark, reason = loose
+                if mark is Mark.REJECTED and d.mark is Mark.PROVEN:
+                    continue  # the analyzer now proves it: keep proven
+                d.mark, d.reason = mark, reason
+                self._marks[sig] = (mark, reason)
         return deps
 
     def mark_dependence(self, dep: Dependence, mark: "Mark | str",
@@ -434,6 +564,7 @@ class PedSession:
         dep.mark = mark
         dep.reason = reason or dep.reason
         self._marks[_DepSig.of(dep)] = (mark, dep.reason)
+        self._loose_marks[_LooseSig.of(dep)] = (mark, dep.reason)
         feature = ("dependence deletion" if mark is Mark.REJECTED
                    else "dependence marking")
         self._log(feature, f"{mark} {dep.var} {dep.describe()}")
@@ -583,6 +714,15 @@ class PedSession:
         return t.check(ctx)
 
     def apply(self, name: str, loop=None, **params):
+        """Apply a transformation under power steering.
+
+        A transformation that crashes mid-rewrite is rolled back by the
+        transaction layer (:mod:`repro.transform.transaction`): the
+        source re-renders byte-identically, every cached analysis stays
+        valid, and the failure is recorded in :attr:`diagnostics` /
+        :meth:`health` instead of raising.  Successful applies are
+        journaled for :meth:`undo`/:meth:`redo`.
+        """
         t = get_transform(name)
         li = None
         if loop is not None:
@@ -592,7 +732,21 @@ class PedSession:
         params.setdefault("program", self.program)
         ctx = TContext(uir=self.unit, analyzer=self.analyzer(), loop=li,
                        params=params)
-        result = t.apply(ctx)
+        wide = t.category == "Interprocedural"
+        pre = ProgramSnapshot.capture_program(self.program) if wide \
+            else ProgramSnapshot.capture(self.program, [self.unit])
+        try:
+            result = t.apply(ctx)
+        except TransformError as e:
+            self.diagnostics.append({
+                "kind": "transform", "transform": name, "error": str(e),
+                "rolled_back": getattr(e, "rolled_back", False)})
+            self._log("transformation", f"{name}: failed ({e})")
+            # the transaction restored a uid-identical AST, so cached
+            # analyses are still valid: re-render the panes, keep caches
+            self._rebind_panes()
+            return TransformResult(advice=Advice.no(str(e)),
+                                   applied=False, error=str(e))
         self._log("transformation",
                   f"{name}: {'applied' if result.applied else 'refused'} "
                   f"({result.advice.explain()})")
@@ -604,7 +758,106 @@ class PedSession:
                 self._invalidate()
             else:
                 self._invalidate(result.dirty)
+            post = ProgramSnapshot.capture_program(self.program) \
+                if (wide or result.new_units) \
+                else ProgramSnapshot.capture(self.program, [self.unit])
+            self._undo.append(JournalEntry(
+                name=name, description=result.description or name,
+                pre=pre, post=post, dirty=result.dirty))
+            del self._undo[:-self.journal_limit]
+            self._redo.clear()
         return result
+
+    # -- undo/redo journal ------------------------------------------------------
+
+    def undo(self) -> bool:
+        """Revert the most recent applied transformation.
+
+        Restores the pre-apply snapshot (uids intact) and re-invalidates
+        exactly the transformation's dirty scope.  Returns False when
+        the journal is empty.
+        """
+        if not self._undo:
+            return False
+        entry = self._undo.pop()
+        changed = entry.pre.restore(self.program)
+        self._redo.append(entry)
+        if changed or entry.dirty is None:
+            self._invalidate()
+        else:
+            self._invalidate(entry.dirty)
+            self._prune_stale_deps()
+        self._log("transformation", f"undo {entry.name}")
+        return True
+
+    def redo(self) -> bool:
+        """Re-apply the most recently undone transformation."""
+        if not self._redo:
+            return False
+        entry = self._redo.pop()
+        changed = entry.post.restore(self.program)
+        self._undo.append(entry)
+        if changed or entry.dirty is None:
+            self._invalidate()
+        else:
+            self._invalidate(entry.dirty)
+            self._prune_stale_deps()
+        self._log("transformation", f"redo {entry.name}")
+        return True
+
+    def _prune_stale_deps(self) -> None:
+        """Drop cached dependences for loops that no longer exist.
+
+        A transformation may create loops (strip mining, distribution)
+        whose fresh uids are outside the pre-capture dirty scope; after
+        a snapshot restore those cache entries refer to loops absent
+        from the restored tree and must go.
+        """
+        live: dict[str, frozenset[int]] = {}
+        stale = []
+        for unit_name, loop_uid in self._deps_cache:
+            if unit_name not in live:
+                uir = self.program.units.get(unit_name)
+                live[unit_name] = frozenset(
+                    li.uid for li in uir.loops.all_loops()) \
+                    if uir is not None else frozenset()
+            if loop_uid not in live[unit_name]:
+                stale.append((unit_name, loop_uid))
+        for key in stale:
+            del self._deps_cache[key]
+
+    def history(self) -> list[dict]:
+        """The journal: applied entries oldest-first, then undone ones."""
+        done = [{"name": e.name, "description": e.description,
+                 "state": "applied"} for e in self._undo]
+        undone = [{"name": e.name, "description": e.description,
+                   "state": "undone"} for e in reversed(self._redo)]
+        return done + undone
+
+    # -- session health ---------------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """Everything that has degraded or failed (and been survived)."""
+        degraded = []
+        for (unit, _uid), ld in sorted(self._deps_cache.items()):
+            if ld.degraded:
+                degraded.append({"unit": unit, "loop": ld.loop.id,
+                                 "notes": list(ld.degraded)})
+        failed_units = [{"unit": u, "loop": lid, "reason": r}
+                        for (u, lid), r in sorted(self._degraded.items())]
+
+        def of(kind: str) -> list[dict]:
+            return [d for d in self.diagnostics if d.get("kind") == kind]
+
+        report = HealthReport(
+            degraded_loops=degraded, failed_units=failed_units,
+            transform_failures=of("transform"),
+            guidance_failures=of("guidance"),
+            edit_failures=of("edit"),
+            undo_depth=len(self._undo), redo_depth=len(self._redo))
+        self._log("access to analysis",
+                  f"health: {'ok' if report.ok else 'degraded'}")
+        return report
 
     def safe_transformations(self, loop=None) -> list[tuple[str, object]]:
         """Transformation guidance (Section 5.3): evaluate every registry
@@ -622,7 +875,15 @@ class PedSession:
                            loop=li, params={"program": self.program})
             try:
                 advice = t.check(ctx)
-            except Exception:
+            except Exception as e:
+                # A crashing checker must not silently vanish from the
+                # guidance list: record who failed and why.
+                msg = f"{type(e).__name__}: {e}"
+                self.diagnostics.append({
+                    "kind": "guidance", "transform": name,
+                    "loop": li.id, "error": msg})
+                self._log("transformation guidance",
+                          f"{name}: check failed on {li.id} ({msg})")
                 continue
             if advice.applicable and advice.safe:
                 out.append((name, advice))
@@ -635,25 +896,88 @@ class PedSession:
     def edit(self, new_source: str) -> list[str]:
         """Replace the program text; returns syntax/semantic problems
         (empty = clean edit).  Analyses are re-derived (the incremental
-        re-analysis of the real PED is modelled as scoped invalidation)."""
+        re-analysis of the real PED is modelled as scoped invalidation).
+
+        A malformed edit never raises and never disturbs the previous
+        program: diagnostics are returned (and recorded for
+        :meth:`health`) and the session keeps working on the old text.
+        A clean edit carries accepted/rejected dependence marks (via
+        their uid-free signatures) and variable classifications (keyed
+        by unit and loop id) across the re-parse.
+        """
         try:
             prog = parse_program(new_source)
+            new_program = AnalyzedProgram(prog)
+            if not new_program.unit_names():
+                raise ParseError("program has no units")
         except ParseError as e:
             self._log("editing", f"rejected: {e}")
+            self.diagnostics.append({"kind": "edit", "error": str(e)})
             return [str(e)]
-        self.program = AnalyzedProgram(prog)
+        except Exception as e:
+            msg = f"{type(e).__name__}: {e}"
+            self._log("editing", f"rejected: {msg}")
+            self.diagnostics.append({"kind": "edit", "error": msg})
+            return [msg]
+        classifications = self._classification_state()
+        self.program = new_program
         self._summaries = None
         self._analyzers.clear()
         self._deps_cache.clear()
+        # journal snapshots reference the replaced program's objects:
+        # undoing across an edit would silently resurrect dead state
+        self._undo.clear()
+        self._redo.clear()
         names = self.program.unit_names()
         if self.current_unit_name not in names:
             self.current_unit_name = names[0]
         self.current_loop = None
+        self._restore_classifications(classifications)
         self.source_pane = SourcePane(self.unit)
         self.dependence_pane.set_dependences([])
         self.variable_pane.set_rows([])
         self._log("editing", "program replaced")
         return []
+
+    def _classification_state(self) -> tuple[dict, dict]:
+        """Collect private-variable sets and reasons keyed positionally
+        (unit name, loop id) so they survive the uid churn of a
+        re-parse."""
+        private: dict[tuple[str, str], set[str]] = {}
+        reasons: dict[tuple[str, str, str], str] = {}
+        uid_to_id: dict[tuple[str, int], str] = {}
+        for name in self.program.unit_names():
+            try:
+                loops = self.program.units[name].loops.all_loops()
+            except Exception:
+                continue
+            for li in loops:
+                uid_to_id[(name, li.loop.uid)] = li.id
+                if li.loop.private_vars:
+                    private[(name, li.id)] = set(li.loop.private_vars)
+        for (unit, loop_uid, var), r in self._var_reasons.items():
+            lid = uid_to_id.get((unit, loop_uid))
+            if lid is not None:
+                reasons[(unit, lid, var)] = r
+        return private, reasons
+
+    def _restore_classifications(self, state: tuple[dict, dict]) -> None:
+        private, reasons = state
+        self._var_reasons = {}
+        if not (private or reasons):
+            return
+        for name in self.program.unit_names():
+            try:
+                loops = self.program.units[name].loops.all_loops()
+            except Exception:
+                continue
+            for li in loops:
+                pv = private.get((name, li.id))
+                if pv:
+                    li.loop.private_vars |= pv
+                for (u, lid, var), r in reasons.items():
+                    if u == name and lid == li.id:
+                        self._var_reasons[(name, li.loop.uid, var)] = r
 
     def source(self) -> str:
         return self.program.source()

@@ -1,12 +1,13 @@
 """Performance estimation, profile-guided navigation, and the
-incremental-engine observability layer (counters + analysis pool)."""
+incremental-engine observability layer (counters + analysis pool +
+per-loop analysis budgets)."""
 
-from . import counters, pool
+from . import budget, counters, pool
 from .estimate import DEFAULT_TRIP, Estimator, LoopEstimate, \
     ProgramEstimate, estimate_program, navigation_report
 
 __all__ = [
     "DEFAULT_TRIP", "Estimator", "LoopEstimate", "ProgramEstimate",
     "estimate_program", "navigation_report",
-    "counters", "pool",
+    "budget", "counters", "pool",
 ]

@@ -1,0 +1,122 @@
+"""Analysis budgets: bounded pair-testing effort with graceful fallback.
+
+An interactive tool must answer in bounded time even on pathological
+loops (huge reference cross-products, adversarial symbolic bounds).  An
+:class:`AnalysisBudget` caps the work :meth:`DependenceAnalyzer.
+analyze_loop` spends on one loop -- by pair-test count and/or wall-clock
+seconds.  When a :class:`BudgetMeter` trips, the analyzer does not
+crash: the remaining pairs fall back to conservative "dependence
+assumed" results and the loop is flagged degraded in
+``session.health()``.
+
+Budgets are off by default (``None`` limits).  Configure them with
+:func:`set_limits`, the :func:`limits` context manager, or the
+``REPRO_BUDGET_PAIRS`` / ``REPRO_BUDGET_SECONDS`` environment
+variables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+ENV_PAIRS = "REPRO_BUDGET_PAIRS"
+ENV_SECONDS = "REPRO_BUDGET_SECONDS"
+
+
+class BudgetExhausted(Exception):
+    """Raised by :meth:`BudgetMeter.tick` once a limit is exceeded."""
+
+
+@dataclass(frozen=True)
+class AnalysisBudget:
+    """Per-loop analysis effort limits (``None`` = unlimited)."""
+
+    max_pair_tests: int | None = None
+    max_seconds: float | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_pair_tests is None and self.max_seconds is None
+
+    def meter(self) -> "BudgetMeter":
+        return BudgetMeter(self)
+
+
+#: process-wide default budget (mutable via set_limits / limits)
+_DEFAULT: AnalysisBudget | None = None
+
+
+def _env_budget() -> AnalysisBudget:
+    pairs = os.environ.get(ENV_PAIRS)
+    seconds = os.environ.get(ENV_SECONDS)
+    return AnalysisBudget(
+        max_pair_tests=int(pairs) if pairs else None,
+        max_seconds=float(seconds) if seconds else None)
+
+
+def current() -> AnalysisBudget:
+    """The budget new analyses start from: explicit default, else env."""
+    if _DEFAULT is not None:
+        return _DEFAULT
+    return _env_budget()
+
+
+def set_limits(pair_tests: int | None = None,
+               seconds: float | None = None) -> None:
+    """Install a process-wide default budget (``None``/``None`` clears)."""
+    global _DEFAULT
+    if pair_tests is None and seconds is None:
+        _DEFAULT = None
+    else:
+        _DEFAULT = AnalysisBudget(max_pair_tests=pair_tests,
+                                  max_seconds=seconds)
+
+
+@contextmanager
+def limits(pair_tests: int | None = None, seconds: float | None = None):
+    """Scoped budget override: ``with budget.limits(pair_tests=100): ...``"""
+    global _DEFAULT
+    saved = _DEFAULT
+    set_limits(pair_tests, seconds)
+    try:
+        yield current()
+    finally:
+        _DEFAULT = saved
+
+
+class BudgetMeter:
+    """Counts work against one :class:`AnalysisBudget` (one per loop).
+
+    ``tick()`` is called before each pair test; it raises
+    :class:`BudgetExhausted` once a limit trips and keeps raising for
+    the rest of the analysis (the caller degrades the remaining pairs
+    without re-measuring).  The ``budget`` fault-injection point fires
+    here, so the exhaustion path is testable without a real timeout.
+    """
+
+    def __init__(self, budget: AnalysisBudget):
+        self.budget = budget
+        self.steps = 0
+        self._t0 = time.monotonic() if budget.max_seconds is not None \
+            else 0.0
+        self.exhausted: str | None = None
+
+    def tick(self) -> None:
+        from ..testing import faults
+        faults.check("budget", steps=self.steps)
+        if self.exhausted is not None:
+            raise BudgetExhausted(self.exhausted)
+        self.steps += 1
+        b = self.budget
+        if b.max_pair_tests is not None and self.steps > b.max_pair_tests:
+            self.exhausted = (f"analysis budget exhausted: "
+                              f"{b.max_pair_tests} pair tests")
+            raise BudgetExhausted(self.exhausted)
+        if b.max_seconds is not None \
+                and time.monotonic() - self._t0 > b.max_seconds:
+            self.exhausted = (f"analysis budget exhausted: "
+                              f"{b.max_seconds}s elapsed")
+            raise BudgetExhausted(self.exhausted)

@@ -57,6 +57,14 @@ class EngineCounters:
     pool_workers: int = 0
     pool_mode: str = ""
 
+    # -- degraded-mode analysis ----------------------------------------------
+    #: loops whose analysis fell back to a conservative assumed result
+    degraded_loops: int = 0
+    #: individual pair tests replaced by an assumed-dependence result
+    degraded_pairs: int = 0
+    #: analyses stopped early by an exhausted step/time budget
+    budget_exhaustions: int = 0
+
     # -- derived --------------------------------------------------------------
 
     @property
@@ -126,5 +134,8 @@ def report() -> str:
         f"  pool           {s['pool_tasks']} tasks in "
         f"{s['pool_batches']} batches, mode "
         f"{s['pool_mode'] or '-'}, workers {s['pool_workers']}",
+        f"  degraded       loops {s['degraded_loops']}, "
+        f"pairs {s['degraded_pairs']}, "
+        f"budget exhaustions {s['budget_exhaustions']}",
     ]
     return "\n".join(lines)

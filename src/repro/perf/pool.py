@@ -12,7 +12,12 @@ independent zero-argument callables here.  The pool
   can cross a process boundary);
 * returns results in submission order regardless of completion order, so
   callers merge deterministically and parallel output is byte-identical
-  to serial output.
+  to serial output;
+* isolates failures when asked: with ``on_error="return"`` a crashing
+  task yields a :class:`TaskFailure` in its result slot (carrying the
+  caller-supplied context) instead of sinking the whole batch, and with
+  the default ``on_error="raise"`` the surviving exception is annotated
+  with the failing task's context before propagating.
 
 Utilization is recorded in :mod:`repro.perf.counters`.
 """
@@ -21,9 +26,27 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from . import counters
+
+
+@dataclass
+class TaskFailure:
+    """One task's failure, returned in its result slot (on_error="return").
+
+    ``context`` is whatever the caller passed in ``contexts`` for this
+    task -- e.g. ``(unit_name, loop_id)`` -- so the caller can degrade
+    precisely the piece of work that died.
+    """
+
+    context: object
+    error: BaseException
+
+    def __repr__(self) -> str:  # keep logs short
+        return (f"TaskFailure(context={self.context!r}, "
+                f"error={type(self.error).__name__}: {self.error})")
 
 #: environment override: thread | process | serial (anything else = auto)
 ENV_VAR = "REPRO_PARALLEL"
@@ -49,19 +72,52 @@ def worker_count(n_tasks: int, max_workers: int | None = None) -> int:
     return max(1, min(n_tasks, max_workers or cpu_count()))
 
 
+def _run_one(task: Callable[[], object], index: int, context: object,
+             on_error: str) -> object:
+    """Execute one task with fault-injection hook and error policy."""
+    from ..testing import faults
+    try:
+        faults.check("pool_worker", index=index, context=context)
+        return task()
+    except Exception as e:
+        if on_error == "return":
+            return TaskFailure(context=context, error=e)
+        # Attach the task's context so a surviving exception says *which*
+        # unit/loop died, not just that something in the batch did.
+        if context is not None and not getattr(e, "task_context", None):
+            e.task_context = context
+            e.args = (f"{e.args[0] if e.args else e}"
+                      f" [task context: {context!r}]",) + tuple(e.args[1:])
+        raise
+
+
 def run_tasks(tasks: Sequence[Callable[[], object]],
               parallel: bool | None = None,
               mode: str | None = None,
               max_workers: int | None = None,
-              picklable: bool = False) -> list:
+              picklable: bool = False,
+              contexts: Sequence[object] | None = None,
+              on_error: str = "raise") -> list:
     """Run independent zero-arg callables; results in submission order.
 
     ``parallel=None`` auto-selects (pool when the resolved mode is not
     serial and there is more than one task); ``parallel=False`` forces
     the serial path; ``parallel=True`` forces a pool even on one core
     (useful for determinism regression tests).
+
+    ``contexts`` (same length as ``tasks``) labels each task for error
+    reporting.  ``on_error="raise"`` (default) propagates the first
+    failure, annotated with its task's context; ``on_error="return"``
+    isolates failures, placing a :class:`TaskFailure` in the failing
+    task's result slot so the rest of the batch still completes.
     """
     tasks = list(tasks)
+    if contexts is not None:
+        contexts = list(contexts)
+        if len(contexts) != len(tasks):
+            raise ValueError("contexts must match tasks 1:1")
+    ctx_of = (lambda i: contexts[i]) if contexts is not None \
+        else (lambda i: None)
     resolved = pool_mode(mode)
     if resolved == "process" and not picklable:
         resolved = "thread"   # closures cannot cross a process boundary
@@ -76,7 +132,8 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     if not parallel or len(tasks) <= 1:
         with counters._LOCK:
             counters.COUNTERS.pool_mode = "serial"
-        return [t() for t in tasks]
+        return [_run_one(t, i, ctx_of(i), on_error)
+                for i, t in enumerate(tasks)]
 
     workers = worker_count(len(tasks), max_workers)
     counters.bump("pool_parallel_tasks", len(tasks))
@@ -87,6 +144,7 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     executor_cls = ProcessPoolExecutor if resolved == "process" \
         else ThreadPoolExecutor
     with executor_cls(max_workers=workers) as ex:
-        futures = [ex.submit(t) for t in tasks]
+        futures = [ex.submit(_run_one, t, i, ctx_of(i), on_error)
+                   for i, t in enumerate(tasks)]
         # submission order, not completion order: deterministic merge
         return [f.result() for f in futures]

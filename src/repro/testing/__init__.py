@@ -1,0 +1,13 @@
+"""Test-support machinery that ships with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness the
+robustness suite drives: deterministic exceptions raised at named
+points inside the engine (the N-th dependence pair test, mid
+transformation apply, inside an analysis-pool worker, on a budget
+tick) so that the rollback / degraded-mode invariants can be asserted
+rather than hoped for.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,164 @@
+"""Fault-injection harness for the robustness layer.
+
+The engine exposes named *injection points* -- places where the
+production code calls :func:`check` with the point's name and a little
+context.  When no plan is armed the call is a single attribute read;
+when a test arms a plan with :func:`inject`, the matching call raises a
+deterministic exception, letting the suite prove invariants such as
+
+* a transformation that dies mid-apply leaves the session source
+  byte-identical (transactional rollback);
+* a dependence test that dies mid-analysis degrades that loop to
+  "dependence assumed" instead of aborting the whole analysis;
+* a crashing pool worker fails only its own task.
+
+Injection points wired into the engine:
+
+=================  ========================================================
+``pair_test``      entry of :func:`repro.dependence.tests.test_pair`
+                   (fires on the N-th dependence pair tested)
+``transform_do``   inside :meth:`repro.transform.base.Transformation.apply`,
+                   *after* ``_do`` mutated the AST and *before* the
+                   transaction commits (context: ``transform=<name>``)
+``pool_worker``    inside each analysis-pool task wrapper
+                   (context: ``index=<task index>``)
+``budget``         every :meth:`repro.perf.budget.BudgetMeter.tick`
+=================  ========================================================
+
+Usage::
+
+    from repro.testing import faults
+
+    with faults.inject("pair_test", at=5):
+        session.analyze_all()      # 5th pair test raises InjectedFault
+
+Plans are process-global and thread-safe (pool workers hit them too);
+:func:`inject` is a context manager that disarms its plan on exit, and
+:func:`reset` clears everything (test teardown safety net).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+POINTS = ("pair_test", "transform_do", "pool_worker", "budget")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an armed injection plan raises by default."""
+
+
+@dataclass
+class FaultPlan:
+    """One armed fault: raise at the ``at``-th matching :func:`check`."""
+
+    point: str
+    #: 1-based hit count at which the fault fires
+    at: int = 1
+    #: how many times it fires (hits ``at``, ``at+1``, ... while armed)
+    times: int = 1
+    #: exception type raised (constructed with a descriptive message)
+    exc: type[BaseException] = InjectedFault
+    #: context filter: only calls whose kwargs are a superset match
+    match: dict = field(default_factory=dict)
+    hits: int = 0
+    fired: int = 0
+
+    def matches(self, ctx: dict) -> bool:
+        return all(ctx.get(k) == v for k, v in self.match.items())
+
+    def should_fire(self) -> bool:
+        return self.at <= self.hits < self.at + self.times
+
+
+_LOCK = threading.Lock()
+_PLANS: list[FaultPlan] = []
+#: fast-path flag: production code checks this before taking the lock
+_ARMED = False
+
+
+def check(point: str, **ctx) -> None:
+    """Injection point hook; raises when an armed plan matches.
+
+    Called from production code.  With nothing armed this is one global
+    read -- cheap enough for the dependence-test hot path.
+    """
+    if not _ARMED:
+        return
+    with _LOCK:
+        to_fire = None
+        for plan in _PLANS:
+            if plan.point != point or not plan.matches(ctx):
+                continue
+            plan.hits += 1
+            if plan.should_fire():
+                plan.fired += 1
+                to_fire = plan
+                break
+    if to_fire is not None:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+        raise to_fire.exc(
+            f"injected fault at {point}"
+            f"{f' ({detail})' if detail else ''} "
+            f"[hit {to_fire.hits}]")
+
+
+def arm(point: str, at: int = 1, times: int = 1,
+        exc: type[BaseException] = InjectedFault, **match) -> FaultPlan:
+    """Arm a fault plan; prefer the :func:`inject` context manager."""
+    global _ARMED
+    if point not in POINTS:
+        raise ValueError(
+            f"unknown injection point {point!r}; known: {', '.join(POINTS)}")
+    plan = FaultPlan(point=point, at=at, times=times, exc=exc,
+                     match=dict(match))
+    with _LOCK:
+        _PLANS.append(plan)
+        _ARMED = True
+    return plan
+
+
+def disarm(plan: FaultPlan) -> None:
+    global _ARMED
+    with _LOCK:
+        if plan in _PLANS:
+            _PLANS.remove(plan)
+        if not _PLANS:
+            _ARMED = False
+
+
+def reset() -> None:
+    """Disarm every plan (test teardown safety net)."""
+    global _ARMED
+    with _LOCK:
+        _PLANS.clear()
+        _ARMED = False
+
+
+def active() -> bool:
+    return _ARMED
+
+
+class inject:
+    """Context manager arming one fault plan for the enclosed block.
+
+    ``with faults.inject("transform_do", transform="loop_fusion"):``
+    raises :class:`InjectedFault` the first time loop fusion's apply
+    reaches its injection point.  The armed :class:`FaultPlan` is bound
+    by ``as``, so tests can assert ``plan.fired``.
+    """
+
+    def __init__(self, point: str, at: int = 1, times: int = 1,
+                 exc: type[BaseException] = InjectedFault, **match):
+        self._args = (point, at, times, exc, match)
+        self.plan: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        point, at, times, exc, match = self._args
+        self.plan = arm(point, at=at, times=times, exc=exc, **match)
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        if self.plan is not None:
+            disarm(self.plan)

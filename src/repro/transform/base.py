@@ -106,6 +106,8 @@ class TransformResult:
     new_units: list[ast.ProgramUnit] = field(default_factory=list)
     #: declared mutation scope (None when nothing was applied)
     dirty: DirtyScope | None = None
+    #: error message when the apply failed and was rolled back
+    error: str = ""
 
 
 @dataclass
@@ -159,18 +161,51 @@ class Transformation:
         return DirtyScope(unit=unit)
 
     def apply(self, ctx: TContext) -> TransformResult:
+        """Transactional apply: mutate cleanly or leave the unit untouched.
+
+        Any exception after ``check`` passes (``dirty_scope``, ``_do``,
+        commit) rolls the target unit (and, for interprocedural
+        transformations, the whole program) back to a uid-identical
+        pre-apply state, then surfaces as a :class:`TransformError`
+        naming the transformation -- the power-steering contract of
+        Section 3.2.  ``check`` is non-mutating by contract, so its
+        exceptions propagate without a rollback.
+        """
+        from ..testing import faults
+        from .transaction import Transaction
+        # ``check`` is non-mutating by contract, so an exception from it
+        # needs no rollback (and refused applies never pay for a
+        # snapshot); everything from ``dirty_scope`` on runs inside the
+        # transaction.
         advice = self.check(ctx)
         if not advice.ok:
             return TransformResult(advice=advice, applied=False)
-        dirty = self.dirty_scope(ctx)
-        desc, new_units = self._do(ctx)
-        ctx.uir.invalidate()
-        if new_units:
-            # new program units force whole-program re-resolution anyway
-            dirty = DirtyScope(unit=dirty.unit)
-        return TransformResult(advice=advice, applied=True,
-                               description=desc, new_units=new_units,
-                               dirty=dirty)
+        txn = Transaction.begin(ctx.uir, ctx.param("program"),
+                                wide=self.category == "Interprocedural")
+        try:
+            dirty = self.dirty_scope(ctx)
+            desc, new_units = self._do(ctx)
+            # fault-injection point: the AST is fully mutated but the
+            # transaction has not committed -- rollback must restore it
+            faults.check("transform_do", transform=self.name)
+            ctx.uir.invalidate()
+            if new_units:
+                # new program units force whole-program re-resolution
+                dirty = DirtyScope(unit=dirty.unit)
+            return TransformResult(advice=advice, applied=True,
+                                   description=desc, new_units=new_units,
+                                   dirty=dirty)
+        except TransformError as e:
+            txn.rollback()
+            e.rolled_back = True
+            raise
+        except Exception as e:
+            txn.rollback()
+            err = TransformError(
+                f"{self.name or type(self).__name__} failed and was "
+                f"rolled back: {type(e).__name__}: {e}")
+            err.rolled_back = True
+            raise err from e
 
     def _do(self, ctx: TContext
             ) -> tuple[str, list[ast.ProgramUnit]]:  # pragma: no cover

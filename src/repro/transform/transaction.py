@@ -1,0 +1,218 @@
+"""Transactional state capture for transformations (the Section 3.2
+power-steering contract: a transformation either applies cleanly or the
+program is untouched).
+
+The machinery here is uid-preserving deep snapshots of program units:
+
+* :func:`clone_keeping_uids` copies a statement list like
+  :meth:`Stmt.clone` but keeps every statement's ``uid`` (and deep-copies
+  per-loop annotation state such as ``private_vars``).  Because uids are
+  the keys of every derived analysis -- CFG nodes, loop trees, the
+  session's dependence cache -- a uid-preserving restore brings the AST
+  back to a state for which all pre-mutation caches are still valid.
+* :class:`UnitSnapshot` / :class:`ProgramSnapshot` capture and restore
+  unit bodies, symbol tables and the program's unit list.
+* :class:`Transaction` wraps one ``Transformation.apply``: begun before
+  ``check``, rolled back on any exception so a mid-``_do`` crash cannot
+  leave a half-mutated unit behind.
+
+The same snapshots back the session's undo/redo journal: each applied
+transformation records a (pre, post) :class:`ProgramSnapshot` pair, and
+``undo()``/``redo()`` restore them with scoped re-invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortran import ast
+from ..ir.program import AnalyzedProgram, UnitIR
+from ..ir.symtab import SymbolTable
+
+
+def _copy_meta(orig: ast.Stmt, cp: ast.Stmt) -> None:
+    """Propagate uid (and unshare mutable annotations) onto a clone."""
+    cp.uid = orig.uid
+    if isinstance(orig, ast.DoLoop):
+        cp.private_vars = set(orig.private_vars)
+    for ob, cb in zip(orig.blocks(), cp.blocks()):
+        for o2, c2 in zip(ob, cb):
+            _copy_meta(o2, c2)
+
+
+def clone_keeping_uids(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Deep-copy a statement list preserving every statement's uid."""
+    clones = [s.clone() for s in stmts]
+    for orig, cp in zip(stmts, clones):
+        _copy_meta(orig, cp)
+    return clones
+
+
+def _copy_symtab(st: SymbolTable) -> dict:
+    return {
+        "symbols": dict(st.symbols),
+        "common_blocks": {k: list(v) for k, v in st.common_blocks.items()},
+    }
+
+
+def _restore_symtab(st: SymbolTable, saved: dict) -> None:
+    st.symbols = dict(saved["symbols"])
+    st.common_blocks = {k: list(v) for k, v in saved["common_blocks"].items()}
+
+
+@dataclass
+class UnitSnapshot:
+    """Everything a transformation may mutate inside one unit."""
+
+    name: str
+    #: the live ProgramUnit object (restored in place so references held
+    #: by the AnalyzedProgram and UnitIR stay correct)
+    unit_obj: ast.ProgramUnit
+    body: list[ast.Stmt]
+    params: tuple[str, ...]
+    symtab: SymbolTable | None
+    symtab_state: dict | None
+
+    @classmethod
+    def capture(cls, uir: UnitIR) -> "UnitSnapshot":
+        return cls(name=uir.unit.name, unit_obj=uir.unit,
+                   body=clone_keeping_uids(uir.unit.body),
+                   params=tuple(uir.unit.params),
+                   symtab=uir.symtab,
+                   symtab_state=_copy_symtab(uir.symtab))
+
+    def restore(self) -> None:
+        """Put the captured state back onto the live unit object.
+
+        The stored body is re-cloned on every restore (again preserving
+        uids) so the snapshot itself stays pristine and can be restored
+        any number of times (undo -> redo -> undo ...).
+        """
+        self.unit_obj.body[:] = clone_keeping_uids(self.body)
+        self.unit_obj.params = self.params
+        if self.symtab is not None and self.symtab_state is not None:
+            _restore_symtab(self.symtab, self.symtab_state)
+
+
+@dataclass
+class ProgramSnapshot:
+    """Snapshot of selected units plus the program's unit list."""
+
+    #: unit snapshots keyed by name (may be a subset of the program)
+    units: dict[str, UnitSnapshot]
+    #: full unit-name order at capture time (None when no program known)
+    order: list[str] | None = None
+    #: the ProgramUnit objects forming the unit list at capture time
+    unit_objs: dict[str, ast.ProgramUnit] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, program: AnalyzedProgram | None,
+                uirs: list[UnitIR]) -> "ProgramSnapshot":
+        snaps = {u.unit.name: UnitSnapshot.capture(u) for u in uirs}
+        if program is None:
+            return cls(units=snaps)
+        return cls(units=snaps,
+                   order=[u.name for u in program.ast.units],
+                   unit_objs={u.name: u for u in program.ast.units})
+
+    @classmethod
+    def capture_program(cls, program: AnalyzedProgram) -> "ProgramSnapshot":
+        return cls.capture(program, list(program.units.values()))
+
+    def restore(self, program: AnalyzedProgram | None) -> bool:
+        """Restore captured units (and the unit list, when known).
+
+        Returns True when the program's unit *set* changed (units were
+        added or dropped), which callers must treat as a whole-program
+        invalidation; False means only the captured units' content
+        moved and scoped invalidation suffices.
+        """
+        for snap in self.units.values():
+            snap.restore()
+        if program is None or self.order is None:
+            for snap in self.units.values():
+                self._invalidate_unit(program, snap.name)
+            return False
+        before = set(program.units)
+        program.ast.units[:] = [self.unit_objs[n] for n in self.order]
+        changed = before != set(self.order)
+        if changed:
+            # drop UnitIRs for units that no longer exist; recreate any
+            # that disappeared since capture (e.g. undo of an extraction
+            # being redone)
+            for name in before - set(self.order):
+                program.units.pop(name, None)
+            for name in self.order:
+                if name not in program.units:
+                    snap = self.units.get(name)
+                    if snap is not None and snap.symtab is not None:
+                        program.units[name] = UnitIR(
+                            unit=self.unit_objs[name], symtab=snap.symtab)
+                    else:
+                        # not captured (shouldn't happen for unit-set
+                        # changes, which always use wide snapshots):
+                        # rebuild from scratch
+                        from ..ir.symtab import build_symbol_table, \
+                            resolve_unit
+                        obj = self.unit_objs[name]
+                        st = build_symbol_table(obj)
+                        resolve_unit(obj, st, frozenset(self.order))
+                        program.units[name] = UnitIR(unit=obj, symtab=st)
+            # keep dict order aligned with source order
+            program.units = {n: program.units[n] for n in self.order
+                             if n in program.units}
+        # A re-resolution since capture (e.g. applying a unit-creating
+        # transformation) replaced UnitIRs and their symbol tables; the
+        # restored state must pair each unit with its captured symtab.
+        for name, snap in self.units.items():
+            cur = program.units.get(name) if program is not None else None
+            if cur is not None and snap.symtab is not None \
+                    and cur.symtab is not snap.symtab:
+                program.units[name] = UnitIR(unit=snap.unit_obj,
+                                             symtab=snap.symtab)
+        for name in self.units:
+            self._invalidate_unit(program, name)
+        program._callgraph = None
+        return changed
+
+    @staticmethod
+    def _invalidate_unit(program: AnalyzedProgram | None,
+                         name: str) -> None:
+        if program is not None and name in program.units:
+            program.units[name].invalidate()
+
+
+class Transaction:
+    """Guards one transformation apply with rollback-on-exception."""
+
+    def __init__(self, snapshot: ProgramSnapshot,
+                 program: AnalyzedProgram | None, uir: UnitIR):
+        self.snapshot = snapshot
+        self.program = program
+        self.uir = uir
+        self.rolled_back = False
+
+    @classmethod
+    def begin(cls, uir: UnitIR, program: AnalyzedProgram | None = None,
+              wide: bool = False) -> "Transaction":
+        """Snapshot before mutation.
+
+        ``wide`` captures every unit of the program (interprocedural
+        transformations may rewrite callers and callees); the default
+        captures only the target unit plus the program's unit list.
+        """
+        if program is not None and wide:
+            snap = ProgramSnapshot.capture_program(program)
+        else:
+            snap = ProgramSnapshot.capture(program, [uir])
+        return cls(snap, program, uir)
+
+    def rollback(self) -> None:
+        """Restore the pre-apply state; safe to call at most once."""
+        if self.rolled_back:
+            return
+        self.snapshot.restore(self.program)
+        # the target unit may have been mutated without the program
+        # object knowing (program=None path): always drop its artifacts
+        self.uir.invalidate()
+        self.rolled_back = True

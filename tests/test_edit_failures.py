@@ -1,0 +1,160 @@
+"""Parser failure paths through ``session.edit()`` and state carried
+across clean re-parses.
+
+The robustness contract: a malformed edit NEVER raises and never
+disturbs the previous program -- diagnostics come back as a list and
+land in ``health().edit_failures`` -- while a clean edit preserves
+accepted/rejected dependence marks and variable classifications.
+"""
+
+import pytest
+
+from repro.corpus import ORDER, PROGRAMS
+from repro.dependence import Mark
+from repro.ped import PedSession
+
+SRC = """\
+      PROGRAM DEMO
+      INTEGER I, N
+      REAL A(50), B(50), S, T
+      N = 50
+      DO 10 I = 1, N
+         T = A(I) * 2.0
+         B(I) = T + 1.0
+ 10   CONTINUE
+      S = 0.0
+      DO 20 I = 2, N
+         A(I) = A(I - 1) + B(I)
+         S = S + A(I)
+ 20   CONTINUE
+      PRINT *, S
+      END
+"""
+
+#: benign edit: same program with one extra trailing print
+SRC_PLUS = SRC.replace("      PRINT *, S\n",
+                       "      PRINT *, S\n      PRINT *, N\n")
+
+
+def broken_do(src: str) -> str:
+    """Insert an incomplete DO header after the first line."""
+    return src.replace("\n", "\n      DO 99 I =\n", 1)
+
+
+class TestMalformedEdits:
+    @pytest.mark.parametrize("name", ORDER)
+    def test_corpus_mutations_return_diagnostics(self, name):
+        session = PedSession(PROGRAMS[name].source)
+        before = session.source()
+        problems = session.edit(broken_do(PROGRAMS[name].source))
+        assert problems and any("line" in p or p for p in problems)
+        assert session.source() == before
+        health = session.health()
+        assert health.edit_failures
+        assert not health.ok
+
+    def test_truncated_source_rejected(self):
+        session = PedSession(PROGRAMS["spec77"].source)
+        before = session.source()
+        src = PROGRAMS["spec77"].source
+        problems = session.edit(src[: len(src) // 2])
+        assert problems
+        assert session.source() == before
+
+    def test_empty_edit_rejected(self):
+        session = PedSession(SRC)
+        problems = session.edit("")
+        assert problems == ["program has no units"]
+        assert session.source() == PedSession(SRC).source()
+
+    def test_previous_program_fully_usable_after_rejection(self):
+        session = PedSession(SRC)
+        session.edit(broken_do(SRC))
+        # the old program still selects, analyzes, and transforms
+        ld = session.select_loop("L1")
+        assert not ld.degraded
+        assert session.analyze_all()
+        res = session.apply("strip_mining", loop="L1", size=5)
+        assert res.applied, res.advice.explain()
+        assert session.undo()
+
+    def test_rejection_does_not_clear_journal_or_marks(self):
+        session = PedSession(SRC)
+        assert session.apply("loop_reversal", loop="L1").applied
+        session.select_loop("L2")
+        dep = [d for d in session.dependences()
+               if d.mark is Mark.PENDING][0]
+        session.mark_dependence(dep, Mark.REJECTED, "user override")
+        session.edit(broken_do(SRC))
+        assert [h["name"] for h in session.history()] == ["loop_reversal"]
+        assert session.undo()
+        rejected = [d for d in session.select_loop("L2").dependences
+                    if d.mark is Mark.REJECTED]
+        assert rejected and rejected[0].reason == "user override"
+
+    def test_each_rejection_recorded_separately(self):
+        session = PedSession(SRC)
+        session.edit(broken_do(SRC))
+        session.edit("")
+        assert len(session.health().edit_failures) == 2
+
+
+class TestCleanEditCarriesState:
+    def test_marks_survive_reparse(self):
+        session = PedSession(SRC)
+        session.select_loop("L2")
+        dep = [d for d in session.dependences()
+               if d.mark is Mark.PENDING][0]
+        session.mark_dependence(dep, Mark.REJECTED, "user knows better")
+        assert session.edit(SRC_PLUS) == []
+        deps = session.select_loop("L2").dependences
+        rejected = [d for d in deps if d.mark is Mark.REJECTED]
+        assert rejected
+        assert rejected[0].reason == "user knows better"
+
+    def test_accepted_marks_survive_too(self):
+        session = PedSession(SRC)
+        session.select_loop("L2")
+        pending = [d for d in session.dependences()
+                   if d.mark is Mark.PENDING]
+        for d in pending:
+            session.mark_dependence(d, Mark.ACCEPTED, "confirmed")
+        assert session.edit(SRC_PLUS) == []
+        deps = session.select_loop("L2").dependences
+        assert [d for d in deps if d.mark is Mark.ACCEPTED]
+
+    def test_classifications_survive_reparse(self):
+        session = PedSession(SRC)
+        session.select_loop("L1")
+        session.classify_variable("T", "private", reason="induction temp")
+        assert session.edit(SRC_PLUS) == []
+        li = session.unit.loops.find("L1")
+        assert "T" in li.loop.private_vars
+        session.select_loop("L1")
+        row = [r for r in session.variable_pane.rows()
+               if r["name"] == "T"][0]
+        assert row["kind"] == "private"
+        assert row["reason"] == "induction temp"
+
+    def test_clean_edit_clears_journal(self):
+        # journal snapshots reference the replaced program's AST: undo
+        # across an edit would resurrect dead objects, so it is cleared
+        session = PedSession(SRC)
+        assert session.apply("loop_reversal", loop="L1").applied
+        assert session.edit(SRC_PLUS) == []
+        assert session.history() == []
+        assert not session.undo()
+        assert not session.redo()
+
+    def test_rejected_mark_not_applied_to_proven_dep(self):
+        # a rejection made against a pending dep must not silently kill
+        # a dependence the re-analysis proves
+        session = PedSession(SRC)
+        session.select_loop("L2")
+        dep = [d for d in session.dependences()
+               if d.mark is Mark.PENDING][0]
+        session.mark_dependence(dep, Mark.REJECTED, "wrong guess")
+        assert session.edit(SRC_PLUS) == []
+        deps = session.select_loop("L2").dependences
+        assert all(d.mark is not Mark.REJECTED
+                   for d in deps if d.mark is Mark.PROVEN)

@@ -1,0 +1,582 @@
+"""Fault-injection suite: transactional rollback, undo/redo, degraded
+analysis, budgets, and pool fault isolation.
+
+The acceptance bar (ISSUE robustness tentpole):
+
+* a mid-``_do`` exception for EVERY registry transformation leaves
+  ``session.source()`` byte-identical and subsequent ``dependences()``
+  correct;
+* ``analyze_all`` on all eight corpus programs completes with an
+  injected fault, flagged in ``session.health()``;
+* ``undo()``/``redo()`` round-trips restore identical source and
+  dependence output for every transformation.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import pytest
+
+from repro.corpus import ORDER, PROGRAMS
+from repro.dependence import DependenceAnalyzer
+from repro.dependence.ddg import degraded_loop_dependences
+from repro.dependence.tests import clear_pair_cache
+from repro.fortran import ast
+from repro.ir import AnalyzedProgram
+from repro.ped import PedSession
+from repro.perf import budget, counters, pool
+from repro.testing import faults
+from repro.transform import get as get_transform, names as transform_names
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness():
+    faults.reset()
+    budget.set_limits(None, None)
+    yield
+    faults.reset()
+    budget.set_limits(None, None)
+
+
+def fingerprint(session: PedSession) -> dict:
+    """uid-free dependence fingerprint: (unit, loop id) -> dep strings."""
+    out: dict = {}
+    for (unit, _uid), ld in session.analyze_all().items():
+        key = (unit, ld.loop.id)
+        out[key] = (sorted(d.describe() for d in ld.dependences),
+                    tuple(ld.degraded))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scenario table: one applicable apply per registry transformation
+# ---------------------------------------------------------------------------
+
+SIMPLE = ("      PROGRAM T\n      REAL A(17)\n"
+          "      DO 10 I = 1, 17\n      A(I) = I * 1.0\n"
+          "   10 CONTINUE\n      PRINT *, A(1), A(16), A(17)\n      END\n")
+
+DIST_SRC = ("      PROGRAM T\n      REAL A(20), B(20), C(20)\n"
+            "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+            "      B(I) = A(I) * 2.0\n      C(I) = 3.0\n"
+            "   10 CONTINUE\n      PRINT *, A(5), B(7), C(9)\n      END\n")
+
+NEST_SRC = ("      PROGRAM T\n      REAL A(10, 10)\n"
+            "      DO 10 I = 1, 10\n      DO 10 J = 1, 10\n"
+            "      A(I, J) = I + J * 2\n"
+            " 10   CONTINUE\n      PRINT *, A(3, 4)\n      END\n")
+
+FUSION_SRC = ("      PROGRAM T\n      REAL A(20), B(20)\n"
+              "      DO 10 I = 1, 20\n      A(I) = I * 1.0\n"
+              " 10   CONTINUE\n"
+              "      DO 20 I = 1, 20\n      B(I) = A(I) * 2.0\n"
+              " 20   CONTINUE\n      PRINT *, B(20)\n      END\n")
+
+PRIV_SRC = ("      PROGRAM T\n      REAL A(10), B(10)\n"
+            "      DO 10 I = 1, 10\n      T1 = A(I) * 2.0\n"
+            "      B(I) = T1 + 1.0\n   10 CONTINUE\n"
+            "      PRINT *, B(5)\n      END\n")
+
+RENAME_SRC = ("      PROGRAM T\n      REAL W(5), A(5), B(5)\n"
+              "      DO 10 I = 1, 5\n      W(I) = A(I)\n"
+              "      B(I) = W(I)\n   10 CONTINUE\n"
+              "      DO 20 I = 1, 5\n      W(I) = B(I) * 2.0\n"
+              "      A(I) = W(I)\n   20 CONTINUE\n"
+              "      PRINT *, A(3), B(3)\n      END\n")
+
+ALIGN_SRC = ("      PROGRAM T\n      REAL A(12), B(12)\n"
+             "      DO 5 I = 1, 12\n      A(I) = I\n    5 CONTINUE\n"
+             "      DO 10 I = 2, 10\n      A(I) = I * 2.0\n"
+             "      B(I) = A(I - 1)\n   10 CONTINUE\n"
+             "      PRINT *, B(5), A(9)\n      END\n")
+
+REDUCE_SRC = ("      PROGRAM T\n      REAL A(10), S\n      S = 1.0\n"
+              "      DO 5 I = 1, 10\n      A(I) = I * 0.5\n    5 CONTINUE\n"
+              "      DO 10 I = 1, 10\n      S = S + A(I)\n"
+              "   10 CONTINUE\n      PRINT *, S\n      END\n")
+
+UAJ_SRC = ("      PROGRAM T\n      REAL A(8, 8)\n"
+           "      DO 10 I = 1, 8\n      DO 10 J = 1, 8\n"
+           "      A(I, J) = I * 10 + J\n   10 CONTINUE\n"
+           "      PRINT *, A(3, 4), A(8, 8)\n      END\n")
+
+SCALREP_SRC = ("      PROGRAM T\n      REAL A(10), B(10)\n      K = 3\n"
+               "      A(K) = 7.0\n"
+               "      DO 10 I = 1, 10\n      B(I) = A(K) * I\n"
+               "   10 CONTINUE\n      PRINT *, B(4)\n      END\n")
+
+PAR_SRC = ("      PROGRAM T\n      REAL A(50), B(50)\n"
+           "      DO 5 I = 1, 50\n      A(I) = I\n    5 CONTINUE\n"
+           "      DO 10 I = 1, 50\n      T1 = A(I) * 2.0\n"
+           "      B(I) = T1\n   10 CONTINUE\n"
+           "      PRINT *, B(25)\n      END\n")
+
+SER_SRC = ("      PROGRAM T\n      REAL A(10)\n"
+           "      PARALLEL DO 10 I = 1, 10\n      A(I) = I\n"
+           "   10 CONTINUE\n      PRINT *, A(5)\n      END\n")
+
+BOUNDS_SRC = ("      PROGRAM T\n      K = 0\n      DO 10 I = 1, 10\n"
+              "      K = K + 1\n   10 CONTINUE\n      PRINT *, K\n"
+              "      END\n")
+
+STMT_SRC = ("      PROGRAM T\n      X = 1.0\n      Y = 2.0\n"
+            "      PRINT *, X\n      END\n")
+
+SWAP_SRC = ("      PROGRAM T\n      REAL A(5), B(5)\n"
+            "      DO 10 I = 1, 5\n      A(I) = I\n      B(I) = I * 2\n"
+            "   10 CONTINUE\n      PRINT *, A(3), B(3)\n      END\n")
+
+GOTO_SRC = ("      PROGRAM T\n      X = 1.0\n"
+            "      IF (X .GT. 0.0) GOTO 10\n"
+            "      X = -X\n"
+            "   10 CONTINUE\n      PRINT *, X\n      END\n")
+
+EMBED_SRC = ("      PROGRAM T\n      REAL F(16, 4)\n"
+             "      COMMON /G/ F\n"
+             "      DO 10 J = 1, 4\n      CALL ROW(J)\n"
+             "   10 CONTINUE\n      PRINT *, F(3, 2), F(16, 4)\n"
+             "      END\n"
+             "      SUBROUTINE ROW(J)\n      INTEGER J, I\n"
+             "      REAL F(16, 4)\n      COMMON /G/ F\n"
+             "      DO 20 I = 1, 16\n      F(I, J) = I * 100 + J\n"
+             "   20 CONTINUE\n      END\n")
+
+
+def _first_loop_stmt(session: PedSession, loop: str, index: int = 0):
+    return session.unit.loops.find(loop).loop.body[index]
+
+
+@dataclass
+class Scenario:
+    """One known-applicable apply of a registry transformation."""
+
+    name: str
+    source: str
+    loop: str | None = None
+    params: dict = field(default_factory=dict)
+    #: computes AST-object parameters against the live session program
+    setup: "Callable[[PedSession], dict] | None" = None
+
+    def kwargs(self, session: PedSession) -> dict:
+        kw = dict(self.params)
+        if self.setup is not None:
+            kw.update(self.setup(session))
+        return kw
+
+
+SCENARIOS = [
+    Scenario("strip_mining", SIMPLE, "L1", {"size": 4}),
+    Scenario("loop_unrolling", SIMPLE.replace("1, 17", "1, 16"), "L1",
+             {"factor": 4}),
+    Scenario("loop_reversal", SIMPLE, "L1"),
+    Scenario("loop_peeling", SIMPLE, "L1",
+             {"iterations": 2, "where": "front"}),
+    Scenario("loop_splitting", SIMPLE, "L1", {"at": 4}),
+    Scenario("loop_distribution", DIST_SRC, "L1"),
+    Scenario("loop_interchange", NEST_SRC, "L1"),
+    Scenario("loop_skewing", NEST_SRC, "L1", {"factor": 1}),
+    Scenario("loop_fusion", FUSION_SRC, "L1"),
+    Scenario("unroll_and_jam", UAJ_SRC, "L1", {"factor": 2}),
+    Scenario("privatization", PRIV_SRC, "L1", {"var": "T1"}),
+    Scenario("scalar_expansion", PRIV_SRC, "L1", {"var": "T1"}),
+    Scenario("array_renaming", RENAME_SRC, "L2",
+             setup=lambda s: {"var": "W", "force": True,
+                              "stmts": s.unit.loops.find("L2").loop.body}),
+    Scenario("loop_alignment", ALIGN_SRC, "L2",
+             setup=lambda s: {"stmt": _first_loop_stmt(s, "L2", 1),
+                              "offset": 1}),
+    Scenario("reduction_recognition", REDUCE_SRC, "L2", {"var": "S"}),
+    Scenario("scalar_replacement", SCALREP_SRC, "L1",
+             setup=lambda s: {"ref": [
+                 n for n in ast.walk_expr(
+                     _first_loop_stmt(s, "L1").value)
+                 if isinstance(n, ast.ArrayRef)][0]}),
+    Scenario("parallelize", PAR_SRC, "L2"),
+    Scenario("serialize", SER_SRC, "L1"),
+    Scenario("loop_bounds_adjusting", BOUNDS_SRC, "L1",
+             {"end": 5, "force": True}),
+    Scenario("statement_addition", STMT_SRC, None,
+             {"text": "X = X + 1.0", "where": "after", "force": True},
+             setup=lambda s: {"anchor": s.unit.unit.body[0]}),
+    Scenario("statement_deletion", STMT_SRC, None, {"force": True},
+             setup=lambda s: {"stmt": s.unit.unit.body[1]}),
+    Scenario("statement_interchange", SWAP_SRC, None,
+             setup=lambda s: {"stmt": _first_loop_stmt(s, "L1")}),
+    Scenario("control_flow_simplification", GOTO_SRC, None),
+    Scenario("loop_embedding", EMBED_SRC, "L1"),
+    Scenario("loop_extraction", EMBED_SRC, None,
+             setup=lambda s: {"call": [
+                 st for st in s.unit.loops.find("L1").loop.body
+                 if isinstance(st, ast.CallStmt)][0]}),
+]
+
+SCENARIO_IDS = [s.name for s in SCENARIOS]
+
+
+def test_scenario_table_covers_whole_registry():
+    assert sorted(s.name for s in SCENARIOS) == sorted(transform_names())
+
+
+# ---------------------------------------------------------------------------
+# tentpole 1: transactional rollback for every transformation
+# ---------------------------------------------------------------------------
+
+class TestRollback:
+    @pytest.mark.parametrize("scn", SCENARIOS, ids=SCENARIO_IDS)
+    def test_mid_do_fault_leaves_source_byte_identical(self, scn):
+        session = PedSession(scn.source)
+        before = session.source()
+        fp_before = fingerprint(session)
+        with faults.inject("transform_do", transform=scn.name) as plan:
+            res = session.apply(scn.name, loop=scn.loop,
+                                **scn.kwargs(session))
+        assert not res.applied
+        assert "injected fault" in res.error, res.error
+        assert plan.fired == 1, \
+            f"{scn.name} never reached its mid-apply injection point"
+        assert session.source() == before
+        # the session's caches survived the rollback and still agree
+        # with a from-scratch analysis of the restored source
+        assert fingerprint(session) == fp_before
+        assert fingerprint(PedSession(before)) == fp_before
+        health = session.health()
+        assert not health.ok
+        assert any(f["transform"] == scn.name
+                   for f in health.transform_failures)
+
+    def test_rollback_restores_symbol_table(self):
+        # scalar_expansion declares a new array: the declaration and the
+        # symtab entry must both disappear on rollback
+        session = PedSession(PRIV_SRC)
+        syms_before = set(session.unit.symtab.symbols)
+        with faults.inject("transform_do", transform="scalar_expansion"):
+            res = session.apply("scalar_expansion", loop="L1", var="T1")
+        assert not res.applied
+        assert set(session.unit.symtab.symbols) == syms_before
+
+    def test_direct_transform_apply_raises_after_rollback(self):
+        # without the session layer, the transactional apply surfaces a
+        # TransformError (flagged rolled_back) and restores the unit
+        from repro.transform.base import TransformError
+        program = AnalyzedProgram.from_source(SIMPLE)
+        uir = program.unit("T")
+        from repro.transform import TContext
+        ctx = TContext(uir=uir, analyzer=DependenceAnalyzer(uir),
+                       loop=uir.loops.find("L1"), params={"size": 4})
+        before = program.source()
+        with faults.inject("transform_do", transform="strip_mining"):
+            with pytest.raises(TransformError) as ei:
+                get_transform("strip_mining").apply(ctx)
+        assert getattr(ei.value, "rolled_back", False)
+        assert program.source() == before
+
+
+# ---------------------------------------------------------------------------
+# tentpole 1b: undo/redo journal round-trips for every transformation
+# ---------------------------------------------------------------------------
+
+class TestUndoRedo:
+    @pytest.mark.parametrize("scn", SCENARIOS, ids=SCENARIO_IDS)
+    def test_undo_redo_round_trip(self, scn):
+        session = PedSession(scn.source)
+        src0 = session.source()
+        fp0 = fingerprint(session)
+        res = session.apply(scn.name, loop=scn.loop,
+                            **scn.kwargs(session))
+        assert res.applied, f"{scn.name}: {res.advice.explain()}"
+        src1 = session.source()
+        assert src1 != src0
+        fp1 = fingerprint(session)
+        assert session.history() == [
+            {"name": scn.name, "description": res.description or scn.name,
+             "state": "applied"}]
+
+        assert session.undo()
+        assert session.source() == src0
+        assert fingerprint(session) == fp0
+        assert session.history()[0]["state"] == "undone"
+
+        assert session.redo()
+        assert session.source() == src1
+        assert fingerprint(session) == fp1
+
+        assert session.undo()
+        assert session.source() == src0
+
+    def test_empty_journal(self):
+        session = PedSession(SIMPLE)
+        assert not session.undo()
+        assert not session.redo()
+        assert session.history() == []
+
+    def test_new_apply_clears_redo(self):
+        session = PedSession(SIMPLE)
+        assert session.apply("loop_reversal", loop="L1").applied
+        assert session.undo()
+        assert session.apply("strip_mining", loop="L1", size=4).applied
+        assert not session.redo()
+        assert [h["name"] for h in session.history()] == ["strip_mining"]
+
+    def test_journal_is_bounded(self):
+        session = PedSession(BOUNDS_SRC, journal_limit=3)
+        for end in (9, 8, 7, 6, 5):
+            res = session.apply("loop_bounds_adjusting", loop="L1",
+                                end=end, force=True)
+            assert res.applied
+        assert len(session.history()) == 3
+        # three undos drain the bounded journal
+        assert session.undo() and session.undo() and session.undo()
+        assert not session.undo()
+
+    def test_undo_depth_in_health(self):
+        session = PedSession(SIMPLE)
+        session.apply("loop_reversal", loop="L1")
+        h = session.health()
+        assert h.undo_depth == 1 and h.redo_depth == 0
+        session.undo()
+        h = session.health()
+        assert h.undo_depth == 0 and h.redo_depth == 1
+
+
+# ---------------------------------------------------------------------------
+# tentpole 2: degraded-mode analysis
+# ---------------------------------------------------------------------------
+
+MULTI_PAIR_SRC = ("      PROGRAM T\n      REAL A(20), B(20)\n"
+                  "      A(1) = 1.0\n      B(1) = 1.0\n"
+                  "      DO 10 I = 2, 20\n"
+                  "      A(I) = A(I - 1) + 1.0\n"
+                  "      B(I) = B(I - 1) + A(I)\n"
+                  "   10 CONTINUE\n      PRINT *, A(20), B(20)\n"
+                  "      END\n")
+
+
+class TestDegradedAnalysis:
+    @pytest.mark.parametrize("name", ORDER)
+    def test_corpus_analyze_all_survives_worker_fault(self, name):
+        session = PedSession(PROGRAMS[name].source)
+        with faults.inject("pool_worker", index=0):
+            results = session.analyze_all()
+        assert results, f"{name}: analyze_all returned nothing"
+        health = session.health()
+        assert not health.ok
+        assert health.failed_units, \
+            f"{name}: injected worker fault not flagged in health()"
+        rec = health.failed_units[0]
+        assert "injected fault" in rec["reason"]
+        # the degraded loop is conservative: assumed deps, never parallel
+        degraded = [ld for ld in results.values() if ld.degraded]
+        assert degraded
+        for ld in degraded:
+            assert not ld.parallelizable()
+            assert ld.dependences
+
+    def test_unit_level_failure_degrades_whole_unit(self, monkeypatch):
+        session = PedSession(PROGRAMS["spec77"].source)
+        target = session.current_unit_name
+        orig = PedSession.analyzer
+
+        def failing(self, unit_name=None):
+            name = (unit_name or self.current_unit_name).upper()
+            if name == target:
+                raise RuntimeError("synthetic unit fault")
+            return orig(self, unit_name)
+
+        monkeypatch.setattr(PedSession, "analyzer", failing)
+        results = session.analyze_all()
+        monkeypatch.undo()
+        health = session.health()
+        assert any(f["unit"] == target and f["loop"] == "*"
+                   for f in health.failed_units)
+        target_loops = [ld for (unit, _), ld in results.items()
+                        if unit == target]
+        assert target_loops
+        assert all(ld.degraded and not ld.parallelizable()
+                   for ld in target_loops)
+
+    def test_pair_fault_degrades_only_that_loop(self):
+        session = PedSession(MULTI_PAIR_SRC)
+        with faults.inject("pair_test"):
+            ld = session.select_loop("L1")
+        assert ld.degraded
+        assert not ld.parallelizable()
+        assert any("dependence assumed" in d.reason
+                   for d in ld.dependences)
+        # the dependence pane flags the degradation
+        assert "DEGRADED" in session.dependence_pane.render()
+
+    def test_degraded_flag_in_health_report_text(self):
+        session = PedSession(MULTI_PAIR_SRC)
+        with faults.inject("pair_test"):
+            session.select_loop("L1")
+        text = session.health().describe()
+        assert "degraded" in text
+
+    def test_clean_analysis_is_healthy(self):
+        session = PedSession(MULTI_PAIR_SRC)
+        session.analyze_all()
+        health = session.health()
+        assert health.ok
+        assert "healthy" in health.describe()
+
+
+class TestBudget:
+    def test_meter_trips_on_pair_count(self):
+        meter = budget.AnalysisBudget(max_pair_tests=2).meter()
+        meter.tick()
+        meter.tick()
+        with pytest.raises(budget.BudgetExhausted):
+            meter.tick()
+        # keeps raising once exhausted
+        with pytest.raises(budget.BudgetExhausted):
+            meter.tick()
+
+    def test_limits_context_scopes_default(self):
+        assert budget.current().unlimited
+        with budget.limits(pair_tests=7) as b:
+            assert b.max_pair_tests == 7
+            assert budget.current() is b
+        assert budget.current().unlimited
+
+    def test_env_budget(self, monkeypatch):
+        monkeypatch.setenv(budget.ENV_PAIRS, "11")
+        assert budget.current().max_pair_tests == 11
+
+    def test_exhaustion_degrades_loop(self):
+        clear_pair_cache()
+        counters.reset()
+        with budget.limits(pair_tests=1):
+            session = PedSession(MULTI_PAIR_SRC)
+            ld = session.select_loop("L1")
+        assert ld.degraded
+        assert any("budget exhausted" in note for note in ld.degraded)
+        assert not ld.parallelizable()
+        assert counters.snapshot()["budget_exhaustions"] >= 1
+
+    def test_explicit_budget_on_analyzer(self):
+        clear_pair_cache()
+        program = AnalyzedProgram.from_source(MULTI_PAIR_SRC)
+        uir = program.unit("T")
+        an = DependenceAnalyzer(
+            uir, budget=budget.AnalysisBudget(max_pair_tests=1))
+        ld = an.analyze_loop("L1")
+        assert ld.degraded and not ld.parallelizable()
+
+    def test_unlimited_budget_stays_clean(self):
+        clear_pair_cache()
+        session = PedSession(MULTI_PAIR_SRC)
+        ld = session.select_loop("L1")
+        assert not ld.degraded
+
+
+class TestPoolIsolation:
+    def test_task_failure_isolated_in_slot(self):
+        tasks = [lambda i=i: i * 2 for i in range(4)]
+        with faults.inject("pool_worker", index=2):
+            out = pool.run_tasks(tasks, parallel=False,
+                                 contexts=["a", "b", "c", "d"],
+                                 on_error="return")
+        assert out[0] == 0 and out[1] == 2 and out[3] == 6
+        assert isinstance(out[2], pool.TaskFailure)
+        assert out[2].context == "c"
+        assert isinstance(out[2].error, faults.InjectedFault)
+
+    def test_raise_mode_attaches_context(self):
+        tasks = [lambda i=i: i for i in range(3)]
+        with faults.inject("pool_worker", index=1):
+            with pytest.raises(faults.InjectedFault) as ei:
+                pool.run_tasks(tasks, parallel=False,
+                               contexts=["u1", "u2", "u3"])
+        assert "task context" in str(ei.value)
+        assert getattr(ei.value, "task_context", None) == "u2"
+
+    def test_parallel_mode_isolates_too(self):
+        tasks = [lambda i=i: i * 3 for i in range(6)]
+        with faults.inject("pool_worker", index=4):
+            out = pool.run_tasks(tasks, parallel=True, mode="thread",
+                                 contexts=list(range(6)),
+                                 on_error="return")
+        assert [r for i, r in enumerate(out) if i != 4] == \
+            [0, 3, 6, 9, 15]
+        assert isinstance(out[4], pool.TaskFailure)
+
+    def test_context_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pool.run_tasks([lambda: 1], contexts=["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# guidance diagnostics (satellite: no silent check failures)
+# ---------------------------------------------------------------------------
+
+class TestGuidanceDiagnostics:
+    def test_safe_transformations_records_check_failures(self, monkeypatch):
+        session = PedSession(SIMPLE)
+        session.select_loop("L1")
+        t = get_transform("loop_reversal")
+
+        def boom(self, ctx):
+            raise RuntimeError("synthetic check crash")
+
+        monkeypatch.setattr(type(t), "check", boom)
+        out = session.safe_transformations()
+        monkeypatch.undo()
+        assert all(n != "loop_reversal" for n, _ in out)
+        health = session.health()
+        assert any(f["transform"] == "loop_reversal"
+                   and "synthetic check crash" in f["error"]
+                   for f in health.guidance_failures)
+        assert any("check failed" in e.detail for e in session.events)
+        assert not health.ok
+
+
+# ---------------------------------------------------------------------------
+# harness unit tests
+# ---------------------------------------------------------------------------
+
+class TestHarness:
+    def test_unarmed_check_is_noop(self):
+        faults.check("pair_test")
+        assert not faults.active()
+
+    def test_fire_at_nth_hit(self):
+        with faults.inject("pair_test", at=3) as plan:
+            faults.check("pair_test")
+            faults.check("pair_test")
+            with pytest.raises(faults.InjectedFault):
+                faults.check("pair_test")
+            faults.check("pair_test")   # times=1: fires exactly once
+        assert plan.hits == 4 and plan.fired == 1
+
+    def test_times_window(self):
+        with faults.inject("pair_test", at=2, times=2) as plan:
+            faults.check("pair_test")
+            for _ in range(2):
+                with pytest.raises(faults.InjectedFault):
+                    faults.check("pair_test")
+            faults.check("pair_test")
+        assert plan.fired == 2
+
+    def test_match_filter(self):
+        with faults.inject("transform_do", transform="loop_fusion") as plan:
+            faults.check("transform_do", transform="strip_mining")
+            with pytest.raises(faults.InjectedFault):
+                faults.check("transform_do", transform="loop_fusion")
+        assert plan.hits == 1
+
+    def test_custom_exception(self):
+        with faults.inject("budget", exc=budget.BudgetExhausted):
+            with pytest.raises(budget.BudgetExhausted):
+                faults.check("budget")
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm("no_such_point")
+
+    def test_reset_disarms_everything(self):
+        faults.arm("pair_test")
+        faults.arm("budget")
+        assert faults.active()
+        faults.reset()
+        assert not faults.active()
+        faults.check("pair_test")
