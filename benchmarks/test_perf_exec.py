@@ -1,0 +1,174 @@
+"""A8: closure-compiled execution engine payoff.
+
+Everything PED does with a *running* program -- transformation
+verification, parallel-speedup simulation, profile-driven navigation --
+re-executes Fortran through an interpreter, which made the tree-walker
+the slowest A5 stage.  This module measures the compiled engine against
+it on all eight corpus programs: one-time compile cost, steady-state
+execution, and the transform -> verify round-trip the interactive loop
+actually pays for.
+
+Acceptance (ISSUE 3): compiled >= 5x the tree-walker on steady-state
+execution for at least 6 of 8 corpus programs, byte-identical
+``snapshot()`` observables on all 8.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.corpus import ORDER, PROGRAMS
+from repro.interp import CompiledInterpreter, Interpreter, compare_runs
+from repro.interp import compile as eng
+from repro.interp.verify import clear_program_cache, run_program
+from repro.ir import AnalyzedProgram
+from repro.ped import PedSession
+
+#: acceptance floor for the per-program steady-state ratio
+MIN_SPEEDUP = 5.0
+#: ... on at least this many of the eight corpus programs
+MIN_PROGRAMS = 6
+
+_PROGRAMS = {name: AnalyzedProgram.from_source(PROGRAMS[name].source)
+             for name in ORDER}
+
+
+def _best_of(fn, rounds=3):
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def _warm(program):
+    for uir in program.units.values():
+        eng.linked_unit(uir)
+
+
+# ---------------------------------------------------------------------------
+# compile cost
+# ---------------------------------------------------------------------------
+
+def test_bench_compile_corpus_cold(benchmark):
+    """One-time cost of compiling every unit of all eight programs."""
+
+    def reset():
+        eng.clear_code_cache()
+        for program in _PROGRAMS.values():
+            for uir in program.units.values():
+                uir._compiled = None
+
+    def compile_all():
+        n = 0
+        for program in _PROGRAMS.values():
+            for uir in program.units.values():
+                eng.linked_unit(uir)
+                n += 1
+        return n
+
+    n = benchmark.pedantic(compile_all, setup=reset, rounds=3)
+    assert n == sum(len(p.units) for p in _PROGRAMS.values())
+
+
+# ---------------------------------------------------------------------------
+# steady-state execution, both engines, all eight programs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ORDER)
+def test_bench_exec_tree(benchmark, name):
+    cp = PROGRAMS[name]
+    program = _PROGRAMS[name]
+
+    def run():
+        interp = Interpreter(program, inputs=list(cp.inputs))
+        interp.run()
+        return interp
+
+    interp = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert interp.steps > 0
+
+
+@pytest.mark.parametrize("name", ORDER)
+def test_bench_exec_compiled(benchmark, name):
+    cp = PROGRAMS[name]
+    program = _PROGRAMS[name]
+    _warm(program)
+
+    def run():
+        interp = CompiledInterpreter(program, inputs=list(cp.inputs))
+        interp.run()
+        return interp
+
+    interp = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert interp.steps > 0
+
+
+# ---------------------------------------------------------------------------
+# transform -> verify round-trip (the interactive cycle)
+# ---------------------------------------------------------------------------
+
+def test_bench_transform_verify_roundtrip(benchmark):
+    """Apply a transformation, then verify equivalence by re-running
+    original and transformed sources through the compiled engine; the
+    program LRU and compile cache make repeat cycles cheap."""
+    session = PedSession(PROGRAMS["slab2d"].source)
+    original = session.source()
+    assert session.apply("loop_reversal",
+                         loop=session.loops()[0]).applied
+    transformed = session.source()
+    inputs = list(PROGRAMS["slab2d"].inputs)
+
+    def cycle():
+        ra = run_program(original, inputs=list(inputs))
+        rb = run_program(transformed, inputs=list(inputs))
+        return compare_runs(ra, rb)
+
+    clear_program_cache()
+    diffs = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert diffs == []
+
+
+# ---------------------------------------------------------------------------
+# acceptance: >=5x on >=6 of 8, byte-identical observables on all 8
+# ---------------------------------------------------------------------------
+
+def test_exec_speedup_acceptance(reporter):
+    rows = []
+    over = 0
+    for name in ORDER:
+        cp = PROGRAMS[name]
+        program = _PROGRAMS[name]
+        _warm(program)
+        tree = Interpreter(program, inputs=list(cp.inputs))
+        tree.run()
+        comp = CompiledInterpreter(program, inputs=list(cp.inputs))
+        comp.run()
+        st, sc = tree.snapshot(), comp.snapshot()
+        assert set(st) == set(sc), name
+        for k in st:
+            a, b = st[k], sc[k]
+            if isinstance(a, np.ndarray):
+                assert a.dtype == b.dtype and np.array_equal(a, b), \
+                    f"{name}:{k}"
+            else:
+                assert type(a) is type(b) and a == b, f"{name}:{k}"
+        assert compare_runs(tree, comp) == [], name
+
+        t_tree = _best_of(
+            lambda: Interpreter(program, inputs=list(cp.inputs)).run())
+        t_comp = _best_of(
+            lambda: CompiledInterpreter(program,
+                                        inputs=list(cp.inputs)).run())
+        ratio = t_tree / t_comp
+        if ratio >= MIN_SPEEDUP:
+            over += 1
+        rows.append([name, f"{t_tree * 1e3:.1f}", f"{t_comp * 1e3:.1f}",
+                     f"{ratio:.2f}x"])
+    reporter("A8: steady-state execution, tree vs compiled engine",
+             ["program", "tree (ms)", "compiled (ms)", "speedup"], rows)
+    assert over >= MIN_PROGRAMS, \
+        f"only {over}/8 programs reached {MIN_SPEEDUP:.0f}x: {rows}"

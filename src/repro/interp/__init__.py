@@ -1,14 +1,24 @@
 """Fortran interpreter: execution, profiling, parallel simulation,
-transformation verification."""
+transformation verification.
 
+Two engines share one observable surface: the tree-walking
+:class:`Interpreter` (reference oracle) and the closure-compiled
+:class:`CompiledInterpreter` (default for verification, speedup
+simulation, and profiling -- see :mod:`repro.interp.compile`).
+"""
+
+from .compile import CompiledInterpreter, clear_code_cache, \
+    compile_cache_info
 from .machine import ArrayStorage, AssertionViolated, Interpreter, Profile, \
     RuntimeFault, StepLimitExceeded
-from .verify import ParallelTiming, compare_runs, run_program, \
-    simulate_speedup, verify_equivalence
+from .verify import ENGINES, ParallelTiming, compare_runs, make_interpreter, \
+    resolve_engine, run_program, simulate_speedup, verify_equivalence
 
 __all__ = [
-    "Interpreter", "Profile", "ArrayStorage",
+    "Interpreter", "CompiledInterpreter", "Profile", "ArrayStorage",
     "RuntimeFault", "StepLimitExceeded", "AssertionViolated",
     "run_program", "compare_runs", "verify_equivalence",
     "simulate_speedup", "ParallelTiming",
+    "ENGINES", "make_interpreter", "resolve_engine",
+    "compile_cache_info", "clear_code_cache",
 ]

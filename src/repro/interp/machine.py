@@ -74,6 +74,26 @@ class ArrayStorage:
     #: per-dimension declared lower bounds
     lowers: tuple[int, ...]
 
+    def __post_init__(self) -> None:
+        # Column-major element strides and the flat view are fixed at
+        # allocation so every subscript access is a dot product instead
+        # of a per-access recomputation; both execution engines share
+        # these.
+        d = self.data
+        self.shape = d.shape
+        acc = 1
+        strides = []
+        for n in d.shape:
+            strides.append(acc)
+            acc *= n
+        self.strides = tuple(strides)
+        self.size = acc
+        #: flat offset of element (lowers[0], lowers[1], ...)
+        self.base = -sum(lo * st for lo, st in zip(self.lowers, strides))
+        #: 1-D column-major alias of ``data`` (None when not aliasable)
+        self.flat = d.reshape(-1, order="F") if d.flags.f_contiguous \
+            else None
+
     def index(self, subs: tuple[int, ...]) -> tuple[int, ...]:
         if len(subs) != self.data.ndim:
             raise RuntimeFault(
@@ -87,6 +107,43 @@ class ArrayStorage:
                     f"bounds [{self.lowers[k]}, "
                     f"{self.lowers[k] + n - 1}]")
         return idx
+
+    def offset(self, subs: tuple[int, ...]) -> int:
+        """Flat column-major offset of a subscript tuple (bounds-checked
+        with the same fault messages as :meth:`index`)."""
+        shape = self.shape
+        if len(subs) != len(shape):
+            raise RuntimeFault(
+                f"{self.name}: rank mismatch ({len(subs)} subscripts for "
+                f"rank {self.data.ndim})")
+        off = 0
+        lowers = self.lowers
+        strides = self.strides
+        for k in range(len(subs)):
+            i = subs[k] - lowers[k]
+            if not 0 <= i < shape[k]:
+                raise RuntimeFault(
+                    f"{self.name}: subscript {k + 1} = {subs[k]} out of "
+                    f"bounds [{lowers[k]}, "
+                    f"{lowers[k] + shape[k] - 1}]")
+            off += i * strides[k]
+        return off
+
+    def get(self, subs: tuple[int, ...]):
+        """Bounds-checked element read as a Python scalar."""
+        flat = self.flat
+        if flat is not None:
+            return flat.item(self.offset(subs))
+        v = self.data[self.index(subs)]
+        return v.item() if isinstance(v, np.generic) else v
+
+    def set(self, subs: tuple[int, ...], value) -> None:
+        """Bounds-checked element write."""
+        flat = self.flat
+        if flat is not None:
+            flat[self.offset(subs)] = value
+        else:
+            self.data[self.index(subs)] = value
 
 
 @dataclass
@@ -356,7 +413,7 @@ class Interpreter:
                         subs = tuple(int(self._eval_in(x, frame))
                                      for x in t.children())
                         arr = frame.arrays[t.name]
-                        arr.data[arr.index(subs)] = vals[vi]
+                        arr.set(subs, vals[vi])
                         vi += 1
 
     # -- execution -----------------------------------------------------------
@@ -567,10 +624,9 @@ class Interpreter:
             subs = tuple(int(self._eval_in(x, frame)) for x in a.subscripts)
             # Array element actual: pass the trailing section (sequence
             # association), aliasing the original storage.
-            flat = arr.data.reshape(-1, order="F")
-            offset = int(np.ravel_multi_index(arr.index(subs),
-                                              arr.data.shape, order="F"))
-            return ArrayStorage(arr.name, flat[offset:], (1,))
+            flat = arr.flat if arr.flat is not None \
+                else arr.data.reshape(-1, order="F")
+            return ArrayStorage(arr.name, flat[arr.offset(subs):], (1,))
         return self._eval_in(a, frame)
 
     # -- expression evaluation ----------------------------------------------------
@@ -608,7 +664,7 @@ class Interpreter:
                 arr = frame.arrays[e.name]
                 subs = tuple(int(self._eval_in(x, frame))
                              for x in e.children())
-                return _pyval(arr.data[arr.index(subs)])
+                return arr.get(subs)
             # NameRef that is actually a call
             return self._call_function(e.name, tuple(e.children()), frame)
         if isinstance(e, ast.FuncRef):
@@ -657,7 +713,7 @@ class Interpreter:
             arr = frame.arrays[target.name]
             subs = tuple(int(self._eval_in(x, frame))
                          for x in target.children())
-            arr.data[arr.index(subs)] = value
+            arr.set(subs, value)
             return
         raise RuntimeFault(f"bad assignment target {target}")
 

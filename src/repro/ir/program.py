@@ -35,6 +35,10 @@ class UnitIR:
     generation: int = 0
     _cfg: CFG | None = field(default=None, repr=False)
     _loops: LoopTree | None = field(default=None, repr=False)
+    #: (generation, interp.compile.LinkedUnit) -- closure-compiled code;
+    #: survives invalidation via the structural-fingerprint LRU (a stale
+    #: generation triggers a cheap relink, not a recompile)
+    _compiled: tuple | None = field(default=None, repr=False)
 
     @property
     def cfg(self) -> CFG:

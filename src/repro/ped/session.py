@@ -34,8 +34,9 @@ from ..assertions import AssertionSet, derive_breaking_conditions
 from ..dependence.ddg import DependenceAnalyzer, LoopDependences, \
     degraded_loop_dependences
 from ..dependence.model import Dependence, Mark
+from ..dependence.tests import pair_cache_info
 from ..fortran import ParseError, ast, parse_program
-from ..interp import Interpreter
+from ..interp import Interpreter, compile_cache_info, make_interpreter
 from ..interproc import InterproceduralOracle, SummaryBuilder, check_program
 from ..ir.loops import LoopInfo
 from ..ir.program import AnalyzedProgram
@@ -118,6 +119,10 @@ class HealthReport:
     edit_failures: list[dict]
     undo_depth: int = 0
     redo_depth: int = 0
+    #: dependence pair-test memo occupancy + hit/miss counters
+    pair_cache: dict = field(default_factory=dict)
+    #: execution-engine compile cache occupancy + hit/relink/miss counters
+    compile_cache: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -418,11 +423,14 @@ class PedSession:
         self._log("program navigation", "navigation report")
         return navigation_report(self.program, top)
 
-    def profile(self, inputs=None, max_steps: int = 5_000_000):
-        """Dynamic loop-level profile from the interpreter."""
-        interp = Interpreter(self.program, inputs=inputs,
-                             max_steps=max_steps,
-                             assertion_checker=self.assertions.checker())
+    def profile(self, inputs=None, max_steps: int = 5_000_000,
+                engine: str | None = None):
+        """Dynamic loop-level profile from the interpreter (the
+        closure-compiled engine by default; ``engine="tree"`` selects the
+        reference tree-walker)."""
+        interp = make_interpreter(
+            self.program, inputs=inputs, max_steps=max_steps,
+            assertion_checker=self.assertions.checker(), engine=engine)
         interp.run()
         self._log("program navigation", "dynamic profile")
         return interp.profile
@@ -854,7 +862,9 @@ class PedSession:
             transform_failures=of("transform"),
             guidance_failures=of("guidance"),
             edit_failures=of("edit"),
-            undo_depth=len(self._undo), redo_depth=len(self._redo))
+            undo_depth=len(self._undo), redo_depth=len(self._redo),
+            pair_cache=pair_cache_info(),
+            compile_cache=compile_cache_info())
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report

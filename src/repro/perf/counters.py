@@ -57,6 +57,15 @@ class EngineCounters:
     pool_workers: int = 0
     pool_mode: str = ""
 
+    # -- closure-compiled execution engine ------------------------------------
+    #: compiled-unit reuses via the per-UnitIR (generation, code) pair
+    compile_hits: int = 0
+    #: structural-fingerprint LRU hits relinked after a generation bump
+    #: (transform rolled back, undo/redo) without recompiling
+    compile_relinks: int = 0
+    #: full unit compilations
+    compile_misses: int = 0
+
     # -- degraded-mode analysis ----------------------------------------------
     #: loops whose analysis fell back to a conservative assumed result
     degraded_loops: int = 0
@@ -79,11 +88,18 @@ class EngineCounters:
         total = self.deps_evicted + self.deps_retained
         return self.deps_retained / total if total else 0.0
 
+    def compile_reuse_rate(self) -> float:
+        total = self.compile_hits + self.compile_relinks \
+            + self.compile_misses
+        return (self.compile_hits + self.compile_relinks) / total \
+            if total else 0.0
+
     def snapshot(self) -> dict:
         out = asdict(self)
         out["pair_tests"] = self.pair_tests
         out["pair_hit_rate"] = self.pair_hit_rate()
         out["deps_retention_rate"] = self.retention_rate()
+        out["compile_reuse_rate"] = self.compile_reuse_rate()
         return out
 
     def reset(self) -> None:
@@ -134,6 +150,9 @@ def report() -> str:
         f"  pool           {s['pool_tasks']} tasks in "
         f"{s['pool_batches']} batches, mode "
         f"{s['pool_mode'] or '-'}, workers {s['pool_workers']}",
+        f"  compile cache  hits {s['compile_hits']}, "
+        f"relinks {s['compile_relinks']}, misses {s['compile_misses']} "
+        f"({s['compile_reuse_rate']:.1%} reused)",
         f"  degraded       loops {s['degraded_loops']}, "
         f"pairs {s['degraded_pairs']}, "
         f"budget exhaustions {s['budget_exhaustions']}",
