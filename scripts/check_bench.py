@@ -2,6 +2,7 @@
 """Compare a pytest-benchmark JSON run against the committed baseline.
 
 Usage: check_bench.py <current.json> <baseline.json> [max_slowdown]
+                      [--require SUBSTR ...]
 
 Benchmarks run on whatever machine CI hands us, so this is a guardrail
 against order-of-magnitude regressions, not a micro-benchmark gate:
@@ -9,6 +10,12 @@ a test fails the check only when its mean time exceeds the baseline
 mean by ``max_slowdown`` (default 10x).  Missing-from-baseline tests
 pass (new benchmarks establish their numbers on the next baseline
 refresh).
+
+``--require SUBSTR`` (repeatable) fails the check when no benchmark
+fullname in the *current* run contains SUBSTR -- a tripwire against a
+benchmark module silently dropping out of the CI invocation (a
+collection error or a forgotten path would otherwise read as "no
+regressions").
 """
 
 import json
@@ -22,12 +29,24 @@ def load(path: str) -> dict[str, float]:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 3:
+    required = []
+    args = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--require":
+            try:
+                required.append(next(it))
+            except StopIteration:
+                print("--require needs a substring argument")
+                return 2
+        else:
+            args.append(a)
+    if len(args) < 2:
         print(__doc__)
         return 2
-    current = load(argv[1])
-    baseline = load(argv[2])
-    max_slowdown = float(argv[3]) if len(argv) > 3 else 10.0
+    current = load(args[0])
+    baseline = load(args[1])
+    max_slowdown = float(args[2]) if len(args) > 2 else 10.0
     failures = []
     for name, mean in sorted(current.items()):
         base = baseline.get(name)
@@ -40,11 +59,17 @@ def main(argv: list[str]) -> int:
               f"vs baseline {base * 1e3:.2f} ms ({ratio:.2f}x)")
         if ratio > max_slowdown:
             failures.append(name)
+    missing = [r for r in required
+               if not any(r in name for name in current)]
+    for r in missing:
+        print(f"MISSING  no benchmark matching {r!r} in current run")
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "
               f"{max_slowdown:.0f}x over baseline")
-        return 1
-    return 0
+    if missing:
+        print(f"\n{len(missing)} required benchmark pattern(s) absent "
+              f"from the run")
+    return 1 if failures or missing else 0
 
 
 if __name__ == "__main__":

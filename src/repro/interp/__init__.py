@@ -4,21 +4,31 @@ transformation verification.
 Two engines share one observable surface: the tree-walking
 :class:`Interpreter` (reference oracle) and the closure-compiled
 :class:`CompiledInterpreter` (default for verification, speedup
-simulation, and profiling -- see :mod:`repro.interp.compile`).
+simulation, and profiling -- see :mod:`repro.interp.compile`).  The
+compiled engine can execute PARALLEL DO loops for real on a persistent
+worker pool (:mod:`repro.interp.runtime`) while keeping observable
+state byte-identical to serial execution.
 """
 
 from .compile import CompiledInterpreter, clear_code_cache, \
     compile_cache_info
 from .machine import ArrayStorage, AssertionViolated, Interpreter, Profile, \
-    RuntimeFault, StepLimitExceeded
-from .verify import ENGINES, ParallelTiming, compare_runs, make_interpreter, \
-    resolve_engine, run_program, simulate_speedup, verify_equivalence
+    RuntimeFault, StepLimitExceeded, parallel_overhead, \
+    set_parallel_overhead
+from .runtime import SCHEDULES, ParallelRuntime, chunk_ranges, \
+    resolve_pool_kind, resolve_schedule, resolve_workers
+from .verify import ENGINES, ParallelTiming, compare_runs, format_diffs, \
+    make_interpreter, resolve_engine, run_program, simulate_speedup, \
+    verify_equivalence
 
 __all__ = [
     "Interpreter", "CompiledInterpreter", "Profile", "ArrayStorage",
     "RuntimeFault", "StepLimitExceeded", "AssertionViolated",
     "run_program", "compare_runs", "verify_equivalence",
-    "simulate_speedup", "ParallelTiming",
+    "simulate_speedup", "ParallelTiming", "format_diffs",
     "ENGINES", "make_interpreter", "resolve_engine",
     "compile_cache_info", "clear_code_cache",
+    "ParallelRuntime", "SCHEDULES", "chunk_ranges",
+    "resolve_workers", "resolve_schedule", "resolve_pool_kind",
+    "parallel_overhead", "set_parallel_overhead",
 ]

@@ -47,11 +47,15 @@ from ..fortran import ast
 from ..perf import counters as perf_counters
 from .machine import (
     COST_BRANCH, COST_CALL, COST_INTRINSIC, COST_MEMREF, COST_OP,
-    COST_STMT, PARALLEL_OVERHEAD, _TYPE_DTYPE, ArrayStorage, Frame,
+    COST_STMT, COST_TERM, _TYPE_DTYPE, ArrayStorage, Frame,
     Interpreter, Profile, RuntimeFault, StepLimitExceeded,
-    AssertionViolated, _binop, _intrinsic, _Jump, _pyval, _ScalarRef,
+    AssertionViolated, _binop, _intrinsic, _Jump,
+    parallel_jump_fault, parallel_overhead, _pyval, _ScalarRef,
     _StopSignal,
 )
+# compile -> runtime is the safe import direction; runtime reaches back
+# into this module lazily (function-local imports) to avoid a cycle
+from .runtime import build_plan
 
 __all__ = [
     "CompiledInterpreter", "UnitCode", "LinkedUnit", "linked_unit",
@@ -118,10 +122,11 @@ class UnitCode:
     """
 
     __slots__ = ("name", "kind", "n_params", "invoke", "n_stmts",
-                 "n_loops", "reg_index", "arr_index", "n_regs", "n_arrs")
+                 "n_loops", "reg_index", "arr_index", "n_regs", "n_arrs",
+                 "par_plans")
 
     def __init__(self, name, kind, n_params, invoke, n_stmts, n_loops,
-                 reg_index, arr_index):
+                 reg_index, arr_index, par_plans=None):
         self.name = name
         self.kind = kind
         self.n_params = n_params
@@ -132,19 +137,27 @@ class UnitCode:
         self.arr_index = arr_index
         self.n_regs = len(reg_index)
         self.n_arrs = len(arr_index)
+        #: dense loop index -> runtime.ParLoopPlan for PARALLEL DO loops
+        self.par_plans = par_plans if par_plans is not None else {}
 
 
 class LinkedUnit:
     """A :class:`UnitCode` bound to one concrete AST instance: the
     dense-index -> uid tables plus the live symbol table."""
 
-    __slots__ = ("code", "symtab", "stmt_uids", "loop_uids")
+    __slots__ = ("code", "symtab", "stmt_uids", "loop_uids",
+                 "loop_privates")
 
-    def __init__(self, code: UnitCode, symtab, stmt_uids, loop_uids):
+    def __init__(self, code: UnitCode, symtab, stmt_uids, loop_uids,
+                 loop_privates=()):
         self.code = code
         self.symtab = symtab
         self.stmt_uids = stmt_uids
         self.loop_uids = loop_uids
+        #: per-loop privatization facts (frozenset of names, dense loop
+        #: order); carried here, not in UnitCode, because ``private_vars``
+        #: is outside the structural fingerprint (_FP_SKIP)
+        self.loop_privates = loop_privates
 
 
 # --------------------------------------------------------------------------
@@ -241,10 +254,11 @@ def linked_unit(uir) -> LinkedUnit:
         _STATS["misses"] += 1
         perf_counters.bump("compile_misses")
     walk = list(ast.walk_stmts(uir.unit.body))
+    loops = [s for s, _ in walk if isinstance(s, ast.DoLoop)]
     lk = LinkedUnit(code, uir.symtab,
                     [s.uid for s, _ in walk],
-                    [s.uid for s, _ in walk
-                     if isinstance(s, ast.DoLoop)])
+                    [s.uid for s in loops],
+                    [frozenset(s.private_vars) for s in loops])
     uir._compiled = (uir.generation, lk)
     return lk
 
@@ -293,6 +307,8 @@ class _Cx:
         self.loop_idx_of = {id(s): i for i, s in enumerate(loops)}
         self.n_stmts = len(walk)
         self.n_loops = len(loops)
+        #: dense loop index -> ParLoopPlan, filled by _comp_do
+        self.par_plans: dict[int, object] = {}
 
     def slot(self, name: str) -> int:
         key = name.upper()
@@ -946,7 +962,7 @@ def _comp_stmt(cx: _Cx, s: ast.Stmt):
         def op(fr):
             fr.cnt[idx] += 1
             rt = fr.rt
-            rt.clock += 0.1
+            rt.clock += COST_TERM
             steps = rt.steps + 1
             rt.steps = steps
             if steps > rt.max_steps:
@@ -1082,6 +1098,9 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
             return None
         return op
 
+    plan = build_plan(cx, s, body, vslot, term)
+    cx.par_plans[lidx] = plan
+
     def op(fr):
         fr.cnt[idx] += 1
         rt = fr.rt
@@ -1096,6 +1115,14 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
         fr.li[lidx] += trips
         fr.lf[lidx] = 1
         t0 = rt.clock
+        runner = rt._runtime
+        if runner is not None and trips > 1 and \
+                runner.try_execute(fr, plan, lidx, start, step, trips):
+            # executed for real on the worker pool; the runtime has
+            # already collapsed the clock and merged worker state
+            fr.lt[lidx] += rt.clock - t0
+            fr.ltf[lidx] = 1
+            return None
         max_iter = 0.0
         regs = fr.regs
         v = start
@@ -1106,8 +1133,7 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
             if sig is not None:
                 if type(sig) is int:
                     if sig != term:
-                        raise RuntimeFault(
-                            f"line {line}: jump out of a PARALLEL DO")
+                        raise parallel_jump_fault(line)
                 else:
                     return sig
             d = rt.clock - it_start
@@ -1116,7 +1142,7 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
             v = v + step
         regs[vslot] = v
         # collapse to fork-join wall time
-        rt.clock = t0 + max_iter + (PARALLEL_OVERHEAD if trips else 0.0)
+        rt.clock = t0 + max_iter + (parallel_overhead() if trips else 0.0)
         fr.lt[lidx] += rt.clock - t0
         fr.ltf[lidx] = 1
         return None
@@ -1466,7 +1492,8 @@ def _compile_unit(unit: ast.ProgramUnit, st) -> UnitCode:
         return None
 
     code = UnitCode(uname, kind, n_params, invoke, cx.n_stmts,
-                    cx.n_loops, dict(cx.reg_index), dict(cx.arr_index))
+                    cx.n_loops, dict(cx.reg_index), dict(cx.arr_index),
+                    cx.par_plans)
     return code
 
 
@@ -1481,7 +1508,8 @@ class CompiledInterpreter:
     byte-identical observables and profiles (tree engine = oracle)."""
 
     def __init__(self, program, inputs=None, max_steps: int = 5_000_000,
-                 check_assertions: bool = True, assertion_checker=None):
+                 check_assertions: bool = True, assertion_checker=None,
+                 workers: int | None = None, schedule: str | None = None):
         self.program = program
         self.inputs = list(inputs or [])
         self._input_pos = 0
@@ -1500,6 +1528,13 @@ class CompiledInterpreter:
         self._unit_time: dict[str, float] = {}
         self._unit_calls: dict[str, int] = {}
         self._shim = None
+        #: real fork-join executor for PARALLEL DO (None = simulate)
+        self._runtime = None
+        #: loop uid -> measured fork-join stats (filled by the runtime)
+        self._par_stats: dict[int, dict] = {}
+        if workers is not None and workers >= 1:
+            from .runtime import ParallelRuntime
+            self._runtime = ParallelRuntime(workers, schedule)
 
     # -- public API --------------------------------------------------------
 

@@ -22,6 +22,7 @@ view, scalar variables copy in/out.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -161,7 +162,49 @@ COST_MEMREF = 2
 COST_STMT = 1
 COST_BRANCH = 2
 COST_CALL = 10
+#: loop-terminator (CONTINUE) tick.  An exact dyadic rational (1/8): with
+#: every cost a multiple of 1/8 and clock magnitudes far below 2**49,
+#: float accumulation of the virtual clock is exact, so per-iteration
+#: time deltas are independent of the clock base a worker starts from
+#: and the parallel runtime's partial sums combine to the same bits as
+#: the serial fold.
+COST_TERM = 0.125
+#: default fork-join startup charge for a PARALLEL DO
 PARALLEL_OVERHEAD = 100.0
+
+_overhead_override: float | None = None
+
+
+def parallel_overhead() -> float:
+    """The fork-join startup charge, calibratable per machine.
+
+    Resolution order: :func:`set_parallel_overhead` (session setting) >
+    the ``REPRO_PARALLEL_OVERHEAD`` environment variable > the
+    :data:`PARALLEL_OVERHEAD` default.  Both engines and the static
+    estimator read it through this accessor at loop-execution time, so a
+    calibration applies without recompiling cached units.
+    """
+    if _overhead_override is not None:
+        return _overhead_override
+    env = os.environ.get("REPRO_PARALLEL_OVERHEAD")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return PARALLEL_OVERHEAD
+
+
+def set_parallel_overhead(value: float | None) -> None:
+    """Set (or with ``None`` clear) the process-wide overhead
+    calibration; takes precedence over the environment variable."""
+    global _overhead_override
+    _overhead_override = None if value is None else float(value)
+
+
+def parallel_jump_fault(line: int) -> RuntimeFault:
+    """The one "jump out of a PARALLEL DO" fault both engines raise."""
+    return RuntimeFault(f"line {line}: jump out of a PARALLEL DO")
 
 
 @dataclass
@@ -192,7 +235,12 @@ class Interpreter:
                  inputs: list[object] | None = None,
                  max_steps: int = 5_000_000,
                  check_assertions: bool = True,
-                 assertion_checker=None):
+                 assertion_checker=None,
+                 workers: int | None = None,
+                 schedule: str | None = None):
+        # The tree engine is the semantic oracle: it always executes
+        # serially, so ``workers``/``schedule`` are accepted (uniform
+        # construction via verify.make_interpreter) and ignored.
         self.program = program
         self.inputs = list(inputs or [])
         self._input_pos = 0
@@ -502,7 +550,7 @@ class Interpreter:
                 raise _Jump(s.targets[v - 1])
             return
         if isinstance(s, ast.Continue):
-            self._tick(0.1)
+            self._tick(COST_TERM)
             return
         if isinstance(s, ast.CallStmt):
             self._tick(COST_CALL)
@@ -584,8 +632,7 @@ class Interpreter:
                 self._exec_block(s.body, frame)
             except _Jump as j:
                 if j.label != s.term_label:
-                    raise RuntimeFault(
-                        f"line {s.line}: jump out of a PARALLEL DO")
+                    raise parallel_jump_fault(s.line)
             max_iter = max(max_iter, self.clock - it_start)
             v = v + step
         frame.scalars[s.var] = _norm_int(v)
@@ -593,7 +640,8 @@ class Interpreter:
         # (last-value privatization semantics), which the sequential
         # simulation provides naturally.
         # collapse to fork-join wall time
-        self.clock = t0 + max_iter + (PARALLEL_OVERHEAD if trips else 0.0)
+        self.clock = t0 + max_iter + (parallel_overhead() if trips
+                                      else 0.0)
 
     # -- calls ------------------------------------------------------------------
 

@@ -15,12 +15,20 @@ Select per call with ``engine=``, or process-wide with the
 same source text repeatedly (original vs. transformed, before vs.
 after), so parsed/analyzed programs are memoized in a small LRU keyed
 by source text (disable with ``REPRO_EXEC_CACHE=0``).
+
+The compiled engine can additionally execute ``PARALLEL DO`` loops for
+real on a worker pool (:mod:`repro.interp.runtime`): pass
+``workers=N``/``schedule=`` or set ``REPRO_EXEC_WORKERS`` /
+``REPRO_EXEC_SCHEDULE``.  Results stay byte-identical to serial; only
+wall-clock time changes, which :func:`simulate_speedup` reports in
+:class:`ParallelTiming` alongside the virtual clocks.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -30,6 +38,7 @@ from ..fortran import parse_program
 from ..ir.program import AnalyzedProgram
 from .compile import CompiledInterpreter
 from .machine import Interpreter, Profile
+from .runtime import resolve_schedule, resolve_workers
 
 #: recognized engine names
 ENGINES = ("compiled", "tree")
@@ -52,13 +61,21 @@ def resolve_engine(engine: str | None = None) -> str:
 
 def make_interpreter(program: AnalyzedProgram, inputs=None,
                      max_steps: int = 5_000_000, assertion_checker=None,
-                     engine: str | None = None):
+                     engine: str | None = None,
+                     workers: int | None = None,
+                     schedule: str | None = None):
     """Fresh interpreter of the selected engine over an analyzed
-    program (not yet run)."""
-    cls = CompiledInterpreter if resolve_engine(engine) == "compiled" \
-        else Interpreter
-    return cls(program, inputs=inputs, max_steps=max_steps,
-               assertion_checker=assertion_checker)
+    program (not yet run).  ``workers``/``schedule`` attach the
+    fork-join DOALL runtime to the compiled engine (the tree engine is
+    the serial oracle and accepts-but-ignores them)."""
+    if resolve_engine(engine) == "compiled":
+        return CompiledInterpreter(
+            program, inputs=inputs, max_steps=max_steps,
+            assertion_checker=assertion_checker,
+            workers=resolve_workers(workers),
+            schedule=resolve_schedule(schedule))
+    return Interpreter(program, inputs=inputs, max_steps=max_steps,
+                       assertion_checker=assertion_checker)
 
 
 def analyzed_program(source_or_program) -> AnalyzedProgram:
@@ -86,30 +103,78 @@ def clear_program_cache() -> None:
 
 
 def run_program(source_or_program, inputs=None, max_steps: int = 5_000_000,
-                assertion_checker=None, engine: str | None = None):
+                assertion_checker=None, engine: str | None = None,
+                workers: int | None = None, schedule: str | None = None):
     """Parse (if needed) and execute; returns the finished interpreter."""
     program = analyzed_program(source_or_program)
     interp = make_interpreter(program, inputs=inputs, max_steps=max_steps,
                               assertion_checker=assertion_checker,
-                              engine=engine)
+                              engine=engine, workers=workers,
+                              schedule=schedule)
     interp.run()
     return interp
 
 
+def _common_context(interp, key: str) -> str:
+    """``common:X`` diff keys gain the units that declare X (the loop-
+    level context lives in the program, not the snapshot)."""
+    if not key.startswith("common:"):
+        return ""
+    name = key[len("common:"):]
+    program = getattr(interp, "program", None)
+    if program is None:
+        return ""
+    units = [uname for uname, uir in program.units.items()
+             if uir.symtab.get(name) is not None
+             and uir.symtab.get(name).storage == "common"]
+    if not units:
+        return ""
+    return f" (COMMON, declared in {', '.join(sorted(units))})"
+
+
+def format_diffs(diffs: list[str], limit: int = 5) -> str:
+    """Join diffs for an error message, saying how many were cut."""
+    shown = "; ".join(diffs[:limit])
+    hidden = len(diffs) - limit
+    if hidden > 0:
+        plural = "s" if hidden != 1 else ""
+        shown += f"; ... and {hidden} more difference{plural}"
+    return shown
+
+
 def compare_runs(a: Interpreter, b: Interpreter,
                  rtol: float = 1e-9) -> list[str]:
-    """Differences in observable state between two finished runs."""
+    """Differences in observable state between two finished runs.
+
+    Array diffs carry the mismatch count and first differing element;
+    ``common:`` keys name the declaring units.
+    """
     diffs: list[str] = []
     sa, sb = a.snapshot(), b.snapshot()
     keys = sorted(set(sa) | set(sb))
     for k in keys:
         va, vb = sa.get(k), sb.get(k)
+        ctx = _common_context(a, k)
         if va is None or vb is None:
-            diffs.append(f"{k}: present in only one run")
+            diffs.append(f"{k}{ctx}: present in only one run")
             continue
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
-            if not np.allclose(va, vb, rtol=rtol, equal_nan=True):
-                diffs.append(f"{k}: arrays differ")
+            va2, vb2 = np.asarray(va), np.asarray(vb)
+            if va2.shape != vb2.shape:
+                diffs.append(f"{k}{ctx}: arrays differ "
+                             f"(shape {va2.shape} vs {vb2.shape})")
+                continue
+            if not np.allclose(va2, vb2, rtol=rtol, equal_nan=True):
+                neq = ~np.isclose(va2, vb2, rtol=rtol, equal_nan=True)
+                n_bad = int(neq.sum())
+                flat = np.flatnonzero(neq.reshape(-1, order="F"))
+                i = int(flat[0]) if flat.size else 0
+                fa = va2.reshape(-1, order="F")[i]
+                fb = vb2.reshape(-1, order="F")[i]
+                diffs.append(
+                    f"{k}{ctx}: arrays differ ({n_bad} of {va2.size} "
+                    f"element{'s' if va2.size != 1 else ''}; first at "
+                    f"F-order index {i}: {fa} != {fb})")
             continue
         if isinstance(va, list):
             if len(va) != len(vb):
@@ -124,7 +189,7 @@ def compare_runs(a: Interpreter, b: Interpreter,
                     diffs.append(f"{k}[{i}]: {x} != {y}")
             continue
         if va != vb:
-            diffs.append(f"{k}: {va} != {vb}")
+            diffs.append(f"{k}{ctx}: {va} != {vb}")
     return diffs
 
 
@@ -140,8 +205,15 @@ def verify_equivalence(original: str, transformed: str,
 
 @dataclass
 class ParallelTiming:
+    """Virtual-clock and wall-clock timings of a sequential/parallel
+    program pair.  The virtual ``speedup`` reflects the fork-join cost
+    model; ``measured_speedup`` is real elapsed time (only meaningful
+    when the parallel run used the DOALL runtime with workers)."""
+
     sequential_time: float
     parallel_time: float
+    wall_sequential: float = 0.0
+    wall_parallel: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -149,20 +221,39 @@ class ParallelTiming:
             return float("inf")
         return self.sequential_time / self.parallel_time
 
+    @property
+    def measured_speedup(self) -> float:
+        if self.wall_parallel <= 0:
+            return float("inf")
+        return self.wall_sequential / self.wall_parallel
+
 
 def simulate_speedup(sequential_source: str, parallel_source: str,
-                     inputs=None, engine: str | None = None) -> ParallelTiming:
-    """Virtual-clock comparison of a program before/after parallelization.
+                     inputs=None, engine: str | None = None,
+                     workers: int | None = None,
+                     schedule: str | None = None) -> ParallelTiming:
+    """Virtual-clock (and wall-clock) comparison of a program
+    before/after parallelization.
 
     The interpreter's fork-join model charges a PARALLEL DO the maximum
-    iteration time plus a fixed overhead, so the ratio reflects exposed
-    granularity rather than real hardware."""
+    iteration time plus a fixed overhead, so the virtual ratio reflects
+    exposed granularity rather than real hardware.  With ``workers``
+    the parallel source additionally executes its PARALLEL DO loops for
+    real, and ``wall_sequential``/``wall_parallel`` report elapsed
+    time."""
+    t0 = time.perf_counter()
     ra = run_program(sequential_source, inputs=list(inputs or []),
                      engine=engine)
+    wall_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
     rb = run_program(parallel_source, inputs=list(inputs or []),
-                     engine=engine)
+                     engine=engine, workers=workers, schedule=schedule)
+    wall_par = time.perf_counter() - t0
     diffs = compare_runs(ra, rb)
     if diffs:
         raise AssertionError(
-            "parallel version changes results: " + "; ".join(diffs[:5]))
-    return ParallelTiming(sequential_time=ra.clock, parallel_time=rb.clock)
+            f"parallel version changes results "
+            f"({len(diffs)} difference{'s' if len(diffs) != 1 else ''}): "
+            + format_diffs(diffs))
+    return ParallelTiming(sequential_time=ra.clock, parallel_time=rb.clock,
+                          wall_sequential=wall_seq, wall_parallel=wall_par)

@@ -123,6 +123,9 @@ class HealthReport:
     pair_cache: dict = field(default_factory=dict)
     #: execution-engine compile cache occupancy + hit/relink/miss counters
     compile_cache: dict = field(default_factory=dict)
+    #: fork-join DOALL runtime activity (loops run, chunks, fallbacks,
+    #: persistent pool reuses) from the engine counters
+    parallel_runtime: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -422,6 +425,31 @@ class PedSession:
     def navigation_report(self, top: int = 10) -> str:
         self._log("program navigation", "navigation report")
         return navigation_report(self.program, top)
+
+    def measured_navigation_report(self, inputs=None, workers: int = 4,
+                                   schedule: str = "static",
+                                   top: int = 10) -> str:
+        """Navigation ranking with measured parallel speedups: runs the
+        program's PARALLEL DO loops on the DOALL worker pool (1 worker
+        vs. ``workers``) and reports wall-clock speedup next to the
+        static cost-model prediction."""
+        from ..perf.estimate import measure_parallel_payoff
+        measured = measure_parallel_payoff(
+            self.program, inputs=inputs, workers=workers,
+            schedule=schedule)
+        self._log("program navigation",
+                  f"measured parallel payoff ({len(measured)} loops, "
+                  f"{workers} workers)")
+        return navigation_report(self.program, top, measured=measured)
+
+    def set_parallel_overhead(self, value: float | None) -> None:
+        """Calibrate the fork-join overhead the virtual clock charges a
+        PARALLEL DO (``None`` restores the environment/default value).
+        Affects speedup simulation and guidance for this process."""
+        from ..interp import set_parallel_overhead
+        set_parallel_overhead(value)
+        self._log("program navigation",
+                  f"parallel overhead {'reset' if value is None else value}")
 
     def profile(self, inputs=None, max_steps: int = 5_000_000,
                 engine: str | None = None):
@@ -857,6 +885,7 @@ class PedSession:
         def of(kind: str) -> list[dict]:
             return [d for d in self.diagnostics if d.get("kind") == kind]
 
+        cnt = perf_counters.snapshot()
         report = HealthReport(
             degraded_loops=degraded, failed_units=failed_units,
             transform_failures=of("transform"),
@@ -864,7 +893,10 @@ class PedSession:
             edit_failures=of("edit"),
             undo_depth=len(self._undo), redo_depth=len(self._redo),
             pair_cache=pair_cache_info(),
-            compile_cache=compile_cache_info())
+            compile_cache=compile_cache_info(),
+            parallel_runtime={
+                k: cnt[k] for k in ("par_loops", "par_chunks",
+                                    "par_fallbacks", "pool_reuses")})
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report

@@ -56,6 +56,17 @@ class EngineCounters:
     pool_parallel_tasks: int = 0
     pool_workers: int = 0
     pool_mode: str = ""
+    #: shared-executor reuses (persistent pool hits, no startup cost)
+    pool_reuses: int = 0
+
+    # -- fork-join DOALL runtime ----------------------------------------------
+    #: PARALLEL DO entries executed for real on the worker pool
+    par_loops: int = 0
+    #: iteration chunks dispatched across all parallel loop entries
+    par_chunks: int = 0
+    #: PARALLEL DO entries that fell back to the serial simulation
+    #: (ineligible body, unset reduction seed, tiny trip count...)
+    par_fallbacks: int = 0
 
     # -- closure-compiled execution engine ------------------------------------
     #: compiled-unit reuses via the per-UnitIR (generation, code) pair
@@ -156,5 +167,8 @@ def report() -> str:
         f"  degraded       loops {s['degraded_loops']}, "
         f"pairs {s['degraded_pairs']}, "
         f"budget exhaustions {s['budget_exhaustions']}",
+        f"  doall runtime  loops {s['par_loops']}, "
+        f"chunks {s['par_chunks']}, fallbacks {s['par_fallbacks']}, "
+        f"pool reuses {s['pool_reuses']}",
     ]
     return "\n".join(lines)

@@ -24,7 +24,9 @@ Utilization is recorded in :mod:`repro.perf.counters`.
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -70,6 +72,56 @@ def pool_mode(requested: str | None = None) -> str:
 
 def worker_count(n_tasks: int, max_workers: int | None = None) -> int:
     return max(1, min(n_tasks, max_workers or cpu_count()))
+
+
+# --------------------------------------------------------------------------
+# Persistent shared executors (created once per process, reused; the
+# DOALL runtime forks every PARALLEL DO through these, so pool startup
+# cost is paid once per session, not once per loop)
+# --------------------------------------------------------------------------
+
+_SHARED: dict[str, tuple] = {}      # kind -> (executor, max_workers)
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_executor(kind: str, workers: int):
+    """Process-wide executor of the given kind with at least ``workers``
+    workers.  Grows (replacing the old executor) when a caller asks for
+    more; otherwise the existing pool is reused."""
+    if kind not in ("thread", "process"):
+        raise ValueError(f"unknown executor kind {kind!r}")
+    with _SHARED_LOCK:
+        cur = _SHARED.get(kind)
+        if cur is not None and cur[1] >= workers:
+            counters.bump("pool_reuses")
+            return cur[0]
+        if cur is not None:
+            cur[0].shutdown(wait=True)
+        if kind == "process":
+            import multiprocessing
+            ex = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"))
+        else:
+            ex = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-doall")
+        _SHARED[kind] = (ex, workers)
+        with counters._LOCK:
+            counters.COUNTERS.pool_workers = max(
+                counters.COUNTERS.pool_workers, workers)
+        return ex
+
+
+def shutdown_shared_executors(wait: bool = False) -> None:
+    """Tear down the persistent executors (atexit / tests)."""
+    with _SHARED_LOCK:
+        for ex, _ in _SHARED.values():
+            ex.shutdown(wait=wait)
+        _SHARED.clear()
+
+
+atexit.register(shutdown_shared_executors)
 
 
 def _run_one(task: Callable[[], object], index: int, context: object,
