@@ -1,0 +1,49 @@
+"""A7: static lint throughput.
+
+Lint has to fit inside the interactive loop the paper's users live in:
+a cold whole-program lint when a session opens, and the warm
+incremental re-lint PED runs after every edit/transform (which must be
+dominated by cache reuse, not re-analysis).
+"""
+
+from repro.corpus import PROGRAMS
+from repro.ir import AnalyzedProgram
+from repro.lint import lint_program
+from repro.ped import PedSession
+
+SRC = PROGRAMS["arc3d"].source
+
+
+def test_bench_lint_cold(benchmark):
+    def run():
+        return lint_program(AnalyzedProgram.from_source(SRC), source=SRC)
+
+    diags = benchmark(run)
+    assert diags == []   # arc3d as written is lint-clean
+
+
+def test_bench_lint_warm_incremental(benchmark):
+    session = PedSession(SRC)
+    session.lint()
+
+    diags = benchmark(session.lint)
+    assert diags == []
+
+
+def test_bench_lint_seeded_sweep(benchmark):
+    """Full detector sweep: every seeded corpus defect analyzed and
+    found (the CI golden-gate workload)."""
+    from repro.lint.seeds import SEEDS, seeded_program, seeded_source
+
+    def run():
+        found = 0
+        for name in sorted(SEEDS):
+            program, assertions = seeded_program(name)
+            diags = lint_program(program, assertions,
+                                 source=seeded_source(name))
+            found += sum(1 for d in diags
+                         if d.rule == SEEDS[name].rule)
+        return found
+
+    found = benchmark(run)
+    assert found >= len(SEEDS)

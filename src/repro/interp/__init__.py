@@ -17,6 +17,8 @@ from .machine import ArrayStorage, AssertionViolated, Interpreter, Profile, \
     set_parallel_overhead
 from .runtime import SCHEDULES, ParallelRuntime, chunk_ranges, \
     resolve_pool_kind, resolve_schedule, resolve_workers
+from .shadow import DynamicRace, ShadowInterpreter, ShadowLoopLog, \
+    dynamic_races, races_under, run_shadow
 from .verify import ENGINES, ParallelTiming, compare_runs, format_diffs, \
     make_interpreter, resolve_engine, run_program, simulate_speedup, \
     verify_equivalence
@@ -31,4 +33,6 @@ __all__ = [
     "ParallelRuntime", "SCHEDULES", "chunk_ranges",
     "resolve_workers", "resolve_schedule", "resolve_pool_kind",
     "parallel_overhead", "set_parallel_overhead",
+    "ShadowInterpreter", "ShadowLoopLog", "DynamicRace",
+    "dynamic_races", "races_under", "run_shadow",
 ]

@@ -1,0 +1,24 @@
+"""Static race detector and parallelization lint framework.
+
+A second, independent line of defense (the failure mode the workshop
+users hit was exactly a *wrong* dependence conclusion driving a
+transform): the rules here re-derive parallel-safety facts from the
+base analyses — def-use chains, scalar kills, liveness, interprocedural
+MOD/REF summaries, COMMON composition — and never consult
+``repro.dependence``.  See DESIGN.md ("Lint") for the independence
+argument and :mod:`repro.interp.shadow` for the dynamic cross-check.
+"""
+
+from .core import Diagnostic, Rule, Suppressions, all_rules, get_rule, \
+    register, rule_ids
+from .driver import LintContext, SessionLinter, lint_program
+from .seeds import SEEDS, seeded_program, seeded_source
+
+__all__ = [
+    "Diagnostic", "Rule", "Suppressions", "register", "all_rules",
+    "get_rule", "rule_ids",
+    "LintContext", "lint_program", "SessionLinter",
+    "SEEDS", "seeded_program", "seeded_source",
+]
+
+from . import rules as _rules  # noqa: E402,F401  (populates the registry)

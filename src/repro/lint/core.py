@@ -1,0 +1,204 @@
+"""Lint framework core: diagnostics, the rule registry, suppression.
+
+Diagnostics are value objects with a total order so that lint output is
+byte-stable across runs, incremental re-analysis, and pool worker
+counts: the driver always sorts by ``(unit, line, rule, var, message)``
+and de-duplicates on the full tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: severity levels, most severe first (used for summary lines only; the
+#: sort order of diagnostics is positional, not severity-based)
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a unit/line (and optionally a loop
+    and a variable), with an optional suggested fixing transform."""
+
+    rule: str                 # e.g. "RACE001"
+    severity: str             # "error" | "warning" | "info"
+    unit: str
+    line: int
+    message: str
+    loop: str | None = None   # loop id within the unit, e.g. "L2"
+    var: str | None = None
+    fix: str | None = None    # suggested fixing transform / action
+    suppressed: bool = False
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.unit, self.line, self.rule, self.var or "",
+                self.message)
+
+    def to_json(self) -> dict:
+        """Stable key order; omits nothing so baselines diff cleanly."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "unit": self.unit,
+            "line": self.line,
+            "loop": self.loop,
+            "var": self.var,
+            "message": self.message,
+            "fix": self.fix,
+            "suppressed": self.suppressed,
+        }
+
+    @staticmethod
+    def from_json(d: dict) -> "Diagnostic":
+        return Diagnostic(
+            rule=d["rule"], severity=d["severity"], unit=d["unit"],
+            line=d["line"], message=d["message"], loop=d.get("loop"),
+            var=d.get("var"), fix=d.get("fix"),
+            suppressed=bool(d.get("suppressed")))
+
+    def format(self) -> str:
+        at = f"{self.unit}:{self.line}"
+        if self.loop:
+            at += f" ({self.loop})"
+        tail = f" [fix: {self.fix}]" if self.fix else ""
+        sup = " (suppressed)" if self.suppressed else ""
+        return f"{at}: {self.severity} {self.rule}: {self.message}" \
+               f"{tail}{sup}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``severity``/``title`` and implement
+    :meth:`check`, yielding :class:`Diagnostic` objects.  A rule raising
+    is fault-isolated by the driver (recorded, other rules still run).
+    """
+
+    rule_id: str = "LINT000"
+    severity: str = "warning"
+    title: str = ""
+
+    def check(self, ctx) -> "list[Diagnostic]":  # pragma: no cover
+        raise NotImplementedError
+
+    def diag(self, unit: str, line: int, message: str, *, loop=None,
+             var=None, fix=None, severity=None) -> Diagnostic:
+        return Diagnostic(self.rule_id, severity or self.severity, unit,
+                          line, message, loop=loop, var=var, fix=fix)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    inst = cls()
+    if inst.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {inst.rule_id}")
+    _REGISTRY[inst.rule_id] = inst
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id.upper()]
+
+
+# --------------------------------------------------------------------------
+# Suppression directives
+# --------------------------------------------------------------------------
+
+_COMMENT_CHARS = ("C", "c", "*")
+
+
+@dataclass
+class Suppressions:
+    """``C$PED LINT`` directives scanned from raw source text.
+
+    Two forms, both comment lines (column-1 ``C``/``c``/``*``):
+
+    * ``C$PED LINT DISABLE RULE1[, RULE2...]`` — suppress the named
+      rules (or ``ALL``) on the next statement line;
+    * ``C$PED LINT DISABLE-FILE RULE1[, RULE2...]`` — suppress them
+      everywhere in the file.
+
+    Statement line numbers are physical (comment lines counted), exactly
+    what parsed statements carry in ``stmt.line``.
+    """
+
+    #: line number -> set of rule ids ("ALL" wildcard allowed)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @staticmethod
+    def scan(source: str) -> "Suppressions":
+        sup = Suppressions()
+        lines = source.splitlines()
+        for i, raw in enumerate(lines):
+            if not raw or raw[0] not in _COMMENT_CHARS:
+                continue
+            text = raw[1:].strip().upper()
+            if not text.startswith("$PED LINT "):
+                continue
+            directive = text[len("$PED LINT "):].strip()
+            for head, file_wide in (("DISABLE-FILE", True),
+                                    ("DISABLE", False)):
+                if not directive.startswith(head):
+                    continue
+                names = {n.strip() for n in
+                         directive[len(head):].split(",") if n.strip()}
+                if not names:
+                    names = {"ALL"}
+                if file_wide:
+                    sup.file_wide |= names
+                else:
+                    target = _next_statement_line(lines, i)
+                    if target is not None:
+                        sup.by_line.setdefault(target, set()) \
+                            .update(names)
+                break
+        return sup
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "ALL" in self.file_wide or rule in self.file_wide:
+            return True
+        here = self.by_line.get(line)
+        return bool(here and ("ALL" in here or rule in here))
+
+    def apply(self, diags: "list[Diagnostic]") -> "list[Diagnostic]":
+        return [replace(d, suppressed=True)
+                if self.is_suppressed(d.rule, d.line) else d
+                for d in diags]
+
+
+def _next_statement_line(lines: list[str], idx: int) -> int | None:
+    """1-based number of the first statement line after ``lines[idx]``."""
+    for j in range(idx + 1, len(lines)):
+        raw = lines[j]
+        if not raw.strip():
+            continue
+        if raw[0] in _COMMENT_CHARS:
+            continue
+        return j + 1
+    return None
+
+
+def dedup_sorted(diags: "list[Diagnostic]") -> "list[Diagnostic]":
+    """Deterministic order + merge of repeats (incremental re-analysis
+    can re-derive the same finding for an unchanged unit)."""
+    out: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for d in sorted(diags, key=lambda d: d.sort_key):
+        key = d.sort_key + (d.suppressed,)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out

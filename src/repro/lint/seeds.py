@@ -1,0 +1,185 @@
+"""Seeded lint findings: one latent defect per corpus program.
+
+Each seed is a small textual edit (plus, for slab2d, a post-parse
+privatization marking — private lists have no source syntax) that plants
+exactly the defect its paper persona invites:
+
+* **spec77** — the longitude smoothing recurrence: a user parallelizes
+  the inner ``DO 91`` sweep, but ``T`` carries a damped value from
+  iteration to iteration (RACE001);
+* **slab2d** — the advection sweep's killed scalar ``D`` is privatized,
+  then a later statement consumes its sequential last value (RACE002);
+* **pueblo3d** — the order-dependent checksum is rewritten into a
+  recognizable REAL sum and marked parallel (RACE003);
+* **dpmin** — the ``DO 300`` force loop is parallelized under index
+  -array assertions, one of which (``DISJOINT(IT, JT, 3)``) the actual
+  initialization values contradict (RACE004);
+* **neoss** — a stale energy snapshot is stored and never consulted
+  (LINT001);
+* **nxsns** — the checksum initialization is dropped, so ``TOTAL`` is
+  consumed before any definition (LINT002);
+* **arc3d** — ``WIPE`` grows its COMMON ``/WORK/`` column buffer out of
+  step with ``SMOOTH`` (LINT003);
+* **slalom** — a guard against overflow adds a STOP inside a PARALLEL
+  loop, which the fork-join runtime refuses to fork (LINT004).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..assertions.lang import AssertionSet
+from ..corpus import PROGRAMS
+from ..fortran import ast
+from ..ir.program import AnalyzedProgram
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One planted finding: the edit, and what lint must report."""
+
+    program: str
+    rule: str           # the rule id that must fire
+    persona: str        # the paper story the defect plays out
+    edits: tuple        # ((old, new), ...) textual replacements
+    assertions: tuple = ()   # assertion texts in force for the run
+    #: unit holding the finding (for test anchoring)
+    unit: str = ""
+
+
+SEEDS: dict[str, Seed] = {
+    "spec77": Seed(
+        "spec77", "RACE001",
+        "shared recurrence scalar T in a hand-parallelized inner sweep",
+        ((
+            "         DO 91 I = 2, NLON",
+            "         PARALLEL DO 91 I = 2, NLON",
+        ),),
+        unit="SMOOTH"),
+    "slab2d": Seed(
+        "slab2d", "RACE002",
+        "privatized scalar D whose last value is consumed after the "
+        "loop",
+        ((
+            "      DO 40 J = 1, NY",
+            "      PARALLEL DO 40 J = 1, NY",
+        ), (
+            " 40   CONTINUE\n"
+            "C     --- boundary smoothing: TMP is the scalar-expansion "
+            "temporary ---",
+            " 40   CONTINUE\n"
+            "      V(1, 1) = V(1, 1) + D\n"
+            "C     --- boundary smoothing: TMP is the scalar-expansion "
+            "temporary ---",
+        )),
+        unit="STEP"),
+    "pueblo3d": Seed(
+        "pueblo3d", "RACE003",
+        "order-dependent REAL checksum rewritten as a parallel sum",
+        ((
+            "         CHK = 0.98 * CHK + UF(I, 2) + WF(I, 3)",
+            "         CHK = CHK + (UF(I, 2) + WF(I, 3))",
+        ), (
+            "      DO 20 I = 1, 640",
+            "      PARALLEL DO 20 I = 1, 640",
+        )),
+        unit="PUEBLO"),
+    "dpmin": Seed(
+        "dpmin", "RACE004",
+        "force loop parallelized under an index-array assertion the "
+        "initialization values contradict",
+        ((
+            "         JT(N) = 108 + 3 * N - 2",
+            "         JT(N) = 3 * N + 1",
+        ), (
+            "      DO 300 N = 1, NBA",
+            "      PARALLEL DO 300 N = 1, NBA",
+        )),
+        assertions=(
+            "MONOTONE(IT, 3)", "MONOTONE(JT, 3)", "MONOTONE(KT, 3)",
+            "DISJOINT(IT, JT, 3)", "DISJOINT(JT, KT, 3)",
+            "DISJOINT(IT, KT, 3)",
+        ),
+        unit="FORCES"),
+    "neoss": Seed(
+        "neoss", "LINT001",
+        "stale energy snapshot stored and never consulted",
+        ((
+            "      REAL EOUT\n      INTEGER K, NK",
+            "      REAL EOUT, EOLD\n      INTEGER K, NK",
+        ), (
+            "      DO 70 K = 1, NK",
+            "      EOLD = EOUT + 1.0\n      DO 70 K = 1, NK",
+        )),
+        unit="ETOT"),
+    "nxsns": Seed(
+        "nxsns", "LINT002",
+        "checksum accumulator consumed before any definition",
+        ((
+            "      TOTAL = 0.0\n",
+            "",
+        ),),
+        unit="NXSNS"),
+    "arc3d": Seed(
+        "arc3d", "LINT003",
+        "COMMON /WORK/ column buffer grown in one unit only",
+        ((
+            "      REAL ZCOL(20)\n"
+            "      COMMON /WORK/ ZCOL\n"
+            "      DO 85 K = 1, 20",
+            "      REAL ZCOL(24)\n"
+            "      COMMON /WORK/ ZCOL\n"
+            "      DO 85 K = 1, 20",
+        ),),
+        unit="WIPE"),
+    "slalom": Seed(
+        "slalom", "LINT004",
+        "overflow guard adds a STOP inside a PARALLEL loop",
+        ((
+            "      DO 20 J = 1, NP",
+            "      PARALLEL DO 20 J = 1, NP",
+        ), (
+            "         COEF(IP, J) = COEF(IP, J) * (1.0 + 0.01 * IP)",
+            "         IF (COEF(IP, J) .GT. 1.0E6) STOP\n"
+            "         COEF(IP, J) = COEF(IP, J) * (1.0 + 0.01 * IP)",
+        )),
+        unit="GEOM"),
+}
+
+
+def seeded_source(name: str) -> str:
+    """The corpus program's source with its seed edits applied."""
+    seed = SEEDS[name]
+    src = PROGRAMS[name].source
+    for old, new in seed.edits:
+        if src.count(old) != 1:
+            raise ValueError(
+                f"seed anchor for {name} matches {src.count(old)} times")
+        src = src.replace(old, new)
+    return src
+
+
+def seeded_program(name: str) -> tuple[AnalyzedProgram, AssertionSet]:
+    """Parsed + analyzed seeded program, with its assertions in force."""
+    seed = SEEDS[name]
+    program = AnalyzedProgram.from_source(seeded_source(name))
+    _post_parse(name, program)
+    assertions = AssertionSet()
+    for text in seed.assertions:
+        assertions.add(text)
+    return program, assertions
+
+
+def _post_parse(name: str, program: AnalyzedProgram) -> None:
+    """Mutations with no source syntax (private-variable lists)."""
+    if name == "slab2d":
+        # the user privatized the killed scalar D -- sound for the loop
+        # body, unsound once the seeded post-loop read consumes it
+        uir = program.units["STEP"]
+        for stmt, _ in ast.walk_stmts(uir.unit.body):
+            if isinstance(stmt, ast.DoLoop) and stmt.parallel \
+                    and stmt.term_label == 40:
+                stmt.private_vars.add("D")
+                break
+        else:
+            raise ValueError("slab2d seed loop not found")

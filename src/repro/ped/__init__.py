@@ -2,11 +2,11 @@
 scripted user sessions."""
 
 from .filters import DependenceFilter, SourceFilter, VariableFilter
-from .panes import DependencePane, SourcePane, VariablePane
+from .panes import DependencePane, LintPane, SourcePane, VariablePane
 from .session import Event, PedSession
 
 __all__ = [
     "PedSession", "Event",
     "SourceFilter", "DependenceFilter", "VariableFilter",
-    "SourcePane", "DependencePane", "VariablePane",
+    "SourcePane", "DependencePane", "VariablePane", "LintPane",
 ]

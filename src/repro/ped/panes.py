@@ -214,6 +214,51 @@ class DependencePane:
         return "\n".join(lines)
 
 
+class LintPane:
+    """Tabular lint findings for the whole program.
+
+    Fed by :meth:`PedSession.lint`; rows are
+    :class:`~repro.lint.core.Diagnostic` objects.  Suppressed findings
+    (``C$PED LINT DISABLE``) are hidden unless ``show_suppressed`` is
+    set; ``severity`` / ``rule`` narrow the view."""
+
+    COLUMNS = ("SEV", "RULE", "WHERE", "LOOP", "MESSAGE")
+
+    def __init__(self):
+        self.diagnostics: list = []
+        self.show_suppressed = False
+        self.severity: str | None = None
+        self.rule: str | None = None
+
+    def set_diagnostics(self, diags) -> None:
+        self.diagnostics = list(diags)
+
+    def rows(self) -> list:
+        rows = self.diagnostics
+        if not self.show_suppressed:
+            rows = [d for d in rows if not d.suppressed]
+        if self.severity is not None:
+            rows = [d for d in rows if d.severity == self.severity]
+        if self.rule is not None:
+            rows = [d for d in rows if d.rule == self.rule.upper()]
+        return rows
+
+    def render(self) -> str:
+        rows = self.rows()
+        if not rows:
+            return "(no lint findings)"
+        widths = [7, 7, 12, 4, 44]
+        lines = [" " + "  ".join(c.ljust(w)
+                                 for c, w in zip(self.COLUMNS, widths))]
+        for d in rows:
+            mark = "s" if d.suppressed else " "
+            vals = (d.severity, d.rule, f"{d.unit}:{d.line}",
+                    d.loop or "-", d.message)
+            lines.append(mark + "  ".join(
+                str(v)[:w].ljust(w) for v, w in zip(vals, widths)))
+        return "\n".join(lines)
+
+
 class VariablePane:
     """Variable list for the current loop: name, dim, common block,
     defs/uses outside the loop, shared/private kind, reason."""

@@ -48,7 +48,7 @@ from ..transform.base import Advice, DirtyScope, TransformError, \
     TransformResult
 from ..transform.transaction import ProgramSnapshot
 from .filters import DependenceFilter, SourceFilter, VariableFilter
-from .panes import DependencePane, SourcePane, VariablePane
+from .panes import DependencePane, LintPane, SourcePane, VariablePane
 
 
 @dataclass(frozen=True)
@@ -126,6 +126,16 @@ class HealthReport:
     #: fork-join DOALL runtime activity (loops run, chunks, fallbacks,
     #: persistent pool reuses) from the engine counters
     parallel_runtime: dict = field(default_factory=dict)
+    #: static lint summary (diagnostics, suppressed, by_severity,
+    #: by_rule) from the session's incremental linter
+    lint: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        """Dict-style access: ``session.health()["lint"]``."""
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
 
     @property
     def ok(self) -> bool:
@@ -186,6 +196,8 @@ class PedSession:
         self.source_pane = SourcePane(self.unit)
         self.dependence_pane = DependencePane()
         self.variable_pane = VariablePane()
+        self.lint_pane = LintPane()
+        self._linter = None   # lazy SessionLinter
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -872,6 +884,24 @@ class PedSession:
 
     # -- session health ---------------------------------------------------------
 
+    def _lint_linter(self):
+        if self._linter is None:
+            from ..lint.driver import SessionLinter
+            self._linter = SessionLinter(self)
+        return self._linter
+
+    def lint(self):
+        """Run the static lint over the whole program (incrementally:
+        only units whose lint key changed since the last call are
+        re-analyzed), refresh the lint pane, and return the
+        deterministic diagnostic list."""
+        diags = self._lint_linter().refresh()
+        self.lint_pane.set_diagnostics(diags)
+        self._log("lint",
+                  f"{len([d for d in diags if not d.suppressed])} "
+                  f"finding(s)")
+        return diags
+
     def health(self) -> HealthReport:
         """Everything that has degraded or failed (and been survived)."""
         degraded = []
@@ -886,6 +916,10 @@ class PedSession:
             return [d for d in self.diagnostics if d.get("kind") == kind]
 
         cnt = perf_counters.snapshot()
+        try:
+            lint_summary = self._lint_linter().summary()
+        except Exception as e:   # lint must never take down health()
+            lint_summary = {"error": f"{type(e).__name__}: {e}"}
         report = HealthReport(
             degraded_loops=degraded, failed_units=failed_units,
             transform_failures=of("transform"),
@@ -896,7 +930,8 @@ class PedSession:
             compile_cache=compile_cache_info(),
             parallel_runtime={
                 k: cnt[k] for k in ("par_loops", "par_chunks",
-                                    "par_fallbacks", "pool_reuses")})
+                                    "par_fallbacks", "pool_reuses")},
+            lint=lint_summary)
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report
@@ -1040,7 +1075,8 @@ class PedSession:
     HELP = {
         "panes": "The window shows the source pane (top), dependence pane "
                  "and variable pane (footnotes). Select a loop to "
-                 "populate the footnotes.",
+                 "populate the footnotes. session.lint() fills the lint "
+                 "pane with the static race detector's findings.",
         "marking": "Dependences are proven/pending; you may accept or "
                    "reject pending ones. Rejected deps are disregarded "
                    "by transformation safety checks but kept for review.",

@@ -77,6 +77,16 @@ class EngineCounters:
     #: full unit compilations
     compile_misses: int = 0
 
+    # -- lint framework -------------------------------------------------------
+    #: whole-program / incremental lint driver runs
+    lint_runs: int = 0
+    #: units actually re-analyzed by lint rules
+    lint_units: int = 0
+    #: units whose cached lint results were reused (incremental re-lint)
+    lint_units_reused: int = 0
+    #: diagnostics produced (after dedup, including suppressed)
+    lint_diags: int = 0
+
     # -- degraded-mode analysis ----------------------------------------------
     #: loops whose analysis fell back to a conservative assumed result
     degraded_loops: int = 0
@@ -170,5 +180,8 @@ def report() -> str:
         f"  doall runtime  loops {s['par_loops']}, "
         f"chunks {s['par_chunks']}, fallbacks {s['par_fallbacks']}, "
         f"pool reuses {s['pool_reuses']}",
+        f"  lint           runs {s['lint_runs']}, "
+        f"units {s['lint_units']}, reused {s['lint_units_reused']}, "
+        f"diagnostics {s['lint_diags']}",
     ]
     return "\n".join(lines)

@@ -97,12 +97,47 @@ class TestTransformPostStates:
         session = PedSession(scn.source)
         res = session.apply(scn.name, loop=scn.loop,
                             **scn.kwargs(session))
-        assert res.applied, res.reason
+        assert res.applied, res.error
         program = AnalyzedProgram.from_source(session.source())
         tree = _oracle(program)
         for workers, schedule in COMBOS:
             comp = _parallel_run(program, workers, schedule)
             _assert_matches_oracle(tree, comp)
+
+
+# ---------------------------------------------------------------------------
+# lint cross-validation over every registry transformation's post-state
+# ---------------------------------------------------------------------------
+
+class TestLintOverTransformPostStates:
+    """Fuzz the lint against the transformation registry: every
+    scenario's post-state is a proved-correct program, so the race
+    detector must stay silent on it, lint-clean PARALLEL loops must run
+    byte-identical to the sequential oracle, and an apply -> undo round
+    trip must restore the exact pre-transform verdicts."""
+
+    @pytest.mark.parametrize("scn", SCENARIOS, ids=SCENARIO_IDS)
+    def test_lint_clean_and_undo_stable(self, scn):
+        session = PedSession(scn.source)
+        baseline = [d.to_json() for d in session.lint()]
+        res = session.apply(scn.name, loop=scn.loop,
+                            **scn.kwargs(session))
+        assert res.applied, res.error
+        post = session.lint()
+        races = [d for d in post
+                 if d.rule.startswith("RACE") and not d.suppressed]
+        assert races == [], [d.format() for d in races]
+        src = session.source()
+        if "PARALLEL DO" in src:
+            # lint-clean PARALLEL loops: byte-identical under the
+            # fork-join runtime at every worker/schedule combination
+            program = AnalyzedProgram.from_source(src)
+            tree = _oracle(program)
+            for workers, schedule in COMBOS:
+                comp = _parallel_run(program, workers, schedule)
+                _assert_matches_oracle(tree, comp)
+        assert session.undo()
+        assert [d.to_json() for d in session.lint()] == baseline
 
 
 # ---------------------------------------------------------------------------
