@@ -1,4 +1,4 @@
-"""A8: closure-compiled execution engine payoff.
+"""A8/A11: compiled and vectorized execution engine payoff.
 
 Everything PED does with a *running* program -- transformation
 verification, parallel-speedup simulation, profile-driven navigation --
@@ -11,6 +11,13 @@ actually pays for.
 Acceptance (ISSUE 3): compiled >= 5x the tree-walker on steady-state
 execution for at least 6 of 8 corpus programs, byte-identical
 ``snapshot()`` observables on all 8.
+
+The A11 section measures the third tier: the vector engine lowers
+eligible loop nests to whole-nest numpy operations.  Its payoff scales
+with *bulk width* (iteration-space points per lowered nest entry), so
+the >=5x acceptance gate applies to the array-dominated programs --
+mean bulk width >= ``MIN_BULK_WIDTH`` -- and the narrow-nest programs
+are reported honestly without gating.
 """
 
 import time
@@ -19,16 +26,26 @@ import numpy as np
 import pytest
 
 from repro.corpus import ORDER, PROGRAMS
-from repro.interp import CompiledInterpreter, Interpreter, compare_runs
+from repro.interp import (
+    CompiledInterpreter, Interpreter, VectorInterpreter, compare_runs,
+)
 from repro.interp import compile as eng
 from repro.interp.verify import clear_program_cache, run_program
 from repro.ir import AnalyzedProgram
 from repro.ped import PedSession
+from repro.perf import counters
 
 #: acceptance floor for the per-program steady-state ratio
 MIN_SPEEDUP = 5.0
 #: ... on at least this many of the eight corpus programs
 MIN_PROGRAMS = 6
+
+#: acceptance floor for vector-over-compiled on array-dominated programs
+MIN_VEC_SPEEDUP = 5.0
+#: a program is array-dominated when its lowered nests average at least
+#: this many iteration-space points per entry (below it, per-entry
+#: precheck overhead dominates and bulk execution cannot pay off)
+MIN_BULK_WIDTH = 128
 
 _PROGRAMS = {name: AnalyzedProgram.from_source(PROGRAMS[name].source)
              for name in ORDER}
@@ -47,6 +64,11 @@ def _best_of(fn, rounds=3):
 def _warm(program):
     for uir in program.units.values():
         eng.linked_unit(uir)
+
+
+def _warm_vector(program):
+    for uir in program.units.values():
+        eng.linked_unit(uir, vector=True)
 
 
 # ---------------------------------------------------------------------------
@@ -172,3 +194,94 @@ def test_exec_speedup_acceptance(reporter):
              ["program", "tree (ms)", "compiled (ms)", "speedup"], rows)
     assert over >= MIN_PROGRAMS, \
         f"only {over}/8 programs reached {MIN_SPEEDUP:.0f}x: {rows}"
+
+
+# ---------------------------------------------------------------------------
+# A11: vector engine, steady-state execution on all eight programs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ORDER)
+def test_bench_exec_vector(benchmark, name):
+    cp = PROGRAMS[name]
+    program = _PROGRAMS[name]
+    _warm_vector(program)
+
+    def run():
+        interp = VectorInterpreter(program, inputs=list(cp.inputs))
+        interp.run()
+        return interp
+
+    interp = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert interp.steps > 0
+
+
+def test_bench_vector_doall_composition(benchmark):
+    """Vector x fork-join composition: the auto-parallelized program
+    runs PARALLEL DO loops through the DOALL runtime while eligible
+    serial nests (and eligible chunk bodies) execute on the vector
+    tier -- the two runtimes share one compiled unit."""
+    cp = PROGRAMS["arc3d"]
+    session = PedSession(cp.source)
+    session.auto_parallelize()
+    program = AnalyzedProgram.from_source(session.source())
+    _warm_vector(program)
+
+    def run():
+        interp = VectorInterpreter(program, inputs=list(cp.inputs),
+                                   workers=2)
+        interp.run()
+        return interp
+
+    interp = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert interp.steps > 0
+    tree = Interpreter(program, inputs=list(cp.inputs))
+    tree.run()
+    assert compare_runs(tree, interp) == []
+    assert interp.clock == tree.clock
+    assert interp.steps == tree.steps
+
+
+# ---------------------------------------------------------------------------
+# A11 acceptance: >=5x over the closure engine where nests are wide
+# ---------------------------------------------------------------------------
+
+def test_vector_speedup_acceptance(reporter):
+    rows = []
+    dominated = []
+    for name in ORDER:
+        cp = PROGRAMS[name]
+        program = _PROGRAMS[name]
+        _warm(program)
+        _warm_vector(program)
+        comp = CompiledInterpreter(program, inputs=list(cp.inputs))
+        comp.run()
+        counters.reset()
+        vec = VectorInterpreter(program, inputs=list(cp.inputs))
+        vec.run()
+        snap = counters.snapshot()
+        assert compare_runs(comp, vec) == [], name
+        assert vec.clock == comp.clock and vec.steps == comp.steps, name
+
+        entries = snap["vec_loops"]
+        width = snap["vec_elements"] / entries if entries else 0.0
+        t_comp = _best_of(lambda: CompiledInterpreter(
+            program, inputs=list(cp.inputs)).run())
+        t_vec = _best_of(lambda: VectorInterpreter(
+            program, inputs=list(cp.inputs)).run())
+        ratio = t_comp / t_vec
+        gated = entries > 0 and width >= MIN_BULK_WIDTH
+        if gated:
+            dominated.append((name, ratio))
+        rows.append([name, f"{t_comp * 1e3:.1f}", f"{t_vec * 1e3:.1f}",
+                     f"{ratio:.2f}x", str(entries),
+                     str(snap["vec_fallbacks"]), f"{width:.0f}",
+                     "yes" if gated else "no"])
+    reporter("A11: steady-state execution, compiled vs vector engine",
+             ["program", "compiled (ms)", "vector (ms)", "speedup",
+              "nests", "fallbacks", "bulk width", "gated"], rows)
+    if not dominated:
+        pytest.skip("no corpus program is array-dominated "
+                    f"(bulk width >= {MIN_BULK_WIDTH}) on this build")
+    under = [(n, r) for n, r in dominated if r < MIN_VEC_SPEEDUP]
+    assert not under, \
+        f"array-dominated programs under {MIN_VEC_SPEEDUP:.0f}x: {under}"

@@ -16,9 +16,15 @@ fullname in the *current* run contains SUBSTR -- a tripwire against a
 benchmark module silently dropping out of the CI invocation (a
 collection error or a forgotten path would otherwise read as "no
 regressions").
+
+When the current run contains the per-engine execution benchmarks
+(``test_bench_exec_tree`` / ``_compiled`` / ``_vector``), the summary
+ends with a per-program backend speedup table so the CI log shows how
+the three execution tiers compare on this host.
 """
 
 import json
+import re
 import sys
 
 
@@ -26,6 +32,41 @@ def load(path: str) -> dict[str, float]:
     with open(path) as f:
         data = json.load(f)
     return {b["fullname"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+#: per-engine steady-state execution benchmarks, keyed by backend
+_EXEC_RE = re.compile(
+    r"test_bench_exec_(tree|compiled|vector)\[([^\]]+)\]")
+
+
+def backend_table(current: dict[str, float]) -> list[str]:
+    """Per-program tree/compiled/vector comparison (empty when the run
+    has no per-engine execution benchmarks)."""
+    times: dict[str, dict[str, float]] = {}
+    for name, mean in current.items():
+        m = _EXEC_RE.search(name)
+        if m:
+            times.setdefault(m.group(2), {})[m.group(1)] = mean
+    if not times:
+        return []
+    lines = [
+        "",
+        "execution backend speedups (over the tree walker)",
+        f"{'program':<12} {'tree (ms)':>10} {'compiled':>9} {'vector':>9}",
+    ]
+    for prog in sorted(times):
+        t = times[prog]
+        tree = t.get("tree")
+        if tree is None:
+            continue
+
+        def ratio(key):
+            v = t.get(key)
+            return f"{tree / v:>8.2f}x" if v else f"{'-':>9}"
+
+        lines.append(f"{prog:<12} {tree * 1e3:>10.2f} "
+                     f"{ratio('compiled')} {ratio('vector')}")
+    return lines
 
 
 def main(argv: list[str]) -> int:
@@ -63,6 +104,8 @@ def main(argv: list[str]) -> int:
                if not any(r in name for name in current)]
     for r in missing:
         print(f"MISSING  no benchmark matching {r!r} in current run")
+    for line in backend_table(current):
+        print(line)
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "
               f"{max_slowdown:.0f}x over baseline")

@@ -1,13 +1,16 @@
 """Fortran interpreter: execution, profiling, parallel simulation,
 transformation verification.
 
-Two engines share one observable surface: the tree-walking
-:class:`Interpreter` (reference oracle) and the closure-compiled
+Three engines share one observable surface: the tree-walking
+:class:`Interpreter` (reference oracle), the closure-compiled
 :class:`CompiledInterpreter` (default for verification, speedup
-simulation, and profiling -- see :mod:`repro.interp.compile`).  The
-compiled engine can execute PARALLEL DO loops for real on a persistent
-worker pool (:mod:`repro.interp.runtime`) while keeping observable
-state byte-identical to serial execution.
+simulation, and profiling -- see :mod:`repro.interp.compile`), and the
+numpy bulk-lowering :class:`VectorInterpreter`
+(:mod:`repro.interp.vectorize`), which executes eligible loop nests as
+whole-nest array operations and falls back per-loop to the closure
+engine.  The compiled engines can execute PARALLEL DO loops for real on
+a persistent worker pool (:mod:`repro.interp.runtime`) while keeping
+observable state byte-identical to serial execution.
 """
 
 from .compile import CompiledInterpreter, clear_code_cache, \
@@ -19,12 +22,14 @@ from .runtime import SCHEDULES, ParallelRuntime, chunk_ranges, \
     resolve_pool_kind, resolve_schedule, resolve_workers
 from .shadow import DynamicRace, ShadowInterpreter, ShadowLoopLog, \
     dynamic_races, races_under, run_shadow
+from .vectorize import LoopDecision, VectorInterpreter, lowering_decisions
 from .verify import ENGINES, ParallelTiming, compare_runs, format_diffs, \
     make_interpreter, resolve_engine, run_program, simulate_speedup, \
     verify_equivalence
 
 __all__ = [
-    "Interpreter", "CompiledInterpreter", "Profile", "ArrayStorage",
+    "Interpreter", "CompiledInterpreter", "VectorInterpreter",
+    "LoopDecision", "lowering_decisions", "Profile", "ArrayStorage",
     "RuntimeFault", "StepLimitExceeded", "AssertionViolated",
     "run_program", "compare_runs", "verify_equivalence",
     "simulate_speedup", "ParallelTiming", "format_diffs",

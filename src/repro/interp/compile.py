@@ -123,10 +123,10 @@ class UnitCode:
 
     __slots__ = ("name", "kind", "n_params", "invoke", "n_stmts",
                  "n_loops", "reg_index", "arr_index", "n_regs", "n_arrs",
-                 "par_plans")
+                 "par_plans", "vec_info")
 
     def __init__(self, name, kind, n_params, invoke, n_stmts, n_loops,
-                 reg_index, arr_index, par_plans=None):
+                 reg_index, arr_index, par_plans=None, vec_info=None):
         self.name = name
         self.kind = kind
         self.n_params = n_params
@@ -139,6 +139,8 @@ class UnitCode:
         self.n_arrs = len(arr_index)
         #: dense loop index -> runtime.ParLoopPlan for PARALLEL DO loops
         self.par_plans = par_plans if par_plans is not None else {}
+        #: dense loop index -> vectorize.LoopDecision (vector tier only)
+        self.vec_info = vec_info if vec_info is not None else {}
 
 
 class LinkedUnit:
@@ -227,27 +229,34 @@ def clear_code_cache() -> None:
     _STATS["hits"] = _STATS["relinks"] = _STATS["misses"] = 0
 
 
-def linked_unit(uir) -> LinkedUnit:
+def linked_unit(uir, vector: bool = False) -> LinkedUnit:
     """Compiled code for a UnitIR, through the two cache levels.
 
     Fast path: the UnitIR's own ``(generation, LinkedUnit)`` pair.  On a
     generation bump (transform, rollback, undo) the structural
     fingerprint is recomputed; an LRU hit re-links the cached code (uid
     tables only) instead of recompiling.
+
+    ``vector=True`` compiles the vector-lowered variant of the unit; it
+    shares the same two cache levels (a separate per-UnitIR slot and a
+    tagged LRU key), so transform -> verify re-lowers only mutated units
+    in that tier too.
     """
-    cached = uir._compiled
+    cached = uir._vcompiled if vector else uir._compiled
     if cached is not None and cached[0] == uir.generation:
         _STATS["hits"] += 1
         perf_counters.bump("compile_hits")
         return cached[1]
     fp = fingerprint_unit(uir.unit, uir.symtab)
+    if vector:
+        fp = ("vector",) + fp
     code = _CODE_CACHE.get(fp)
     if code is not None:
         _CODE_CACHE.move_to_end(fp)
         _STATS["relinks"] += 1
         perf_counters.bump("compile_relinks")
     else:
-        code = _compile_unit(uir.unit, uir.symtab)
+        code = _compile_unit(uir.unit, uir.symtab, vector=vector)
         _CODE_CACHE[fp] = code
         while len(_CODE_CACHE) > _CODE_CACHE_LIMIT:
             _CODE_CACHE.popitem(last=False)
@@ -259,7 +268,10 @@ def linked_unit(uir) -> LinkedUnit:
                     [s.uid for s, _ in walk],
                     [s.uid for s in loops],
                     [frozenset(s.private_vars) for s in loops])
-    uir._compiled = (uir.generation, lk)
+    if vector:
+        uir._vcompiled = (uir.generation, lk)
+    else:
+        uir._compiled = (uir.generation, lk)
     return lk
 
 
@@ -288,10 +300,14 @@ def _expr_cost(e: ast.Expr) -> float:
 class _Cx:
     """Per-unit compile state: slot maps and dense index spaces."""
 
-    def __init__(self, unit: ast.ProgramUnit, st):
+    def __init__(self, unit: ast.ProgramUnit, st, vector: bool = False):
         self.unit = unit
         self.st = st
         self.uname = unit.name
+        #: vector tier: _comp_do attempts numpy lowering per loop
+        self.vector = vector
+        #: dense loop index -> vectorize.LoopDecision, filled by _comp_do
+        self.vec_info: dict[int, object] = {}
         self.reg_index: dict[str, int] = {}
         self.arr_index: dict[str, int] = {}
         # stable slot order: symbol-table insertion order first
@@ -1096,6 +1112,9 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
             fr.lt[lidx] += rt.clock - t0
             fr.ltf[lidx] = 1
             return None
+        if cx.vector:
+            from .vectorize import maybe_vectorize
+            return maybe_vectorize(cx, s, idx, lidx, op)
         return op
 
     plan = build_plan(cx, s, body, vslot, term)
@@ -1146,6 +1165,9 @@ def _comp_do(cx: _Cx, s: ast.DoLoop, idx: int):
         fr.lt[lidx] += rt.clock - t0
         fr.ltf[lidx] = 1
         return None
+    if cx.vector:
+        from .vectorize import maybe_vectorize
+        return maybe_vectorize(cx, s, idx, lidx, op)
     return op
 
 
@@ -1399,8 +1421,9 @@ def _comp_data(cx: _Cx, unit: ast.ProgramUnit, st):
     return apply_data
 
 
-def _compile_unit(unit: ast.ProgramUnit, st) -> UnitCode:
-    cx = _Cx(unit, st)
+def _compile_unit(unit: ast.ProgramUnit, st,
+                  vector: bool = False) -> UnitCode:
+    cx = _Cx(unit, st, vector=vector)
     uname = unit.name
     kind = unit.kind
 
@@ -1493,7 +1516,7 @@ def _compile_unit(unit: ast.ProgramUnit, st) -> UnitCode:
 
     code = UnitCode(uname, kind, n_params, invoke, cx.n_stmts,
                     cx.n_loops, dict(cx.reg_index), dict(cx.arr_index),
-                    cx.par_plans)
+                    cx.par_plans, cx.vec_info)
     return code
 
 

@@ -146,6 +146,31 @@ class ArrayStorage:
         else:
             self.data[self.index(subs)] = value
 
+    def as_ndarray(self) -> np.ndarray:
+        """Zero-copy ndarray view of the backing buffer for bulk paths.
+
+        Dtype-stable and column-major: the view aliases ``data``
+        directly (same strides), so mutations through it, through
+        :meth:`set`, and through :meth:`set_flat` all land in the same
+        storage.  Subscript ``(s0, s1, ...)`` maps to view index
+        ``(s0 - lowers[0], s1 - lowers[1], ...)``.
+        """
+        return self.data
+
+    def set_flat(self, offset: int, value) -> None:
+        """Write one element by flat column-major offset (the inverse of
+        :meth:`offset`); used by bulk/merge paths that iterate storage
+        linearly."""
+        flat = self.flat
+        if flat is not None:
+            flat[offset] = value
+            return
+        idx = []
+        for n in self.shape:
+            idx.append(offset % n)
+            offset //= n
+        self.data[tuple(idx)] = value
+
 
 @dataclass
 class Frame:

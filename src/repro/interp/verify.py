@@ -1,11 +1,15 @@
 """Run-and-compare helpers: transformation verification and parallel
 speedup simulation.
 
-Two execution engines sit behind :func:`run_program`:
+Three execution engines sit behind :func:`run_program`:
 
 * ``"compiled"`` (default) -- the closure-compiled engine
   (:mod:`repro.interp.compile`), ~5-9x faster on the corpus; compiled
   units are cached across transform -> verify cycles;
+* ``"vector"`` -- the numpy bulk-lowering engine
+  (:mod:`repro.interp.vectorize`): eligible loop nests execute as
+  whole-nest slice/ufunc operations, everything else runs on the
+  closure engine embedded in the same compiled unit;
 * ``"tree"`` -- the tree-walking reference interpreter
   (:mod:`repro.interp.machine`), kept as the differential-testing
   oracle.
@@ -39,9 +43,10 @@ from ..ir.program import AnalyzedProgram
 from .compile import CompiledInterpreter
 from .machine import Interpreter, Profile
 from .runtime import resolve_schedule, resolve_workers
+from .vectorize import VectorInterpreter
 
 #: recognized engine names
-ENGINES = ("compiled", "tree")
+ENGINES = ("compiled", "vector", "tree")
 
 _PROGRAM_CACHE: "OrderedDict[str, AnalyzedProgram]" = OrderedDict()
 _PROGRAM_CACHE_LIMIT = 32
@@ -51,7 +56,7 @@ _PROGRAM_CACHE_LOCK = threading.Lock()
 def resolve_engine(engine: str | None = None) -> str:
     """Normalize an engine selector (None -> env -> ``"compiled"``)."""
     if engine is None:
-        engine = os.environ.get("REPRO_EXEC_ENGINE", "compiled")
+        engine = os.environ.get("REPRO_EXEC_ENGINE") or "compiled"
     if engine not in ENGINES:
         raise ValueError(
             f"unknown execution engine {engine!r} (expected one of "
@@ -68,8 +73,10 @@ def make_interpreter(program: AnalyzedProgram, inputs=None,
     program (not yet run).  ``workers``/``schedule`` attach the
     fork-join DOALL runtime to the compiled engine (the tree engine is
     the serial oracle and accepts-but-ignores them)."""
-    if resolve_engine(engine) == "compiled":
-        return CompiledInterpreter(
+    eng = resolve_engine(engine)
+    if eng == "compiled" or eng == "vector":
+        cls = VectorInterpreter if eng == "vector" else CompiledInterpreter
+        return cls(
             program, inputs=inputs, max_steps=max_steps,
             assertion_checker=assertion_checker,
             workers=resolve_workers(workers),

@@ -39,6 +39,9 @@ class UnitIR:
     #: survives invalidation via the structural-fingerprint LRU (a stale
     #: generation triggers a cheap relink, not a recompile)
     _compiled: tuple | None = field(default=None, repr=False)
+    #: same pair for the vector-lowered variant of the unit (the vector
+    #: engine keeps its own slot so both tiers can coexist per UnitIR)
+    _vcompiled: tuple | None = field(default=None, repr=False)
 
     @property
     def cfg(self) -> CFG:

@@ -129,6 +129,10 @@ class HealthReport:
     #: static lint summary (diagnostics, suppressed, by_severity,
     #: by_rule) from the session's incremental linter
     lint: dict = field(default_factory=dict)
+    #: vector execution tier: engine counters (vec_loops, vec_fallbacks,
+    #: vec_elements) plus the per-loop lowering decision -- why each loop
+    #: did or did not lower to bulk numpy execution
+    exec: dict = field(default_factory=dict)
 
     def __getitem__(self, key: str):
         """Dict-style access: ``session.health()["lint"]``."""
@@ -902,6 +906,15 @@ class PedSession:
                   f"finding(s)")
         return diags
 
+    def _loop_display_id(self, unit_name: str, uid: int):
+        """Stable display id ("L1") for a loop uid, or the uid itself
+        when the loop tree no longer knows it."""
+        try:
+            li = self.program.units[unit_name].loops.by_uid.get(uid)
+            return li.id if li is not None else uid
+        except Exception:
+            return uid
+
     def health(self) -> HealthReport:
         """Everything that has degraded or failed (and been survived)."""
         degraded = []
@@ -920,6 +933,19 @@ class PedSession:
             lint_summary = self._lint_linter().summary()
         except Exception as e:   # lint must never take down health()
             lint_summary = {"error": f"{type(e).__name__}: {e}"}
+        exec_info = {k: cnt[k] for k in ("vec_loops", "vec_fallbacks",
+                                         "vec_elements")}
+        try:
+            from ..interp.vectorize import lowering_decisions
+            exec_info["lowering"] = [
+                {"unit": uname, "loop": self._loop_display_id(uname, uid),
+                 **dec.as_dict()}
+                for (uname, uid), dec in
+                sorted(lowering_decisions(self.program).items(),
+                       key=lambda kv: (kv[0][0], kv[1].line))]
+        except Exception as e:   # lowering report must never break health
+            exec_info["lowering"] = [
+                {"error": f"{type(e).__name__}: {e}"}]
         report = HealthReport(
             degraded_loops=degraded, failed_units=failed_units,
             transform_failures=of("transform"),
@@ -931,7 +957,7 @@ class PedSession:
             parallel_runtime={
                 k: cnt[k] for k in ("par_loops", "par_chunks",
                                     "par_fallbacks", "pool_reuses")},
-            lint=lint_summary)
+            lint=lint_summary, exec=exec_info)
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report

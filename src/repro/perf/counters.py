@@ -77,6 +77,15 @@ class EngineCounters:
     #: full unit compilations
     compile_misses: int = 0
 
+    # -- vectorized execution engine ------------------------------------------
+    #: nest entries executed as bulk numpy operations
+    vec_loops: int = 0
+    #: nest entries whose runtime prechecks failed (bounds, aliasing,
+    #: dependence distances...) and re-ran on the closure engine
+    vec_fallbacks: int = 0
+    #: iteration-space points executed in bulk across all nest entries
+    vec_elements: int = 0
+
     # -- lint framework -------------------------------------------------------
     #: whole-program / incremental lint driver runs
     lint_runs: int = 0
@@ -180,6 +189,9 @@ def report() -> str:
         f"  doall runtime  loops {s['par_loops']}, "
         f"chunks {s['par_chunks']}, fallbacks {s['par_fallbacks']}, "
         f"pool reuses {s['pool_reuses']}",
+        f"  vector backend loops {s['vec_loops']}, "
+        f"fallbacks {s['vec_fallbacks']}, "
+        f"elements {s['vec_elements']}",
         f"  lint           runs {s['lint_runs']}, "
         f"units {s['lint_units']}, reused {s['lint_units_reused']}, "
         f"diagnostics {s['lint_diags']}",

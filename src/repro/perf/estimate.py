@@ -271,15 +271,32 @@ def navigation_report(program: AnalyzedProgram, top: int = 10,
     With ``measured`` (from :func:`measure_parallel_payoff`) the static
     ranking is followed by a measured-vs-predicted section so the user
     can see where the cost model and the worker pool disagree.
+
+    Each ranked loop also shows its vector-tier lowering decision
+    (``vec(d2)`` = executes as a depth-2 bulk numpy nest under
+    ``engine="vector"``, otherwise the reason it stays on the closure
+    engine), mirroring the runtime's per-loop fallback reporting.
     """
     est = estimate_program(program)
+    try:
+        from ..interp.vectorize import lowering_decisions
+        decisions = lowering_decisions(program)
+    except Exception:   # navigation must not depend on lowering success
+        decisions = {}
     lines = [f"{'rank':>4}  {'loop':<14} {'line':>5} {'est. time':>12} "
-             f"{'share':>6}  trip"]
+             f"{'share':>6}  {'trip':<8} vector"]
     for i, le in enumerate(est.ranked_loops()[:top], 1):
         share = 100.0 * est.loop_fraction(le)
         trip = str(le.trip) + ("" if le.trip_known else "?")
+        dec = decisions.get((le.unit, le.loop.uid))
+        if dec is None:
+            vec = "-"
+        elif dec.vectorized:
+            vec = f"vec(d{dec.depth})"
+        else:
+            vec = dec.reason or "no"
         lines.append(f"{i:>4}  {le.id:<14} {le.loop.line:>5} "
-                     f"{le.time:>12.0f} {share:>5.1f}%  {trip}")
+                     f"{le.time:>12.0f} {share:>5.1f}%  {trip:<8} {vec}")
     if measured:
         lines.append("")
         lines.append(f"measured on {measured[0].workers} workers "

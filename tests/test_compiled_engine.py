@@ -1,12 +1,13 @@
-"""Differential and caching tests for the closure-compiled engine.
+"""Differential and caching tests for the compiled engines.
 
 The tree-walking interpreter is the semantic oracle: for every corpus
 program and every registry transformation's post-state, the compiled
-engine must produce byte-identical observables (``snapshot``), the same
-virtual clock and step count, and the same uid-keyed profile.  The
-compile cache must carry PR 1's incremental behavior: an unmodified
-unit never recompiles across a transform -> verify cycle, and
-rollback/undo relinks cached code instead of recompiling.
+engine AND the vectorized engine must produce byte-identical
+observables (``snapshot``), the same virtual clock and step count, and
+the same uid-keyed profile.  The compile cache must carry PR 1's
+incremental behavior: an unmodified unit never recompiles across a
+transform -> verify cycle, and rollback/undo relinks cached code
+instead of recompiling.
 """
 
 import numpy as np
@@ -14,8 +15,8 @@ import pytest
 
 from repro.corpus import ORDER, PROGRAMS
 from repro.interp import (
-    CompiledInterpreter, Interpreter, compare_runs, compile_cache_info,
-    make_interpreter, resolve_engine, run_program,
+    CompiledInterpreter, Interpreter, VectorInterpreter, compare_runs,
+    compile_cache_info, make_interpreter, resolve_engine, run_program,
 )
 from repro.interp import compile as eng
 from repro.interp.machine import ArrayStorage, RuntimeFault, \
@@ -27,11 +28,13 @@ from repro.ped import PedSession
 from .test_faults import SCENARIOS, SCENARIO_IDS
 
 
-def _run_both(source, inputs=None):
+def _run_both(source, inputs=None, engine_cls=CompiledInterpreter):
+    # one shared AnalyzedProgram: stmt uids are globally incremented,
+    # so profiles are only comparable within one parse
     program = AnalyzedProgram.from_source(source)
     tree = Interpreter(program, inputs=list(inputs or []))
     tree.run()
-    comp = CompiledInterpreter(program, inputs=list(inputs or []))
+    comp = engine_cls(program, inputs=list(inputs or []))
     comp.run()
     return tree, comp
 
@@ -97,6 +100,76 @@ class TestTransformPostStates:
 
 
 # ---------------------------------------------------------------------------
+# vector engine differential fuzz: numpy bulk lowering vs the oracle
+# ---------------------------------------------------------------------------
+
+class TestVectorDifferential:
+    @pytest.mark.parametrize("name", ORDER)
+    def test_corpus_identical_observables_and_profile(self, name):
+        from repro.perf import counters
+        counters.reset()
+        cp = PROGRAMS[name]
+        tree, vec = _run_both(cp.source, cp.inputs,
+                              engine_cls=VectorInterpreter)
+        assert compare_runs(tree, vec) == []
+        _assert_identical_observables(tree, vec)
+        _assert_profiles_match(tree.profile, vec.profile)
+        # every corpus program has at least one eligible nest; parity
+        # alone would also pass if lowering silently never fired
+        assert counters.snapshot()["vec_loops"] > 0, \
+            f"{name}: no loop nest executed on the vector tier"
+
+    @pytest.mark.parametrize("scn", SCENARIOS, ids=SCENARIO_IDS)
+    def test_post_state_runs_identically(self, scn):
+        session = PedSession(scn.source)
+        res = session.apply(scn.name, loop=scn.loop,
+                            **scn.kwargs(session))
+        assert res.applied, res.reason
+        tree, vec = _run_both(session.source(),
+                              engine_cls=VectorInterpreter)
+        assert compare_runs(tree, vec) == []
+        _assert_identical_observables(tree, vec)
+        _assert_profiles_match(tree.profile, vec.profile)
+
+    def test_fallback_replays_serially(self):
+        # B(I) = B(I-1): loop-carried flow dependence, must stay on
+        # the closure engine and still match the oracle exactly
+        src = ("      PROGRAM T\n"
+               "      REAL B(6)\n"
+               "      B(1) = 1.0\n"
+               "      DO 10 I = 2, 6\n"
+               "      B(I) = B(I-1) * 2.0\n"
+               "   10 CONTINUE\n"
+               "      PRINT *, B(6)\n"
+               "      END\n")
+        tree, vec = _run_both(src, engine_cls=VectorInterpreter)
+        assert compare_runs(tree, vec) == []
+        _assert_identical_observables(tree, vec)
+        _assert_profiles_match(tree.profile, vec.profile)
+
+    def test_lowering_decisions_cover_both_outcomes(self):
+        # loop 10 lowers; loop 20 contains I/O and must be rejected
+        # at compile time with a human-readable reason
+        from repro.interp import lowering_decisions
+        src = ("      PROGRAM T\n"
+               "      REAL A(8)\n"
+               "      DO 10 I = 1, 8\n"
+               "      A(I) = 2.0\n"
+               "   10 CONTINUE\n"
+               "      DO 20 I = 1, 3\n"
+               "      PRINT *, A(I)\n"
+               "   20 CONTINUE\n"
+               "      END\n")
+        program = AnalyzedProgram.from_source(src)
+        decs = lowering_decisions(program)
+        outcomes = {d.vectorized for d in decs.values()}
+        assert outcomes == {True, False}
+        for d in decs.values():
+            if not d.vectorized:
+                assert d.reason
+
+
+# ---------------------------------------------------------------------------
 # fault parity: both engines fail the same way
 # ---------------------------------------------------------------------------
 
@@ -107,9 +180,11 @@ class TestFaultParity:
     SPIN = ("      PROGRAM T\n      DO 10 I = 1, 1000000\n"
             "      X = X + 1.0\n   10 CONTINUE\n      END\n")
 
+    ENGINES = (Interpreter, CompiledInterpreter, VectorInterpreter)
+
     def _messages(self, source, exc, **kw):
         msgs = []
-        for engine_cls in (Interpreter, CompiledInterpreter):
+        for engine_cls in self.ENGINES:
             program = AnalyzedProgram.from_source(source)
             interp = engine_cls(program, **kw)
             with pytest.raises(exc) as ei:
@@ -118,16 +193,17 @@ class TestFaultParity:
         return msgs
 
     def test_out_of_bounds_same_fault(self):
-        a, b = self._messages(self.OOB, RuntimeFault)
-        assert a == b and "out of bounds" in a
+        a, b, c = self._messages(self.OOB, RuntimeFault)
+        assert a == b == c and "out of bounds" in a
 
     def test_missing_procedure_same_fault(self):
-        a, b = self._messages(self.NOPROC, RuntimeFault)
-        assert a == b and "NOPE" in a
+        a, b, c = self._messages(self.NOPROC, RuntimeFault)
+        assert a == b == c and "NOPE" in a
 
     def test_step_limit_same_fault(self):
-        a, b = self._messages(self.SPIN, StepLimitExceeded, max_steps=500)
-        assert a == b
+        a, b, c = self._messages(self.SPIN, StepLimitExceeded,
+                                 max_steps=500)
+        assert a == b == c
 
 
 # ---------------------------------------------------------------------------
@@ -148,11 +224,23 @@ class TestEngineSelection:
                              engine="tree")
         assert isinstance(interp, Interpreter)
 
+    def test_vector_engine_selectable(self):
+        interp = run_program(PROGRAMS["neoss"].source,
+                             inputs=list(PROGRAMS["neoss"].inputs),
+                             engine="vector")
+        assert isinstance(interp, VectorInterpreter)
+
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXEC_ENGINE", "tree")
         assert resolve_engine() == "tree"
         prog = analyzed_program(PROGRAMS["neoss"].source)
         assert isinstance(make_interpreter(prog), Interpreter)
+
+    def test_env_override_vector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "vector")
+        assert resolve_engine() == "vector"
+        prog = analyzed_program(PROGRAMS["neoss"].source)
+        assert isinstance(make_interpreter(prog), VectorInterpreter)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
@@ -287,3 +375,25 @@ class TestArrayStorageStrides:
             st.get((5,))
         with pytest.raises(RuntimeFault, match="rank mismatch"):
             st.get((1, 2))
+
+    def test_as_ndarray_is_zero_copy(self):
+        # the vector tier mutates storage through as_ndarray() views;
+        # element accessors and the view must stay coherent both ways
+        data = np.zeros((3, 4), dtype=np.float64, order="F")
+        st = ArrayStorage("E", data, (1, 1))
+        nd = st.as_ndarray()
+        assert nd is data
+        nd[1:, 2] = 7.0                   # mutate through a slice view
+        assert st.get((2, 3)) == 7.0
+        assert st.get((3, 3)) == 7.0
+        st.set((1, 3), 5.0)               # mutate through the accessor
+        assert nd[0, 2] == 5.0
+
+    def test_set_flat_coherent_with_views(self):
+        data = np.zeros((3, 4), dtype=np.float64, order="F")
+        st = ArrayStorage("F", data, (1, 1))
+        nd = st.as_ndarray()
+        for subs in ((1, 1), (3, 1), (2, 4)):
+            st.set_flat(st.offset(subs), 9.0)
+            assert st.get(subs) == 9.0
+            assert nd[subs[0] - 1, subs[1] - 1] == 9.0
