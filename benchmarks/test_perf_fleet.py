@@ -1,0 +1,68 @@
+"""A12: batch auto-parallelization fleet throughput.
+
+The fleet is the headless counterpart of the interactive sessions the
+paper describes -- the same parse/analyze/parallelize/verify pipeline,
+batched over a corpus with fault tolerance on top.  These benchmarks
+bound what that robustness machinery costs:
+
+* one program through the full pipeline (the unit of fleet work);
+* the relative debugger's divergence bisection (the expensive path,
+  only taken on a failed verification);
+* a small fleet end to end, and the checkpoint journal's durable-write
+  overhead on top of it.
+"""
+
+from repro.corpus import PROGRAMS
+from repro.fleet import (FleetOptions, PipelineOptions, find_divergence,
+                         run_fleet, run_program_pipeline)
+from repro.lint.seeds import seeded_program
+
+FLEET_PROGRAMS = ["spec77", "neoss", "dpmin", "slab2d"]
+
+
+def _quiet_fleet(benchmark, checkpoint=None):
+    def run():
+        return run_fleet(
+            FLEET_PROGRAMS, PipelineOptions(mode="plain"),
+            FleetOptions(fleet_workers=2, pool="serial"),
+            checkpoint=checkpoint, sleeper=lambda s: None)
+
+    report = benchmark(run)
+    assert len(report.programs) == len(FLEET_PROGRAMS)
+    assert report.ok()
+    return report
+
+
+def test_bench_fleet_pipeline_one_program(benchmark):
+    rec = benchmark(run_program_pipeline, "dpmin", {"mode": "auto"})
+    assert rec["status"] == "ok"
+    assert rec["parallel_loops"]
+
+
+def test_bench_fleet_bisection(benchmark):
+    program, _ = seeded_program("slab2d")
+    inputs = list(PROGRAMS["slab2d"].inputs)
+
+    div = benchmark(find_divergence, program, inputs)
+    assert div is not None and div.line == 59
+
+
+def test_bench_fleet_batch(benchmark):
+    _quiet_fleet(benchmark)
+
+
+def test_bench_fleet_batch_checkpointed(benchmark, tmp_path):
+    """Same batch with the durable journal (fsync per completion): the
+    delta over ``test_bench_fleet_batch`` is the checkpoint tax."""
+    n = [0]
+
+    def run():
+        n[0] += 1
+        ckpt = tmp_path / f"fleet-{n[0]}.jsonl"
+        return run_fleet(
+            FLEET_PROGRAMS, PipelineOptions(mode="plain"),
+            FleetOptions(fleet_workers=2, pool="serial"),
+            checkpoint=str(ckpt), sleeper=lambda s: None)
+
+    report = benchmark(run)
+    assert report.ok() and not report.resumed

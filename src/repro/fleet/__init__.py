@@ -1,0 +1,35 @@
+"""Batch auto-parallelization fleet with checkpoint/resume and
+relative-debugging divergence bisection.
+
+The fleet runs the whole PED pipeline -- parse, dependence analysis,
+auto-parallelization, lint, serial/parallel verification, measurement --
+over a corpus of programs, headlessly and fault-tolerantly:
+
+* :mod:`repro.fleet.pipeline` -- the per-program stage pipeline;
+* :mod:`repro.fleet.queue` -- retry/backoff/quarantine scheduling over
+  :mod:`repro.perf.pool`, with pool and execution-tier degradation;
+* :mod:`repro.fleet.checkpoint` -- the durable completion journal that
+  makes a killed fleet resumable with zero re-execution;
+* :mod:`repro.fleet.bisect` -- the relative debugger that turns "final
+  state differs" into "first divergent statement";
+* :mod:`repro.fleet.report` -- the canonical machine-readable report.
+
+``python -m repro.fleet`` is the CLI.
+"""
+
+from .bisect import Divergence, find_divergence
+from .checkpoint import CheckpointJournal, fingerprint_of
+from .pipeline import MODES, PipelineOptions, StageResult, \
+    run_program_pipeline
+from .queue import ENGINE_LADDER, POOL_LADDER, FleetOptions, FleetRunner, \
+    run_fleet
+from .report import FleetReport
+
+__all__ = [
+    "Divergence", "find_divergence",
+    "CheckpointJournal", "fingerprint_of",
+    "MODES", "PipelineOptions", "StageResult", "run_program_pipeline",
+    "ENGINE_LADDER", "POOL_LADDER", "FleetOptions", "FleetRunner",
+    "run_fleet",
+    "FleetReport",
+]

@@ -1,0 +1,124 @@
+"""On-disk checkpoint journal: a killed fleet resumes without re-running
+completed programs.
+
+The journal is append-only JSONL.  The first line is a header binding
+the journal to a *fingerprint* of the work (program list + every option
+that affects results); each following line is one program's terminal
+record, written only after the program's pipeline finished (success or
+quarantine) and made durable with flush+fsync before the fleet moves
+on.  Loading is tolerant by construction:
+
+* a missing file is an empty journal;
+* a fingerprint mismatch (different corpus/options) discards the stale
+  journal rather than resuming into wrong results;
+* a torn final line -- the process died mid-append -- is dropped, so the
+  worst case of any kill point is re-running one program.
+
+The ``fleet_checkpoint`` fault point fires *before* the append: arming
+it with ``exc=KeyboardInterrupt`` simulates a kill in the window where
+work finished but was not yet durable, the exact window the resume test
+must cover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..testing import faults
+
+__all__ = ["CheckpointJournal", "fingerprint_of"]
+
+_MAGIC = "repro-fleet-journal-v1"
+
+
+def fingerprint_of(programs, options: dict) -> str:
+    """Stable digest of the work a journal is valid for.
+
+    Only result-affecting inputs participate: the program list and the
+    pipeline options.  Scheduling knobs (fleet worker count, pool mode,
+    timeouts, backoff) are deliberately excluded -- resuming a 4-worker
+    run with 1 worker must reuse its completed programs.
+    """
+    payload = json.dumps({"programs": sorted(programs),
+                          "options": options}, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Append-only completion journal for one fleet run."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self, fingerprint: str) -> dict[str, dict]:
+        """Completed records valid under ``fingerprint``: program name ->
+        terminal record.  Returns {} for missing/stale/foreign journals."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except (FileNotFoundError, OSError):
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if header.get("journal") != _MAGIC \
+                or header.get("fingerprint") != fingerprint:
+            return {}
+        out: dict[str, dict] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                break   # torn tail: everything after it is unreadable
+            name = rec.get("program")
+            if isinstance(name, str):
+                out[name] = rec     # last record per program wins
+        return out
+
+    # -- writing ---------------------------------------------------------------
+
+    def start(self, fingerprint: str, keep: dict[str, dict]) -> None:
+        """Open for appending.  ``keep`` is the loaded record set being
+        resumed; a stale/foreign/torn journal is rewritten from it so the
+        file is always internally consistent afterwards."""
+        valid = self.load(fingerprint)
+        if valid.keys() == keep.keys() and os.path.exists(self.path):
+            self._fh = open(self.path, "a", encoding="utf-8")
+            return
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write({"journal": _MAGIC, "fingerprint": fingerprint})
+        for rec in keep.values():
+            self._write(rec)
+
+    def append(self, record: dict) -> None:
+        """Durably journal one terminal record (fsync before return)."""
+        faults.check("fleet_checkpoint", program=record.get("program"))
+        if self._fh is None:
+            raise RuntimeError("journal not started")
+        self._write(record)
+
+    def _write(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,141 @@
+"""Machine-readable fleet report.
+
+:meth:`FleetReport.to_json` is the fleet's contract with CI and with the
+checkpoint/resume test: with ``include_timing=False`` (the default) it
+contains only deterministic fields -- virtual speedups, lint ids,
+parallelized loops, divergence localizations, attempt counts -- so a run
+resumed from a checkpoint serializes byte-identically to the same run
+uninterrupted.  Wall-clock timings are additive (``include_timing=True``)
+and never part of the canonical form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["FleetReport"]
+
+#: wall-clock keys stripped from the canonical form, wherever they nest
+_TIMING_KEYS = ("elapsed", "wall", "stage_times")
+
+
+def _strip_timing(obj):
+    if isinstance(obj, dict):
+        return {k: _strip_timing(v) for k, v in obj.items()
+                if k not in _TIMING_KEYS}
+    if isinstance(obj, list):
+        return [_strip_timing(v) for v in obj]
+    return obj
+
+
+@dataclass
+class FleetReport:
+    """Aggregated outcome of one fleet run."""
+
+    mode: str
+    options: dict = field(default_factory=dict)
+    #: per-program terminal records, in corpus order
+    programs: list = field(default_factory=list)
+    #: scheduling outcome (from the queue)
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: list = field(default_factory=list)
+    resumed: list = field(default_factory=list)
+    degradations: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def completed(self) -> list:
+        return [r for r in self.programs
+                if r.get("status") != "quarantined"]
+
+    @property
+    def diverged(self) -> list:
+        return [r for r in self.programs if r.get("diverged")]
+
+    def ok(self) -> bool:
+        """Strict-mode gate: everything completed, nothing quarantined,
+        no program's pipeline errored."""
+        return not self.quarantined and all(
+            r.get("status") == "ok" for r in self.programs)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self, include_timing: bool = False) -> dict:
+        out = {
+            "fleet": "repro-fleet-report-v1",
+            "mode": self.mode,
+            "options": dict(self.options),
+            "programs": [dict(r) for r in self.programs],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": list(self.quarantined),
+            "degradations": list(self.degradations),
+            "totals": {
+                "programs": len(self.programs),
+                "completed": len(self.completed),
+                "diverged": len(self.diverged),
+                "quarantined": len(self.quarantined),
+            },
+        }
+        if include_timing:
+            out["elapsed"] = self.elapsed
+            out["resumed"] = list(self.resumed)
+            return out
+        return _strip_timing(out)
+
+    def dumps(self, include_timing: bool = False) -> str:
+        """Canonical serialization (sorted keys, stable separators): the
+        byte-identity target of the resume test."""
+        return json.dumps(self.to_json(include_timing=include_timing),
+                          sort_keys=True, indent=1)
+
+    # -- human rendering -------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"fleet report: {len(self.programs)} program(s), "
+                 f"mode {self.mode}"]
+        for r in self.programs:
+            name = r.get("program", "?")
+            status = r.get("status", "?")
+            bits = [f"status {status}"]
+            if r.get("parallel_loops"):
+                bits.append(f"{len(r['parallel_loops'])} parallel "
+                            f"loop(s)")
+            if r.get("virtual_speedup"):
+                bits.append(f"speedup {r['virtual_speedup']:.2f}x")
+            if r.get("lint"):
+                bits.append(f"lint {', '.join(r['lint'])}")
+            if r.get("attempts", 1) > 1:
+                bits.append(f"attempts {r['attempts']}")
+            if name in self.resumed:
+                bits.append("resumed")
+            lines.append(f"  {name:<10} {'; '.join(bits)}")
+            div = r.get("divergence")
+            if r.get("diverged"):
+                if div:
+                    lines.append(
+                        f"{'':13}diverged: {div['unit']} line "
+                        f"{div['line']} ({div['variable']}), sync point "
+                        f"{div['sync_index']}"
+                        + (f" -- {div['race']}" if div.get("race")
+                           else ""))
+                else:
+                    lines.append(f"{'':13}diverged (not localized)")
+        tail = []
+        if self.retries:
+            tail.append(f"retries {self.retries}")
+        if self.timeouts:
+            tail.append(f"timeouts {self.timeouts}")
+        if self.quarantined:
+            tail.append(f"quarantined {', '.join(self.quarantined)}")
+        if self.degradations:
+            tail.append(f"degradations {len(self.degradations)}")
+        if self.resumed:
+            tail.append(f"resumed {len(self.resumed)}")
+        if tail:
+            lines.append("  [" + "; ".join(tail) + "]")
+        return "\n".join(lines)

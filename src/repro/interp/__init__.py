@@ -23,16 +23,16 @@ from .runtime import SCHEDULES, ParallelRuntime, chunk_ranges, \
 from .shadow import DynamicRace, ShadowInterpreter, ShadowLoopLog, \
     dynamic_races, races_under, run_shadow
 from .vectorize import LoopDecision, VectorInterpreter, lowering_decisions
-from .verify import ENGINES, ParallelTiming, compare_runs, format_diffs, \
-    make_interpreter, resolve_engine, run_program, simulate_speedup, \
-    verify_equivalence
+from .verify import ENGINES, ParallelTiming, RunDiff, compare_runs, \
+    format_diffs, make_interpreter, resolve_engine, run_program, \
+    simulate_speedup, verify_equivalence
 
 __all__ = [
     "Interpreter", "CompiledInterpreter", "VectorInterpreter",
     "LoopDecision", "lowering_decisions", "Profile", "ArrayStorage",
     "RuntimeFault", "StepLimitExceeded", "AssertionViolated",
     "run_program", "compare_runs", "verify_equivalence",
-    "simulate_speedup", "ParallelTiming", "format_diffs",
+    "simulate_speedup", "ParallelTiming", "format_diffs", "RunDiff",
     "ENGINES", "make_interpreter", "resolve_engine",
     "compile_cache_info", "clear_code_cache",
     "ParallelRuntime", "SCHEDULES", "chunk_ranges",

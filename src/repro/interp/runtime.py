@@ -57,8 +57,8 @@ from .machine import (
 
 __all__ = [
     "ParallelRuntime", "ParLoopPlan", "build_plan", "chunk_ranges",
-    "resolve_workers", "resolve_schedule", "resolve_pool_kind",
-    "SCHEDULES",
+    "interleaved_order", "resolve_workers", "resolve_schedule",
+    "resolve_pool_kind", "SCHEDULES",
 ]
 
 SCHEDULES = ("static", "dynamic")
@@ -138,6 +138,33 @@ def chunk_ranges(trips: int, workers: int, schedule: str) -> list:
         cnt = base + (1 if i < rem else 0)
         out.append((i, off, cnt))
         off += cnt
+    return out
+
+
+def interleaved_order(trips: int, workers: int,
+                      schedule: str) -> list[tuple[int, int]]:
+    """A deterministic *adversarial* iteration order: one iteration from
+    each chunk in turn, i.e. every chunk of :func:`chunk_ranges` makes
+    progress in lock-step.
+
+    This is a legal concurrent execution of a PARALLEL DO at iteration
+    granularity -- exactly the interleaving a worker pool could produce
+    -- chosen to maximally violate sequential iteration order.  The
+    relative debugger (:mod:`repro.interp.relative`) replays racy loops
+    under it to turn "results differ under the runtime, sometimes" into
+    a reproducible divergence it can bisect.  Returns ``(chunk_index,
+    iteration_index)`` pairs covering ``range(trips)`` exactly once.
+    """
+    chunks = chunk_ranges(trips, workers, schedule)
+    out: list[tuple[int, int]] = []
+    step = 0
+    remaining = trips
+    while remaining > 0:
+        for ci, off, cnt in chunks:
+            if step < cnt:
+                out.append((ci, off + step))
+                remaining -= 1
+        step += 1
     return out
 
 

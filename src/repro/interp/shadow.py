@@ -41,7 +41,7 @@ from .runtime import _red_match, _stmt_read_exprs, chunk_ranges
 
 __all__ = [
     "ShadowInterpreter", "ShadowLoopLog", "DynamicRace",
-    "dynamic_races", "races_under", "run_shadow",
+    "dynamic_races", "races_under", "run_shadow", "log_for",
 ]
 
 
@@ -510,3 +510,15 @@ def run_shadow(program, inputs=(), **kw) -> ShadowInterpreter:
     interp = ShadowInterpreter(program, inputs, **kw)
     interp.run()
     return interp
+
+
+def log_for(interp: ShadowInterpreter, unit: str,
+            line: int) -> ShadowLoopLog | None:
+    """The first logged execution of the PARALLEL DO at ``unit:line``
+    (the relative debugger's hook into the access log), or None when
+    that loop never executed."""
+    unit = unit.upper()
+    for log in interp.access_log:
+        if log.unit == unit and log.line == line:
+            return log
+    return None

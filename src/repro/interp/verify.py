@@ -149,62 +149,116 @@ def format_diffs(diffs: list[str], limit: int = 5) -> str:
     return shown
 
 
+class RunDiff(list):
+    """The differences between two runs, as a list of human-readable
+    strings (so every existing ``compare_runs(...) == []`` caller keeps
+    working) plus structure on the side:
+
+    * ``keys`` -- the snapshot key behind each entry, in entry order;
+    * ``first_key`` -- the key of the first divergence (``None`` when
+      the runs agree), which the relative debugger seeds its statement
+      search with;
+    * ``truncated(limit)`` -- how many entries a ``format(limit)``
+      rendering cuts off, so callers surface the truncation count
+      instead of silently dropping detail.
+    """
+
+    def __init__(self, entries=(), keys=()):
+        super().__init__(entries)
+        self.keys: list[str] = list(keys)
+
+    @property
+    def first_key(self) -> str | None:
+        return self.keys[0] if self.keys else None
+
+    @property
+    def divergent_keys(self) -> list[str]:
+        """Unique divergent snapshot keys, first-seen order."""
+        out: list[str] = []
+        for k in self.keys:
+            if k not in out:
+                out.append(k)
+        return out
+
+    def truncated(self, limit: int = 5) -> int:
+        return max(0, len(self) - limit)
+
+    def format(self, limit: int = 5) -> str:
+        return format_diffs(list(self), limit=limit)
+
+    def to_json(self, limit: int = 5) -> dict:
+        return {"count": len(self), "first_key": self.first_key,
+                "keys": self.divergent_keys,
+                "entries": list(self)[:limit],
+                "truncated": self.truncated(limit)}
+
+
 def compare_runs(a: Interpreter, b: Interpreter,
-                 rtol: float = 1e-9) -> list[str]:
-    """Differences in observable state between two finished runs.
+                 rtol: float = 1e-9, atol: float = 1e-8) -> RunDiff:
+    """Differences in observable state between two finished runs, as a
+    :class:`RunDiff` (a ``list`` subclass -- empty means identical).
 
     Array diffs carry the mismatch count and first differing element;
-    ``common:`` keys name the declaring units.
+    ``common:`` keys name the declaring units.  ``atol`` defaults to
+    numpy's; the relative debugger passes ``rtol=0, atol=0`` to count
+    ulp-level reassociation drift as a divergence.
     """
     diffs: list[str] = []
+    diff_keys: list[str] = []
+
+    def add(key: str, text: str) -> None:
+        diffs.append(text)
+        diff_keys.append(key)
+
     sa, sb = a.snapshot(), b.snapshot()
     keys = sorted(set(sa) | set(sb))
     for k in keys:
         va, vb = sa.get(k), sb.get(k)
         ctx = _common_context(a, k)
         if va is None or vb is None:
-            diffs.append(f"{k}{ctx}: present in only one run")
+            add(k, f"{k}{ctx}: present in only one run")
             continue
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
             va2, vb2 = np.asarray(va), np.asarray(vb)
             if va2.shape != vb2.shape:
-                diffs.append(f"{k}{ctx}: arrays differ "
-                             f"(shape {va2.shape} vs {vb2.shape})")
+                add(k, f"{k}{ctx}: arrays differ "
+                       f"(shape {va2.shape} vs {vb2.shape})")
                 continue
-            if not np.allclose(va2, vb2, rtol=rtol, equal_nan=True):
-                neq = ~np.isclose(va2, vb2, rtol=rtol, equal_nan=True)
+            if not np.allclose(va2, vb2, rtol=rtol, atol=atol,
+                               equal_nan=True):
+                neq = ~np.isclose(va2, vb2, rtol=rtol, atol=atol,
+                                  equal_nan=True)
                 n_bad = int(neq.sum())
                 flat = np.flatnonzero(neq.reshape(-1, order="F"))
                 i = int(flat[0]) if flat.size else 0
                 fa = va2.reshape(-1, order="F")[i]
                 fb = vb2.reshape(-1, order="F")[i]
-                diffs.append(
-                    f"{k}{ctx}: arrays differ ({n_bad} of {va2.size} "
-                    f"element{'s' if va2.size != 1 else ''}; first at "
-                    f"F-order index {i}: {fa} != {fb})")
+                add(k, f"{k}{ctx}: arrays differ ({n_bad} of {va2.size} "
+                       f"element{'s' if va2.size != 1 else ''}; first at "
+                       f"F-order index {i}: {fa} != {fb})")
             continue
         if isinstance(va, list):
             if len(va) != len(vb):
-                diffs.append(f"{k}: output lengths differ "
-                             f"({len(va)} vs {len(vb)})")
+                add(k, f"{k}: output lengths differ "
+                       f"({len(va)} vs {len(vb)})")
                 continue
             for i, (x, y) in enumerate(zip(va, vb)):
                 if isinstance(x, float) or isinstance(y, float):
-                    if not np.isclose(x, y, rtol=rtol):
-                        diffs.append(f"{k}[{i}]: {x} != {y}")
+                    if not np.isclose(x, y, rtol=rtol, atol=atol):
+                        add(k, f"{k}[{i}]: {x} != {y}")
                 elif x != y:
-                    diffs.append(f"{k}[{i}]: {x} != {y}")
+                    add(k, f"{k}[{i}]: {x} != {y}")
             continue
         if va != vb:
-            diffs.append(f"{k}{ctx}: {va} != {vb}")
-    return diffs
+            add(k, f"{k}{ctx}: {va} != {vb}")
+    return RunDiff(diffs, diff_keys)
 
 
 def verify_equivalence(original: str, transformed: str,
                        inputs=None, rtol: float = 1e-9,
-                       engine: str | None = None) -> list[str]:
+                       engine: str | None = None) -> RunDiff:
     """Run both sources on the same inputs; return observable diffs
-    (empty list = equivalent on this input)."""
+    (empty = equivalent on this input)."""
     ra = run_program(original, inputs=list(inputs or []), engine=engine)
     rb = run_program(transformed, inputs=list(inputs or []), engine=engine)
     return compare_runs(ra, rb, rtol=rtol)
@@ -238,7 +292,8 @@ class ParallelTiming:
 def simulate_speedup(sequential_source: str, parallel_source: str,
                      inputs=None, engine: str | None = None,
                      workers: int | None = None,
-                     schedule: str | None = None) -> ParallelTiming:
+                     schedule: str | None = None,
+                     diff_limit: int = 5) -> ParallelTiming:
     """Virtual-clock (and wall-clock) comparison of a program
     before/after parallelization.
 
@@ -261,6 +316,6 @@ def simulate_speedup(sequential_source: str, parallel_source: str,
         raise AssertionError(
             f"parallel version changes results "
             f"({len(diffs)} difference{'s' if len(diffs) != 1 else ''}): "
-            + format_diffs(diffs))
+            + format_diffs(diffs, limit=diff_limit))
     return ParallelTiming(sequential_time=ra.clock, parallel_time=rb.clock,
                           wall_sequential=wall_seq, wall_parallel=wall_par)

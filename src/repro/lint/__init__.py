@@ -11,13 +11,13 @@ argument and :mod:`repro.interp.shadow` for the dynamic cross-check.
 
 from .core import Diagnostic, Rule, Suppressions, all_rules, get_rule, \
     register, rule_ids
-from .driver import LintContext, SessionLinter, lint_program
+from .driver import LintContext, SessionLinter, lint_program, lint_source
 from .seeds import SEEDS, seeded_program, seeded_source
 
 __all__ = [
     "Diagnostic", "Rule", "Suppressions", "register", "all_rules",
     "get_rule", "rule_ids",
-    "LintContext", "lint_program", "SessionLinter",
+    "LintContext", "lint_program", "lint_source", "SessionLinter",
     "SEEDS", "seeded_program", "seeded_source",
 ]
 

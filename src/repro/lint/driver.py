@@ -192,6 +192,15 @@ def lint_program(program, assertions: AssertionSet | None = None,
     return diags
 
 
+def lint_source(source: str, units=None, rules=None,
+                include_suppressed: bool = True) -> list[Diagnostic]:
+    """Lint Fortran source text directly (parse + analyze + lint in one
+    call).  Equivalent to ``lint_program(source)``; exists so headless
+    callers (the fleet, scripts) don't build a program object first."""
+    return lint_program(source, units=units, rules=rules,
+                        include_suppressed=include_suppressed)
+
+
 class SessionLinter:
     """Incremental lint over a live :class:`PedSession`.
 

@@ -3,10 +3,11 @@ scripted user sessions."""
 
 from .filters import DependenceFilter, SourceFilter, VariableFilter
 from .panes import DependencePane, LintPane, SourcePane, VariablePane
+from .reporting import program_stats
 from .session import Event, PedSession
 
 __all__ = [
-    "PedSession", "Event",
+    "PedSession", "Event", "program_stats",
     "SourceFilter", "DependenceFilter", "VariableFilter",
     "SourcePane", "DependencePane", "VariablePane", "LintPane",
 ]

@@ -47,6 +47,13 @@ class Impediment:
             out.append(f"  -> {s}")
         return "\n".join(out)
 
+    def to_json(self) -> dict:
+        return {"unit": self.unit, "loop": self.loop_id,
+                "line": self.line,
+                "importance": round(self.importance, 6),
+                "blocking": list(self.blocking),
+                "suggestions": list(self.suggestions)}
+
 
 @dataclass
 class AutoParallelReport:
@@ -61,6 +68,11 @@ class AutoParallelReport:
             for imp in self.impediments:
                 lines.append(imp.describe())
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable form (the fleet embeds this per program)."""
+        return {"parallelized": list(self.parallelized),
+                "impediments": [i.to_json() for i in self.impediments]}
 
 
 def auto_parallelize(session, unit: str | None = None,

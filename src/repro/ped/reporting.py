@@ -73,6 +73,44 @@ def call_graph_dot(session) -> str:
     return "\n".join(lines)
 
 
+def program_stats(session) -> dict:
+    """Size/analysis summary of the session's program as a JSON-able
+    dict: units, loops, PARALLEL marks, loop-carried dependence count,
+    and how much of the analysis ran degraded.  The fleet embeds this in
+    each program record; it is also a cheap one-call overview for
+    scripting."""
+    from ..fortran import ast
+    program = session.program
+    n_loops = n_parallel = 0
+    for uir in program.units.values():
+        for s, _ in ast.walk_stmts(uir.unit.body):
+            if isinstance(s, ast.DoLoop):
+                n_loops += 1
+                if s.parallel:
+                    n_parallel += 1
+    carried = 0
+    original_unit = session.current_unit_name
+    for uname in session.units():
+        session.select_unit(uname)
+        for li in session.loops():
+            try:
+                deps = session.dependences(li)
+            except Exception:
+                continue
+            carried += sum(1 for d in deps if d.loop_carried and d.active)
+    session.select_unit(original_unit)
+    health = session.health()
+    session._log("access to analysis", "program statistics")
+    return {
+        "units": len(program.units),
+        "loops": n_loops,
+        "parallel_loops": n_parallel,
+        "carried_dependences": carried,
+        "degraded_loops": len(health.degraded_loops),
+        "failed_units": len(health.failed_units),
+    }
+
+
 def unknown_symbolics(session, loop=None) -> dict[str, list[str]]:
     """Symbolic terms blocking a loop's dependences, grouped by name.
 

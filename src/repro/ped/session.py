@@ -1138,6 +1138,28 @@ class PedSession:
                   f"{len(report.impediments)} impediments")
         return report
 
+    def verify_parallel(self, inputs=None, workers: int = 4,
+                        schedule: str = "static", rtol: float = 1e-9,
+                        atol: float = 1e-8,
+                        max_steps: int = 5_000_000):
+        """Check the current parallelization: run the program serially
+        and under the adversarial interleaving emulator and return the
+        :class:`~repro.interp.verify.RunDiff` of observable state (empty
+        means the runs agree).  The fleet's verify stage is this check,
+        batched."""
+        from ..interp.relative import run_to_sync
+        from ..interp.verify import compare_runs
+        si = run_to_sync(self.program, inputs=inputs, adversarial=False,
+                         max_steps=max_steps)
+        ai = run_to_sync(self.program, inputs=inputs, adversarial=True,
+                         workers=workers, schedule=schedule,
+                         max_steps=max_steps)
+        diff = compare_runs(si, ai, rtol=rtol, atol=atol)
+        self._log("transformation guidance",
+                  f"verify parallel: {len(diff)} difference(s) at "
+                  f"{workers} workers")
+        return diff
+
     def program_report(self) -> str:
         """Printable program + dependences + variables listing."""
         from .reporting import program_report

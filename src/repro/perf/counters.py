@@ -96,6 +96,25 @@ class EngineCounters:
     #: diagnostics produced (after dedup, including suppressed)
     lint_diags: int = 0
 
+    # -- batch auto-parallelization fleet -------------------------------------
+    #: programs dispatched to the fleet pipeline (incl. re-dispatches)
+    fleet_tasks: int = 0
+    #: programs whose pipeline completed (any terminal status)
+    fleet_completed: int = 0
+    #: failed dispatches re-queued with backoff
+    fleet_retries: int = 0
+    #: dispatches cut off by the per-task timeout
+    fleet_timeouts: int = 0
+    #: programs quarantined after exhausting their retry budget
+    fleet_quarantined: int = 0
+    #: programs skipped on resume because the checkpoint journal
+    #: already records their completion
+    fleet_resumed: int = 0
+    #: execution-tier / pool-mode downgrades taken by the ladder
+    fleet_degradations: int = 0
+    #: serial/parallel observable divergences detected across the fleet
+    fleet_divergences: int = 0
+
     # -- degraded-mode analysis ----------------------------------------------
     #: loops whose analysis fell back to a conservative assumed result
     degraded_loops: int = 0
@@ -195,5 +214,13 @@ def report() -> str:
         f"  lint           runs {s['lint_runs']}, "
         f"units {s['lint_units']}, reused {s['lint_units_reused']}, "
         f"diagnostics {s['lint_diags']}",
+        f"  fleet          tasks {s['fleet_tasks']}, "
+        f"completed {s['fleet_completed']}, "
+        f"retries {s['fleet_retries']}, "
+        f"timeouts {s['fleet_timeouts']}, "
+        f"quarantined {s['fleet_quarantined']}, "
+        f"resumed {s['fleet_resumed']}, "
+        f"degradations {s['fleet_degradations']}, "
+        f"divergences {s['fleet_divergences']}",
     ]
     return "\n".join(lines)

@@ -27,7 +27,8 @@ from __future__ import annotations
 import atexit
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, \
+    TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -40,15 +41,25 @@ class TaskFailure:
 
     ``context`` is whatever the caller passed in ``contexts`` for this
     task -- e.g. ``(unit_name, loop_id)`` -- so the caller can degrade
-    precisely the piece of work that died.
+    precisely the piece of work that died.  ``elapsed`` is the seconds
+    the task ran (or was waited on) before failing and ``timed_out``
+    distinguishes a hang cut off by the caller's ``timeout`` from a
+    crash; ``attempts`` is 1 from :func:`run_tasks` itself and is
+    rewritten by retrying schedulers (:mod:`repro.fleet`) to the total
+    attempt count for this piece of work.
     """
 
     context: object
     error: BaseException
+    elapsed: float = 0.0
+    attempts: int = 1
+    timed_out: bool = False
 
     def __repr__(self) -> str:  # keep logs short
+        extra = ", timed out" if self.timed_out else ""
         return (f"TaskFailure(context={self.context!r}, "
-                f"error={type(self.error).__name__}: {self.error})")
+                f"error={type(self.error).__name__}: {self.error}"
+                f" [{self.elapsed:.3f}s, attempt {self.attempts}{extra}])")
 
 #: environment override: thread | process | serial (anything else = auto)
 ENV_VAR = "REPRO_PARALLEL"
@@ -127,13 +138,16 @@ atexit.register(shutdown_shared_executors)
 def _run_one(task: Callable[[], object], index: int, context: object,
              on_error: str) -> object:
     """Execute one task with fault-injection hook and error policy."""
+    import time
     from ..testing import faults
+    t0 = time.perf_counter()
     try:
         faults.check("pool_worker", index=index, context=context)
         return task()
     except Exception as e:
         if on_error == "return":
-            return TaskFailure(context=context, error=e)
+            return TaskFailure(context=context, error=e,
+                               elapsed=time.perf_counter() - t0)
         # Attach the task's context so a surviving exception says *which*
         # unit/loop died, not just that something in the batch did.
         if context is not None and not getattr(e, "task_context", None):
@@ -149,7 +163,8 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
               max_workers: int | None = None,
               picklable: bool = False,
               contexts: Sequence[object] | None = None,
-              on_error: str = "raise") -> list:
+              on_error: str = "raise",
+              timeout: float | None = None) -> list:
     """Run independent zero-arg callables; results in submission order.
 
     ``parallel=None`` auto-selects (pool when the resolved mode is not
@@ -162,6 +177,17 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     failure, annotated with its task's context; ``on_error="return"``
     isolates failures, placing a :class:`TaskFailure` in the failing
     task's result slot so the rest of the batch still completes.
+
+    ``timeout`` bounds, in seconds, how long the caller waits for each
+    task's result once it starts waiting on it (so with as many workers
+    as tasks it approximates a per-task run-time limit).  A task that
+    exceeds it yields a :class:`TaskFailure` whose ``timed_out`` flag is
+    set (``on_error="return"``) or raises the ``TimeoutError``
+    (``on_error="raise"``) -- either way the caller can tell a hang from
+    a crash.  The overrun task itself cannot be interrupted (threads are
+    not killable); it keeps running in the pool and its eventual result
+    is discarded.  The serial path cannot preempt at all, so ``timeout``
+    is ignored there.
     """
     tasks = list(tasks)
     if contexts is not None:
@@ -195,8 +221,37 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
             counters.COUNTERS.pool_workers, workers)
     executor_cls = ProcessPoolExecutor if resolved == "process" \
         else ThreadPoolExecutor
-    with executor_cls(max_workers=workers) as ex:
+    ex = executor_cls(max_workers=workers)
+    try:
         futures = [ex.submit(_run_one, t, i, ctx_of(i), on_error)
                    for i, t in enumerate(tasks)]
         # submission order, not completion order: deterministic merge
-        return [f.result() for f in futures]
+        results = []
+        import time as _time
+        for i, f in enumerate(futures):
+            if timeout is None:
+                results.append(f.result())
+                continue
+            t0 = _time.perf_counter()
+            try:
+                results.append(f.result(timeout=timeout))
+            except FuturesTimeout:
+                f.cancel()   # drop it if still queued; running = orphaned
+                elapsed = _time.perf_counter() - t0
+                err = TimeoutError(
+                    f"task did not finish within {timeout}s")
+                if on_error == "return":
+                    results.append(TaskFailure(
+                        context=ctx_of(i), error=err, elapsed=elapsed,
+                        timed_out=True))
+                    continue
+                ctx = ctx_of(i)
+                if ctx is not None:
+                    err.task_context = ctx
+                    err.args = (f"{err.args[0]} "
+                                f"[task context: {ctx!r}]",)
+                raise err from None
+        return results
+    finally:
+        # don't block on orphaned (timed-out but unkillable) tasks
+        ex.shutdown(wait=timeout is None)

@@ -23,6 +23,15 @@ Injection points wired into the engine:
 ``pool_worker``    inside each analysis-pool task wrapper
                    (context: ``index=<task index>``)
 ``budget``         every :meth:`repro.perf.budget.BudgetMeter.tick`
+``fleet_stage``    entry of every fleet pipeline stage
+                   (context: ``program=<name>, stage=<stage name>``)
+``fleet_dispatch`` before the fleet queue dispatches a batch
+                   (context: ``batch=<batch number>``)
+``fleet_checkpoint``  before each checkpoint-journal append (context:
+                   ``program=<name>``) -- arming it with
+                   ``exc=KeyboardInterrupt`` simulates killing the
+                   fleet between a task finishing and its completion
+                   being made durable
 =================  ========================================================
 
 Usage::
@@ -42,7 +51,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-POINTS = ("pair_test", "transform_do", "pool_worker", "budget")
+POINTS = ("pair_test", "transform_do", "pool_worker", "budget",
+          "fleet_stage", "fleet_dispatch", "fleet_checkpoint")
 
 
 class InjectedFault(RuntimeError):
