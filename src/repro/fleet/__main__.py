@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-bisect", action="store_true",
                    help="skip divergence bisection (report only that "
                         "runs diverged)")
+    p.add_argument("--explore", action="store_true",
+                   help="auto mode: race parallel-worlds transform "
+                        "candidates per program and adopt the best "
+                        "byte-identical one (repro.worlds)")
+    p.add_argument("--max-worlds", type=int, default=8,
+                   help="candidate worlds raced per program with "
+                        "--explore (default: 8)")
     p.add_argument("--fleet-workers", type=int, default=2,
                    help="concurrent program pipelines (default: 2)")
     p.add_argument("--pool", choices=POOL_LADDER, default="thread",
@@ -81,7 +88,8 @@ def main(argv=None) -> int:
         mode=args.mode, workers=args.workers, schedule=args.schedule,
         engine=args.engine, rtol=args.rtol, atol=args.atol,
         force_reassociation=args.force_reassociation,
-        bisect=not args.no_bisect)
+        bisect=not args.no_bisect,
+        explore=args.explore, max_worlds=args.max_worlds)
     options = FleetOptions(
         fleet_workers=args.fleet_workers, pool=args.pool,
         timeout=args.timeout or None, max_attempts=args.max_attempts,

@@ -39,8 +39,8 @@ __all__ = ["MODES", "STAGES", "PipelineOptions", "StageResult",
 
 MODES = ("seeded", "auto", "plain")
 
-STAGES = ("parse", "analyze", "autopar", "lint", "verify", "measure",
-          "bisect")
+STAGES = ("parse", "analyze", "autopar", "explore", "lint", "verify",
+          "measure", "bisect")
 
 
 @dataclass
@@ -59,6 +59,11 @@ class PipelineOptions:
     max_steps: int = 5_000_000
     #: skip the bisect stage (cheap smoke runs)
     bisect: bool = True
+    #: replace the single autopar sweep with the parallel-worlds
+    #: explorer (auto mode only): race candidate transform sequences
+    #: and adopt the best byte-identical one
+    explore: bool = False
+    max_worlds: int = 8
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +72,7 @@ class PipelineOptions:
             "rtol": self.rtol, "atol": self.atol,
             "force_reassociation": self.force_reassociation,
             "max_steps": self.max_steps, "bisect": self.bisect,
+            "explore": self.explore, "max_worlds": self.max_worlds,
         }
 
 
@@ -95,6 +101,7 @@ class _Pipeline:
             "status": "ok", "parallel_loops": [], "impediments": 0,
             "degraded_analyses": 0, "lint": [], "diverged": False,
             "divergence": None, "virtual_speedup": None,
+            "worlds": None,
         }
         # stage products
         self.source = None          # sequential reference source
@@ -154,8 +161,8 @@ class _Pipeline:
         self.record["stats"] = program_stats(self.session)
 
     def autopar(self) -> None:
-        if self.opts.mode != "auto":
-            return
+        if self.opts.mode != "auto" or self.opts.explore:
+            return   # the explore stage supersedes the single sweep
         from ..ped.autopar import auto_parallelize
         report = auto_parallelize(self.session)
         self.program = self.session.program
@@ -166,6 +173,29 @@ class _Pipeline:
             len(health.degraded_loops) + len(health.failed_units)
         self.record["autopar"] = report.to_json() \
             if hasattr(report, "to_json") else None
+
+    def explore(self) -> None:
+        if self.opts.mode != "auto" or not self.opts.explore:
+            return
+        from ..worlds import parallel_loop_ids
+        o = self.opts
+        rep = self.session.explore(
+            inputs=_inputs(self.name), max_worlds=o.max_worlds,
+            workers=o.workers, schedule=o.schedule,
+            engines=(o.engine,), adopt=True)
+        if rep.adopt_error:
+            raise RuntimeError(f"winner adoption failed: "
+                               f"{rep.adopt_error}")
+        self.program = self.session.program
+        health = self.session.health()
+        self.record["parallel_loops"] = \
+            parallel_loop_ids(self.session.program)
+        self.record["impediments"] = rep.impediments
+        self.record["degraded_analyses"] = \
+            len(health.degraded_loops) + len(health.failed_units)
+        # canonical (timing-free) form: checkpoint resume must replay
+        # this record byte-identically
+        self.record["worlds"] = rep.to_json()
 
     def lint(self) -> None:
         src = self.source if self.opts.mode != "seeded" else None
@@ -223,10 +253,12 @@ class _Pipeline:
         self.stage("parse", self.parse)
         self.stage("analyze", self.analyze, needs=("parse",))
         self.stage("autopar", self.autopar, needs=("parse", "analyze"))
+        self.stage("explore", self.explore, needs=("parse", "analyze"))
         self.stage("lint", self.lint, needs=("parse",))
-        self.stage("verify", self.verify, needs=("parse", "autopar"))
+        self.stage("verify", self.verify,
+                   needs=("parse", "autopar", "explore"))
         self.stage("measure", self.measure,
-                   needs=("parse", "autopar", "verify"))
+                   needs=("parse", "autopar", "explore", "verify"))
         self.stage("bisect", self.bisect, needs=("verify",))
         self.record["stages"] = [s.to_dict() for s in self.stages]
         self.record["elapsed"] = time.perf_counter() - t0

@@ -261,32 +261,19 @@ class _Ref:
                             for lvl in range(lx.depth))
         self.vidx = -1  # assigned on registration
 
-    def resolve(self, fr, starts, steps, trips):
-        """Entry-time: evaluate dim parameters, bounds-check, build the
-        oriented zero-copy view.  Returns ``(view, storage, params)`` or
-        None to fall back (pre-mutation, so serial replay reproduces
-        any fault exactly)."""
-        a = fr.arrs[self.j]
-        if a is None:
-            return None
-        data = a.as_ndarray()
-        if data.ndim != len(self.dims):
-            return None
-        idx = []
+    def eval_params(self, fr):
+        """Entry-time: evaluate the per-dimension runtime parameters as
+        ``(level, coef, offset)`` triples (level None for invariant
+        subscripts), or None when a coefficient is unusable.  Array-
+        independent -- together with the nest bounds this keys the
+        entry-plan memo; any evaluation fault propagates pre-mutation,
+        so serial replay reproduces it exactly."""
         params = []
-        lowers = a.lowers
-        shape = data.shape
-        for d, (lvl, cf, of) in enumerate(self.dims):
-            lo = lowers[d]
-            n = shape[d]
+        for lvl, cf, of in self.dims:
             if lvl is None:
                 v = of(fr)
                 if type(v) is not int:
                     v = int(v)
-                i = v - lo
-                if not 0 <= i < n:
-                    return None
-                idx.append(i)
                 params.append((None, 0, v))
             else:
                 ac = cf(fr)
@@ -294,6 +281,28 @@ class _Ref:
                 if not isinstance(ac, int) or not isinstance(bc, int) \
                         or ac == 0:
                     return None
+                params.append((lvl, ac, bc))
+        return tuple(params)
+
+    def make_view(self, data, lowers, starts, steps, trips, params):
+        """Bounds-check ``params`` against one array and build the
+        oriented zero-copy view, or None to fall back.  Pure in the
+        array contents: for fixed params/bounds and the same backing
+        ndarray the result is identical, which is what lets the nest
+        memoize it across entries."""
+        if data.ndim != len(self.dims):
+            return None
+        idx = []
+        shape = data.shape
+        for d, (lvl, ac, bc) in enumerate(params):
+            lo = lowers[d]
+            n = shape[d]
+            if lvl is None:
+                i = bc - lo
+                if not 0 <= i < n:
+                    return None
+                idx.append(i)
+            else:
                 i0 = ac * starts[lvl] + bc - lo
                 istep = ac * steps[lvl]
                 ilast = i0 + (trips[lvl] - 1) * istep
@@ -301,15 +310,13 @@ class _Ref:
                     return None
                 stop = ilast + (1 if istep > 0 else -1)
                 idx.append(slice(i0, stop if stop >= 0 else None, istep))
-                params.append((lvl, ac, bc))
         view = data[tuple(idx)]
         if not isinstance(view, np.ndarray):
             # all-invariant subscripts: keep a writable 0-d view
             view = data[tuple(slice(i, i + 1) for i in idx)].reshape(())
         elif self.transpose is not None:
             view = view.transpose(self.transpose)
-        view = view[self.expand]
-        return view, a, tuple(params)
+        return view[self.expand]
 
 
 # --------------------------------------------------------------------------
@@ -861,6 +868,12 @@ def _store_scalar(fr, store, v):
 # --------------------------------------------------------------------------
 
 class _Nest:
+    #: entry-plan memo bound: a nest is re-entered with a small cycling
+    #: set of bounds/offset keys (slalom: 349 entries cycling over 19
+    #: per-point subscript offsets), so the cap must exceed the cycle
+    #: length or every plan is evicted before its reuse comes around
+    _MEMO_CAP = 32
+
     def __init__(self, cx, levels, recipes, lx, pairs, inner_cost):
         self.levels = levels
         self.recipes = recipes
@@ -871,6 +884,14 @@ class _Nest:
         self.inner_cost = inner_cost
         self.depth = len(levels)
         self.n_parallel = sum(1 for L in levels if L.parallel)
+        #: (starts, steps, trips, params) -> entry plan from a previous
+        #: entry; hits are validated by storage/ndarray identity
+        self._memo = {}
+        #: equality-normalized key -> plan minus the views, for entries
+        #: whose invariant subscript offsets sweep (a per-row plane
+        #: index): totals, aliasing and dependence verdicts and index
+        #: vectors carry over, only the view slices are rebuilt
+        self._shape = {}
 
     # -- entry ------------------------------------------------------------
 
@@ -878,7 +899,17 @@ class _Nest:
         """Evaluate bounds, build views, and run every safety check
         without touching interpreter state.  Returns the ready-to-commit
         environment, or None to fall back to the closure-compiled
-        loop."""
+        loop.
+
+        Entry-invariant work -- trip arithmetic, subscript bounds
+        checks, view slicing, aliasing and dependence-distance tests,
+        index-vector construction -- is hoisted into a memoized plan
+        keyed on (bounds, subscript parameters) and revalidated by
+        storage identity, so a nest re-entered 349 times (slalom's
+        integrator) pays for it once.  Work that reads live interpreter
+        state -- the step-budget and clock-window guards, invariant
+        scalars, reduction seeds, domain prechecks -- reruns on every
+        entry."""
         floor = math.floor
         starts, steps, trips = [], [], []
         for L in self.levels:
@@ -895,14 +926,176 @@ class _Nest:
             steps.append(step)
             trips.append(t)
 
+        # per-ref runtime parameters: cheap closure evaluations that,
+        # with the bounds, key the entry plan
+        arrs = []
+        params = []
+        for ref in self.refs:
+            a = fr.arrs[ref.j]
+            if a is None:
+                return None
+            p = ref.eval_params(fr)
+            if p is None:
+                return None
+            arrs.append(a)
+            params.append(p)
+
+        key = (tuple(starts), tuple(steps), tuple(trips), tuple(params))
+        plan = self._memo.get(key)
+        if plan is not None and not self._plan_valid(arrs, plan):
+            # storage re-bound or re-allocated (fresh run, new frame):
+            # the cached views alias dead memory
+            self._memo.pop(key, None)
+            plan = None
+        if plan is not None:
+            (_storages, _datas, views, ivecs, q, total, steps_total,
+             serial_total) = plan
+            perf_counters.bump("vec_entry_hits")
+        else:
+            got = self._shape_hit(key, arrs, params, starts, steps,
+                                  trips)
+            if got is None:
+                return None
+            views, ivecs, q, total, steps_total, serial_total = got
+
+        # aggregate step count must not cross the limit mid-nest
+        rt = fr.rt
+        if rt.steps + steps_total > rt.max_steps:
+            return None
+
+        # virtual-clock exactness guard (dyadic accumulation window)
+        ovh = parallel_overhead()
+        if self.n_parallel:
+            if not (abs(ovh) < 2 ** 45) or ovh * 8 != int(ovh * 8):
+                return None
+        if abs(rt.clock) + serial_total + self.n_parallel * abs(ovh) \
+                >= _EXACT_CLOCK:
+            return None
+
+        ev = _Ev(fr, ivecs, views, None)
+
+        # invariant scalars (a missing value falls back; the serial
+        # replay then raises the exact "has no value" fault)
+        inv = []
+        for f in self.inv:
+            try:
+                inv.append(f(fr))
+            except Exception:
+                return None
+        ev.inv = inv
+
+        # reduction seeds
+        seeds = {}
+        for rec in self.recipes:
+            if rec[0] == "red":
+                try:
+                    seeds[rec[2]] = rec[5](fr)
+                except Exception:
+                    return None
+
+        # domain prechecks (divisors nonzero, SQRT arguments...)
+        for f, _what in self.prechecks:
+            try:
+                if not f(ev):
+                    return None
+            except Exception:
+                return None
+
+        return (starts, steps, trips, q, total, steps_total,
+                serial_total, ovh, ev, seeds)
+
+    @staticmethod
+    def _plan_valid(arrs, plan):
+        """A cached plan is reusable only for the exact storages (and
+        backing ndarrays) it was built against."""
+        for a, st_, d in zip(arrs, plan[0], plan[1]):
+            if a is not st_ or a.data is not d:
+                return False
+        return True
+
+    @staticmethod
+    def _fifo_put(memo, key, value, cap):
+        if len(memo) >= cap:
+            try:   # FIFO bound (defensive under concurrent entries)
+                memo.pop(next(iter(memo)))
+            except (StopIteration, KeyError, RuntimeError):
+                memo.clear()
+        memo[key] = value
+
+    def _shape_key(self, starts, steps, trips, params):
+        """Key under which the view-free part of a plan carries over.
+
+        The dependence-distance test reads invariant subscript offsets
+        only through *equality* comparisons (same plane or not), so two
+        entries whose invariant offsets have the same equality pattern
+        -- e.g. the row index swept 1, 2, 3... with everything else
+        fixed -- share totals, aliasing and dependence verdicts, and
+        index vectors.  Invariant offsets are therefore renumbered by
+        first occurrence; level-dim coefficients and offsets stay
+        verbatim (distances subtract them), and an invariant offset
+        colliding with a verbatim level offset also stays verbatim so
+        cross-kind equality is preserved."""
+        level_offsets = {bc for p in params
+                         for (lvl, _ac, bc) in p if lvl is not None}
+        classes = {}
+        norm = []
+        for p in params:
+            dims = []
+            for (lvl, ac, bc) in p:
+                if lvl is None and bc not in level_offsets:
+                    dims.append((None, 0,
+                                 classes.setdefault(bc, len(classes))))
+                else:
+                    dims.append((lvl, ac, bc))
+            norm.append(tuple(dims))
+        return (tuple(starts), tuple(steps), tuple(trips), tuple(norm))
+
+    def _shape_hit(self, key, arrs, params, starts, steps, trips):
+        """Full-key miss path: reuse a shape-equivalent plan (rebuilding
+        only the view slices) or build from scratch.  Returns
+        ``(views, ivecs, q, total, steps_total, serial_total)`` or None
+        to fall back."""
+        skey = self._shape_key(starts, steps, trips, params)
+        splan = self._shape.get(skey)
+        if splan is not None and not self._plan_valid(arrs, splan):
+            self._shape.pop(skey, None)
+            splan = None
+        if splan is not None:
+            (_storages, datas, ivecs, q, total, steps_total,
+             serial_total) = splan
+            views = []
+            for ref, a, p, d in zip(self.refs, arrs, params, datas):
+                view = ref.make_view(d, a.lowers, starts, steps, trips,
+                                     p)
+                if view is None:
+                    return None
+                views.append(view)
+            perf_counters.bump("vec_entry_hits")
+        else:
+            plan = self._build_plan(arrs, params, starts, steps, trips)
+            if plan is None:
+                return None
+            (storages, datas, views, ivecs, q, total, steps_total,
+             serial_total) = plan
+            self._fifo_put(self._memo, key, plan, self._MEMO_CAP)
+            self._fifo_put(self._shape, skey,
+                           (storages, datas, ivecs, q, total,
+                            steps_total, serial_total), self._MEMO_CAP)
+            perf_counters.bump("vec_entry_misses")
+        return views, ivecs, q, total, steps_total, serial_total
+
+    def _build_plan(self, arrs, params, starts, steps, trips):
+        """The entry-invariant slice of :meth:`prepare`: trip-count
+        arithmetic, oriented views, aliasing and dependence-distance
+        checks, index vectors.  Returns the memoizable plan tuple, or
+        None when any eligibility check fails (failures are never
+        cached: the cheap closure work repeats, exactly as before)."""
         total = 1
         for t in trips:
             total *= t
         if total > MAX_ELEMENTS:
             return None
 
-        # aggregate step count must not cross the limit mid-nest
-        rt = fr.rt
         n = self.depth
         q = []   # Q_l = T_0 * ... * T_l
         acc = 1
@@ -914,44 +1107,32 @@ class _Nest:
             steps_total += q[k] * len(L.cont_idxs)
         n_inner = len(self.recipes)
         steps_total += q[-1] * n_inner
-        if rt.steps + steps_total > rt.max_steps:
-            return None
 
-        # virtual-clock exactness guard (dyadic accumulation window)
-        ovh = parallel_overhead()
-        if self.n_parallel:
-            if not (abs(ovh) < 2 ** 45) or ovh * 8 != int(ovh * 8):
-                return None
         serial_total = self.inner_cost * trips[-1]
         for k in range(n - 2, -1, -1):
             serial_total = trips[k] * (
                 len(self.levels[k].cont_idxs) * COST_TERM + serial_total)
-        if abs(rt.clock) + serial_total + self.n_parallel * abs(ovh) \
-                >= _EXACT_CLOCK:
-            return None
 
-        # views + per-ref runtime parameters
+        # oriented zero-copy views
         views = []
-        params = []
-        storages = []
-        for ref in self.refs:
-            got = ref.resolve(fr, starts, steps, trips)
-            if got is None:
+        datas = []
+        for ref, a, p in zip(self.refs, arrs, params):
+            data = a.as_ndarray()
+            view = ref.make_view(data, a.lowers, starts, steps, trips, p)
+            if view is None:
                 return None
-            view, storage, p = got
             views.append(view)
-            params.append(p)
-            storages.append(storage)
+            datas.append(data)
 
         # aliasing between distinct storages (same-name refs share one
         # ArrayStorage and are covered by the dependence test below)
         written = {}
-        for ref, st_ in zip(self.refs, storages):
+        for ref, st_ in zip(self.refs, arrs):
             if ref.write:
                 written[ref.j] = st_
         if written:
             seen = {}
-            for ref, st_ in zip(self.refs, storages):
+            for ref, st_ in zip(self.refs, arrs):
                 seen[ref.j] = st_
             for wj, wst in written.items():
                 for j, st_ in seen.items():
@@ -1002,37 +1183,8 @@ class _Nest:
             shape[k] = trips[k]
             ivecs.append(iv.reshape(shape))
 
-        ev = _Ev(fr, ivecs, views, None)
-
-        # invariant scalars (a missing value falls back; the serial
-        # replay then raises the exact "has no value" fault)
-        inv = []
-        for f in self.inv:
-            try:
-                inv.append(f(fr))
-            except Exception:
-                return None
-        ev.inv = inv
-
-        # reduction seeds
-        seeds = {}
-        for rec in self.recipes:
-            if rec[0] == "red":
-                try:
-                    seeds[rec[2]] = rec[5](fr)
-                except Exception:
-                    return None
-
-        # domain prechecks (divisors nonzero, SQRT arguments...)
-        for f, _what in self.prechecks:
-            try:
-                if not f(ev):
-                    return None
-            except Exception:
-                return None
-
-        return (starts, steps, trips, q, total, steps_total,
-                serial_total, ovh, ev, seeds)
+        return (tuple(arrs), tuple(datas), views, ivecs, q, total,
+                steps_total, serial_total)
 
     # -- commit -----------------------------------------------------------
 

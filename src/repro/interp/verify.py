@@ -254,6 +254,15 @@ def compare_runs(a: Interpreter, b: Interpreter,
     return RunDiff(diffs, diff_keys)
 
 
+def identical_runs(a: Interpreter, b: Interpreter) -> RunDiff:
+    """Byte-identity comparison of two finished runs (``rtol=atol=0``):
+    even 1-ulp reassociation drift counts as a divergence.  This is the
+    acceptance gate the parallel-worlds explorer applies between each
+    speculative world and the serial oracle, and the same tolerance the
+    relative debugger bisects under."""
+    return compare_runs(a, b, rtol=0.0, atol=0.0)
+
+
 def verify_equivalence(original: str, transformed: str,
                        inputs=None, rtol: float = 1e-9,
                        engine: str | None = None) -> RunDiff:

@@ -133,6 +133,9 @@ class HealthReport:
     #: vec_elements) plus the per-loop lowering decision -- why each loop
     #: did or did not lower to bulk numpy execution
     exec: dict = field(default_factory=dict)
+    #: parallel-worlds explorer activity (worlds proposed, raced,
+    #: accepted/rejected by the byte-identity gate, adopted winners)
+    worlds: dict = field(default_factory=dict)
 
     def __getitem__(self, key: str):
         """Dict-style access: ``session.health()["lint"]``."""
@@ -171,10 +174,17 @@ class HealthReport:
 class PedSession:
     """An interactive editing/parallelization session over one program."""
 
-    def __init__(self, source: str, interprocedural: bool = True,
+    def __init__(self, source: "str | AnalyzedProgram",
+                 interprocedural: bool = True,
                  include_input_deps: bool = False,
                  journal_limit: int = 32):
-        self.program = AnalyzedProgram.from_source(source)
+        # Accepts either program text or an already-analyzed program;
+        # the latter is how fork() hands a materialized snapshot to a
+        # child session without a re-parse.
+        if isinstance(source, AnalyzedProgram):
+            self.program = source
+        else:
+            self.program = AnalyzedProgram.from_source(source)
         self.interprocedural = interprocedural
         self.include_input_deps = include_input_deps
         self.assertions = AssertionSet()
@@ -640,7 +650,12 @@ class PedSession:
 
     def classify_variable(self, name: str, kind: str, loop=None,
                           reason: str = "") -> None:
-        """Edit a variable's shared/private classification."""
+        """Edit a variable's shared/private classification.
+
+        An edit that actually changes the classification is journaled
+        like a transformation: :meth:`undo` restores the previous
+        PRIVATE set (worlds adoption relies on this to be fully
+        revertible)."""
         li = self.unit.loops.find(loop) if loop is not None \
             else self.current_loop
         if li is None:
@@ -648,6 +663,10 @@ class PedSession:
         name = name.upper()
         if kind not in ("private", "shared"):
             raise ValueError("kind must be 'private' or 'shared'")
+        changes = (name not in li.loop.private_vars) \
+            if kind == "private" else (name in li.loop.private_vars)
+        pre = ProgramSnapshot.capture(self.program, [self.unit]) \
+            if changes else None
         if kind == "private":
             li.loop.private_vars.add(name)
         else:
@@ -656,6 +675,14 @@ class PedSession:
                            name)] = reason
         self._log("variable classification", f"{name} -> {kind}")
         self._deps_cache.pop((self.current_unit_name, li.loop.uid), None)
+        if changes:
+            post = ProgramSnapshot.capture(self.program, [self.unit])
+            self._undo.append(JournalEntry(
+                name="classify_variable",
+                description=f"{name} -> {kind} on {li.id}",
+                pre=pre, post=post, dirty=None))
+            del self._undo[:-self.journal_limit]
+            self._redo.clear()
         if self.current_loop is li:
             self.select_loop(li, _log=False)
 
@@ -878,6 +905,39 @@ class PedSession:
         for key in stale:
             del self._deps_cache[key]
 
+    # -- forking (the parallel-worlds primitive) --------------------------------
+
+    def fork(self) -> "PedSession":
+        """Clone this session into an independent child.
+
+        The public fork API over the undo journal's snapshot machinery:
+        a :class:`ProgramSnapshot` of every unit is captured and
+        :meth:`ProgramSnapshot.materialize`\\ d into a brand-new
+        :class:`AnalyzedProgram` -- fresh AST objects and symbol tables,
+        but with every statement uid (and therefore every structural
+        fingerprint) preserved, so the child's first execution relinks
+        cached compiled units instead of recompiling them.
+
+        The child inherits analysis-relevant state -- assertions,
+        dependence marks, variable-classification reasons, the
+        interprocedural/input-deps switches -- but starts with an empty
+        undo journal, event log and diagnostics: it is a new world, not
+        a view.  Mutating the child can never affect the parent (and
+        vice versa); ``tests/test_worlds.py`` pins this byte-identity.
+        """
+        snap = ProgramSnapshot.capture_program(self.program)
+        child = PedSession(snap.materialize(),
+                           interprocedural=self.interprocedural,
+                           include_input_deps=self.include_input_deps,
+                           journal_limit=self.journal_limit)
+        child.assertions = AssertionSet(self.assertions.assertions)
+        child._marks = dict(self._marks)
+        child._loose_marks = dict(self._loose_marks)
+        child._var_reasons = dict(self._var_reasons)
+        perf_counters.bump("worlds_forked")
+        self._log("transformation", "fork session")
+        return child
+
     def history(self) -> list[dict]:
         """The journal: applied entries oldest-first, then undone ones."""
         done = [{"name": e.name, "description": e.description,
@@ -957,7 +1017,10 @@ class PedSession:
             parallel_runtime={
                 k: cnt[k] for k in ("par_loops", "par_chunks",
                                     "par_fallbacks", "pool_reuses")},
-            lint=lint_summary, exec=exec_info)
+            lint=lint_summary, exec=exec_info,
+            worlds={k: cnt[k] for k in (
+                "worlds_proposed", "worlds_forked", "worlds_raced",
+                "worlds_accepted", "worlds_rejected", "worlds_adopted")})
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report
@@ -1159,6 +1222,35 @@ class PedSession:
                   f"verify parallel: {len(diff)} difference(s) at "
                   f"{workers} workers")
         return diff
+
+    def explore(self, inputs=None, max_worlds: int = 8,
+                workers: int = 4, schedule: str = "static",
+                engines=None, adopt: bool = True,
+                race_workers: int | None = None):
+        """Speculative parallel-worlds exploration (repro.worlds).
+
+        Proposes up to ``max_worlds`` candidate transform sequences from
+        the session's dependence/autopar/guidance data, forks each into
+        an independent world (:meth:`fork`), races them concurrently on
+        the shared worker pool across the requested execution
+        ``engines``, gates acceptance on byte-identical observables
+        versus this session's serial oracle run, and ranks the
+        survivors.  With ``adopt=True`` the winning sequence is replayed
+        onto this session through the normal power-steering path, so
+        every adopted transformation lands on the undo journal.
+
+        Returns a :class:`repro.worlds.WorldsReport`.
+        """
+        from ..worlds import explore_session
+        report = explore_session(
+            self, inputs=inputs, max_worlds=max_worlds, workers=workers,
+            schedule=schedule, engines=engines, adopt=adopt,
+            race_workers=race_workers)
+        self._log("transformation guidance",
+                  f"explore: {len(report.results)} worlds raced, "
+                  f"winner {report.winner or '(none)'}"
+                  f"{' adopted' if report.adopted else ''}")
+        return report
 
     def program_report(self) -> str:
         """Printable program + dependences + variables listing."""

@@ -85,6 +85,26 @@ class EngineCounters:
     vec_fallbacks: int = 0
     #: iteration-space points executed in bulk across all nest entries
     vec_elements: int = 0
+    #: nest entries that reused a hoisted precheck plan (resolved views,
+    #: aliasing/dependence verdicts) from the entry-shape memo instead
+    #: of re-deriving it
+    vec_entry_hits: int = 0
+    #: nest entries that derived (and memoized) a fresh precheck plan
+    vec_entry_misses: int = 0
+
+    # -- parallel-worlds explorer ---------------------------------------------
+    #: candidate transform sequences proposed across all explorations
+    worlds_proposed: int = 0
+    #: child sessions forked (PedSession.fork)
+    worlds_forked: int = 0
+    #: worlds actually applied + executed in a race
+    worlds_raced: int = 0
+    #: worlds whose observables matched the serial oracle byte-for-byte
+    worlds_accepted: int = 0
+    #: worlds rejected by the byte-identity gate
+    worlds_rejected: int = 0
+    #: winning sequences replayed onto the exploring session
+    worlds_adopted: int = 0
 
     # -- lint framework -------------------------------------------------------
     #: whole-program / incremental lint driver runs
@@ -210,7 +230,14 @@ def report() -> str:
         f"pool reuses {s['pool_reuses']}",
         f"  vector backend loops {s['vec_loops']}, "
         f"fallbacks {s['vec_fallbacks']}, "
-        f"elements {s['vec_elements']}",
+        f"elements {s['vec_elements']}, "
+        f"entry memo hits {s['vec_entry_hits']}, "
+        f"misses {s['vec_entry_misses']}",
+        f"  worlds         proposed {s['worlds_proposed']}, "
+        f"forked {s['worlds_forked']}, raced {s['worlds_raced']}, "
+        f"accepted {s['worlds_accepted']}, "
+        f"rejected {s['worlds_rejected']}, "
+        f"adopted {s['worlds_adopted']}",
         f"  lint           runs {s['lint_runs']}, "
         f"units {s['lint_units']}, reused {s['lint_units_reused']}, "
         f"diagnostics {s['lint_diags']}",

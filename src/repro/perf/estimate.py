@@ -224,7 +224,8 @@ class LoopSpeedup:
 
 
 def measure_parallel_payoff(program, inputs=None, workers: int = 4,
-                            schedule: str = "static"
+                            schedule: str = "static",
+                            engine: str = "compiled"
                             ) -> list[LoopSpeedup]:
     """Execute a program's PARALLEL DO loops on the worker pool and
     report measured vs. predicted speedup per loop.
@@ -233,13 +234,15 @@ def measure_parallel_payoff(program, inputs=None, workers: int = 4,
     worker (the same chunk/merge machinery, inline) and once with
     ``workers`` -- so the wall-clock ratio isolates pool parallelism
     from dispatch overhead.  Loops that fell back to the serial
-    simulation in either run are absent from the result.
+    simulation in either run are absent from the result.  ``engine``
+    selects the execution tier both runs use (the worlds explorer
+    measures payoffs on the vector tier too).
     """
     from ..interp.verify import analyzed_program, run_program
     prog = analyzed_program(program)
-    base = run_program(prog, inputs=list(inputs or []), engine="compiled",
+    base = run_program(prog, inputs=list(inputs or []), engine=engine,
                        workers=1, schedule=schedule)
-    par = run_program(prog, inputs=list(inputs or []), engine="compiled",
+    par = run_program(prog, inputs=list(inputs or []), engine=engine,
                       workers=workers, schedule=schedule)
     by_uid: dict[int, tuple[str, LoopInfo]] = {}
     for uname, uir in prog.units.items():

@@ -98,8 +98,15 @@ _SHARED_LOCK = threading.Lock()
 def shared_executor(kind: str, workers: int):
     """Process-wide executor of the given kind with at least ``workers``
     workers.  Grows (replacing the old executor) when a caller asks for
-    more; otherwise the existing pool is reused."""
-    if kind not in ("thread", "process"):
+    more; otherwise the existing pool is reused.
+
+    ``"thread"`` is the DOALL runtime's chunk pool; ``"worlds"`` is a
+    second, independent thread pool for the parallel-worlds race.  They
+    must stay separate: a world task blocks on DOALL chunk futures, and
+    blocking on futures of the pool you occupy a worker of is the
+    classic thread-pool recursion deadlock.
+    """
+    if kind not in ("thread", "process", "worlds"):
         raise ValueError(f"unknown executor kind {kind!r}")
     with _SHARED_LOCK:
         cur = _SHARED.get(kind)
@@ -116,7 +123,8 @@ def shared_executor(kind: str, workers: int):
         else:
             ex = ThreadPoolExecutor(
                 max_workers=workers,
-                thread_name_prefix="repro-doall")
+                thread_name_prefix="repro-worlds" if kind == "worlds"
+                else "repro-doall")
         _SHARED[kind] = (ex, workers)
         with counters._LOCK:
             counters.COUNTERS.pool_workers = max(
@@ -164,7 +172,8 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
               picklable: bool = False,
               contexts: Sequence[object] | None = None,
               on_error: str = "raise",
-              timeout: float | None = None) -> list:
+              timeout: float | None = None,
+              reuse: "bool | str" = False) -> list:
     """Run independent zero-arg callables; results in submission order.
 
     ``parallel=None`` auto-selects (pool when the resolved mode is not
@@ -188,6 +197,16 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     not killable); it keeps running in the pool and its eventual result
     is discarded.  The serial path cannot preempt at all, so ``timeout``
     is ignored there.
+
+    ``reuse`` routes the batch through the persistent
+    :func:`shared_executor` instead of constructing (and tearing down) a
+    fresh executor -- the right choice for hot callers that fan many
+    batches and would otherwise pay pool startup per batch.  ``True``
+    picks the kind matching the resolved mode; a string names the shared
+    kind explicitly (the parallel-worlds race passes ``"worlds"`` so its
+    tasks can block on DOALL futures in the ``"thread"`` pool without
+    recursion deadlock).  A reused executor is never shut down here, so
+    timed-out orphans keep occupying shared workers until they finish.
     """
     tasks = list(tasks)
     if contexts is not None:
@@ -219,9 +238,14 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
         counters.COUNTERS.pool_mode = resolved
         counters.COUNTERS.pool_workers = max(
             counters.COUNTERS.pool_workers, workers)
-    executor_cls = ProcessPoolExecutor if resolved == "process" \
-        else ThreadPoolExecutor
-    ex = executor_cls(max_workers=workers)
+    if reuse:
+        kind = reuse if isinstance(reuse, str) \
+            else ("process" if resolved == "process" else "thread")
+        ex = shared_executor(kind, workers)
+    else:
+        executor_cls = ProcessPoolExecutor if resolved == "process" \
+            else ThreadPoolExecutor
+        ex = executor_cls(max_workers=workers)
     try:
         futures = [ex.submit(_run_one, t, i, ctx_of(i), on_error)
                    for i, t in enumerate(tasks)]
@@ -253,5 +277,7 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
                 raise err from None
         return results
     finally:
-        # don't block on orphaned (timed-out but unkillable) tasks
-        ex.shutdown(wait=timeout is None)
+        # don't block on orphaned (timed-out but unkillable) tasks; a
+        # shared executor outlives the batch by design
+        if not reuse:
+            ex.shutdown(wait=timeout is None)

@@ -175,6 +175,39 @@ class ProgramSnapshot:
         program._callgraph = None
         return changed
 
+    def materialize(self) -> AnalyzedProgram:
+        """Build a brand-new :class:`AnalyzedProgram` from the capture.
+
+        Where :meth:`restore` writes the snapshot back onto the *live*
+        unit objects (the undo path), ``materialize`` constructs fresh
+        :class:`ast.ProgramUnit` objects from re-cloned bodies and
+        re-resolves them into an independent program.  Uids are
+        preserved by :func:`clone_keeping_uids`, so the fork keeps the
+        parent's structural fingerprints and the compile cache relinks
+        its units instead of recompiling them.  This is the fork
+        primitive behind :meth:`PedSession.fork` and the parallel-worlds
+        explorer: mutations to the fork can never leak back into the
+        parent because no AST node, symbol table or unit list is shared.
+        """
+        names = list(self.order) if self.order is not None \
+            else list(self.units)
+        fresh: list[ast.ProgramUnit] = []
+        for name in names:
+            snap = self.units.get(name)
+            src_obj = snap.unit_obj if snap is not None \
+                else self.unit_objs[name]
+            body = clone_keeping_uids(snap.body if snap is not None
+                                      else src_obj.body)
+            params = snap.params if snap is not None \
+                else tuple(src_obj.params)
+            fresh.append(ast.ProgramUnit(
+                kind=src_obj.kind, name=src_obj.name, params=params,
+                body=body, result_type=src_obj.result_type,
+                line=src_obj.line))
+        # parallel=False: forks are routinely taken from inside pool
+        # workers, and nested pools deadlock-prone for no gain here
+        return AnalyzedProgram(ast.Program(units=fresh), parallel=False)
+
     @staticmethod
     def _invalidate_unit(program: AnalyzedProgram | None,
                          name: str) -> None:

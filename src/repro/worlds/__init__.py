@@ -1,0 +1,96 @@
+"""repro.worlds: speculative parallel-worlds transform exploration.
+
+The paper's workflow is one user applying one transformation at a time
+and inspecting the dependence display to judge it.  With measured
+speedups, byte-identity verification, a relink-aware compile cache and a
+worker pool in place, the machine can instead race many candidate
+transform sequences -- *worlds* -- at once and hand the user the
+measured winner:
+
+    propose -> fork -> race -> rank -> adopt
+
+* **propose** (:mod:`.proposer`): candidate sequences derived from the
+  autopar impediment report and the transformation-guidance list;
+* **fork** (:meth:`PedSession.fork` over
+  :meth:`ProgramSnapshot.materialize`): uid-preserving independent
+  children, so worlds relink cached compiled units instead of
+  recompiling, and losing worlds are dropped without touching survivors;
+* **race** (:mod:`.scheduler`): concurrent apply + execute + profile on
+  the shared worker pool, gated on byte-identical observables versus
+  the serial oracle;
+* **rank** (:mod:`.ranker`): deterministic virtual-speedup order with
+  measured wall-clock speedups reported alongside;
+* **adopt** (:func:`explore_session`, surfaced as
+  ``session.explore()``): the winning sequence replays onto the
+  exploring session through the normal power-steering path, so every
+  adopted transformation is journaled and undoable.
+
+``python -m repro.worlds`` races the corpus programs from the command
+line; the fleet pipeline's ``--explore`` stage batches it.
+"""
+
+from __future__ import annotations
+
+from ..perf import counters as perf_counters
+from .proposer import propose_worlds
+from .ranker import pick_winner, rank_results
+from .report import WorldProposal, WorldResult, WorldsReport, WorldStep
+from .scheduler import apply_steps, parallel_loop_ids, race_worlds
+
+__all__ = [
+    "WorldStep", "WorldProposal", "WorldResult", "WorldsReport",
+    "propose_worlds", "race_worlds", "rank_results", "pick_winner",
+    "apply_steps", "parallel_loop_ids", "explore_session",
+]
+
+
+def explore_session(session, inputs=None, max_worlds: int = 8,
+                    workers: int = 4, schedule: str = "static",
+                    engines=None, adopt: bool = True,
+                    race_workers: int | None = None,
+                    max_steps: int = 5_000_000) -> WorldsReport:
+    """Full exploration of one session: propose, race, rank, adopt.
+
+    ``engines`` is a tuple of execution-engine names; the first is the
+    primary (oracle + timing) engine and every listed engine must
+    byte-match the oracle for a world to be accepted.  ``None`` follows
+    the session default (``REPRO_EXEC_ENGINE`` or ``"compiled"``).
+
+    With ``adopt=True`` the winner's steps are replayed onto the
+    session itself -- but only when the winner actually parallelized
+    something; a winner that merely ties the serial program changes
+    nothing worth journaling.
+    """
+    from ..interp.verify import resolve_engine
+    if engines is None:
+        engines = (resolve_engine(None),)
+    elif isinstance(engines, str):
+        engines = tuple(e for e in engines.split(",") if e)
+    else:
+        engines = tuple(engines)
+    engines = tuple(resolve_engine(e) for e in engines)
+
+    proposals, impediments = propose_worlds(session,
+                                            max_worlds=max_worlds)
+    results, oracle_clock = race_worlds(
+        session, proposals, inputs=inputs, workers=workers,
+        schedule=schedule, engines=engines, race_workers=race_workers,
+        max_steps=max_steps)
+    ranked = rank_results(results)
+    winner = pick_winner(ranked)
+    report = WorldsReport(
+        results=ranked,
+        winner=winner.name if winner is not None else None,
+        workers=workers, schedule=schedule, engines=engines,
+        oracle_clock=oracle_clock, impediments=impediments)
+    if adopt and winner is not None and winner.parallel_loops:
+        ok, applied, err = apply_steps(session, winner.proposal.steps)
+        if ok and session.source() != winner.source:
+            ok, err = False, ("adopted program does not match the raced "
+                              "winner (non-deterministic replay?)")
+        if ok:
+            report.adopted = applied
+            perf_counters.bump("worlds_adopted")
+        else:
+            report.adopt_error = err
+    return report

@@ -1,0 +1,87 @@
+"""CLI: ``python -m repro.worlds [programs...] [options]``.
+
+Examples::
+
+    python -m repro.worlds                        # explore all 8
+    python -m repro.worlds slalom --engines compiled,vector
+    python -m repro.worlds dpmin --format json --timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..corpus import ORDER, PROGRAMS
+from ..perf import counters
+from ..ped.session import PedSession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.worlds",
+        description="Speculative parallel-worlds transform explorer: "
+                    "race candidate transform sequences per program, "
+                    "gate on byte-identity vs. the serial oracle, rank "
+                    "by speedup, adopt the winner.")
+    p.add_argument("programs", nargs="*", metavar="PROGRAM",
+                   help=f"corpus programs (default: all -- "
+                        f"{', '.join(ORDER)})")
+    p.add_argument("--max-worlds", type=int, default=8,
+                   help="candidate worlds raced per program (default: 8)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="DOALL worker count each world runs under "
+                        "(default: 4)")
+    p.add_argument("--schedule", choices=("static", "dynamic"),
+                   default="static")
+    p.add_argument("--engines", default=None,
+                   help="comma-separated execution tiers every world "
+                        "must byte-match the oracle on; first is the "
+                        "timing engine (default: session engine)")
+    p.add_argument("--race-workers", type=int, default=None,
+                   help="concurrent world races (default: min(worlds, "
+                        "cores))")
+    p.add_argument("--no-adopt", action="store_true",
+                   help="rank only; do not replay the winner onto the "
+                        "session")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--timing", action="store_true",
+                   help="include wall-clock fields in JSON output "
+                        "(non-canonical)")
+    p.add_argument("--counters", action="store_true",
+                   help="print engine counters afterwards")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.programs or list(ORDER)
+    unknown = [n for n in names if n not in PROGRAMS]
+    if unknown:
+        print(f"unknown program(s): {', '.join(unknown)} "
+              f"(known: {', '.join(ORDER)})", file=sys.stderr)
+        return 2
+    out = {}
+    for name in names:
+        session = PedSession(PROGRAMS[name].source)
+        report = session.explore(
+            inputs=PROGRAMS[name].inputs,
+            max_worlds=args.max_worlds, workers=args.workers,
+            schedule=args.schedule, engines=args.engines,
+            adopt=not args.no_adopt, race_workers=args.race_workers)
+        if args.format == "json":
+            out[name] = report.to_json(include_timing=args.timing)
+        else:
+            print(f"== {name} ==")
+            print(report.describe())
+            print()
+    if args.format == "json":
+        print(json.dumps(out, sort_keys=True, indent=1))
+    if args.counters:
+        print(counters.report())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""World proposal: turn analysis products into candidate sequences.
+
+The proposer never mutates the exploring session.  It forks a probe,
+auto-parallelizes the probe, and reads the impediment report --
+exactly the data PED shows a user deciding what to try next -- plus the
+transformation-guidance list on each impeded loop.  From those it
+derives candidate worlds:
+
+* the **baseline**: plain ``auto_parallelize`` (what the session would
+  do today with one keystroke);
+* one world per actionable impediment suggestion -- reduction
+  recognition, array privatization (``classify_variable``), or a
+  dependence-breaking assertion -- each followed by a fresh
+  auto-parallelize sweep;
+* a **combo** world applying every distinct impediment fix before the
+  sweep (fixes on different loops compose);
+* one world per safe structure transform (interchange, distribution,
+  alignment, skewing, reversal) on an impeded loop, again followed by
+  the sweep.
+
+Proposal order is deterministic: baseline first, then impediment fixes
+in importance order, combo, then structure transforms; duplicates (same
+step sequence) are dropped and the list is capped at ``max_worlds``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..perf import counters as perf_counters
+from .report import WorldProposal, WorldStep
+
+#: structure transforms worth trying before a re-sweep, in guidance order
+STRUCTURE_TRANSFORMS = ("loop_interchange", "loop_distribution",
+                        "loop_alignment", "loop_skewing", "loop_reversal")
+
+_CLASSIFY_RE = re.compile(r"classify_variable\('([A-Z0-9_]+)',\s*'private'\)")
+_ASSERT_RE = re.compile(r"ASSERT (.+)$")
+
+AUTOPAR = WorldStep(op="autopar")
+
+
+def _suggestion_steps(imp, suggestion: str) -> tuple[WorldStep, ...] | None:
+    """Map one autopar impediment suggestion to its fix step."""
+    if "apply reduction_recognition" in suggestion:
+        return (WorldStep(op="apply", transform="reduction_recognition",
+                          unit=imp.unit, loop=imp.loop_id),)
+    m = _CLASSIFY_RE.search(suggestion)
+    if m:
+        return (WorldStep(op="classify", var=m.group(1), kind="private",
+                          unit=imp.unit, loop=imp.loop_id),)
+    m = _ASSERT_RE.search(suggestion)
+    if m:
+        return (WorldStep(op="assert", text=m.group(1).strip()),)
+    return None
+
+
+def propose_worlds(session, max_worlds: int = 8
+                   ) -> tuple[list[WorldProposal], int]:
+    """Candidate worlds for a session, plus the probe's impediment count.
+
+    The session itself is untouched: proposals are derived on a fork.
+    """
+    probe = session.fork()
+    auto_report = probe.auto_parallelize()
+    proposals: list[WorldProposal] = [WorldProposal(
+        name="autopar",
+        steps=(AUTOPAR,),
+        rationale="baseline: plain auto-parallelize sweep")]
+
+    fix_steps: list[WorldStep] = []   # distinct fixes, importance order
+    for imp in auto_report.impediments:
+        for sug in imp.suggestions:
+            steps = _suggestion_steps(imp, sug)
+            if steps is None:
+                continue
+            fix = steps[0]
+            label = {"apply": "reduce", "classify": "privatize",
+                     "assert": "assert"}[fix.op]
+            what = fix.var or fix.transform or fix.text
+            proposals.append(WorldProposal(
+                name=f"{label}({what})+autopar@{imp.unit}:{imp.loop_id}"
+                if fix.op != "assert"
+                else f"assert+autopar@{imp.unit}:{imp.loop_id}",
+                steps=steps + (AUTOPAR,),
+                rationale=sug))
+            if fix not in fix_steps:
+                fix_steps.append(fix)
+    if len(fix_steps) >= 2:
+        proposals.append(WorldProposal(
+            name="combo+autopar",
+            steps=tuple(fix_steps) + (AUTOPAR,),
+            rationale=f"all {len(fix_steps)} impediment fixes combined"))
+
+    # structure transforms on impeded loops, guided by the probe's
+    # safety checks (the probe's post-autopar state matches what the
+    # structure world sees: parallelize only marks loops, ids stay put)
+    for imp in auto_report.impediments:
+        try:
+            probe.select_unit(imp.unit)
+            safe = probe.safe_transformations(imp.loop_id)
+        except Exception:
+            continue
+        safe_names = {n for n, _ in safe}
+        for tname in STRUCTURE_TRANSFORMS:
+            if tname not in safe_names:
+                continue
+            proposals.append(WorldProposal(
+                name=f"{tname}+autopar@{imp.unit}:{imp.loop_id}",
+                steps=(WorldStep(op="apply", transform=tname,
+                                 unit=imp.unit, loop=imp.loop_id),
+                       AUTOPAR),
+                rationale=f"guidance: {tname} is safe on the impeded "
+                          f"loop {imp.unit}:{imp.loop_id}"))
+
+    seen: set[tuple] = set()
+    names: dict[str, int] = {}
+    unique: list[WorldProposal] = []
+    for p in proposals:
+        sig = p.signature()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        # names key the winner lookup: two distinct worlds at the same
+        # loop (e.g. two breaking assertions) must not collide
+        n = names.get(p.name, 0) + 1
+        names[p.name] = n
+        if n > 1:
+            p = WorldProposal(name=f"{p.name}#{n}", steps=p.steps,
+                              rationale=p.rationale)
+        unique.append(p)
+    unique = unique[:max_worlds]
+    perf_counters.bump("worlds_proposed", len(unique))
+    return unique, len(auto_report.impediments)

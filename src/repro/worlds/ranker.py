@@ -1,0 +1,39 @@
+"""World ranking and winner selection.
+
+Ranking is on the **virtual** speedup -- the fork-join cost model's
+oracle-clock / world-clock ratio.  The virtual clock is byte-identical
+across worker counts, chunk schedules and execution engines (that is the
+runtime's core invariant), so the ranked order, and therefore the
+adopted winner, is deterministic under every race configuration.
+Wall-clock ``measured_speedup`` is reported alongside and benchmarked
+(A13), but a host's scheduling jitter never reorders worlds.
+
+Ties break toward fewer steps (prefer the cheaper sequence -- in
+particular the plain-autopar baseline over a same-speed embellishment),
+then lexicographic name.  Rejected and failed worlds trail the accepted
+ones in stable proposal order, so the full report is deterministic too.
+"""
+
+from __future__ import annotations
+
+from .report import WorldResult
+
+
+def _rank_key(r: WorldResult) -> tuple:
+    return (-r.virtual_speedup, len(r.proposal.steps), r.name)
+
+
+def rank_results(results: list[WorldResult]) -> list[WorldResult]:
+    """Accepted worlds best-first, then rejected, then failed."""
+    accepted = sorted((r for r in results if r.accepted), key=_rank_key)
+    rejected = [r for r in results if r.status == "rejected"]
+    failed = [r for r in results if r.status == "failed"]
+    return accepted + rejected + failed
+
+
+def pick_winner(ranked: list[WorldResult]) -> WorldResult | None:
+    """The top accepted world, or None when nothing survived the gate."""
+    for r in ranked:
+        if r.accepted:
+            return r
+    return None

@@ -1,0 +1,219 @@
+"""Data model of the parallel-worlds explorer.
+
+A *world* is one candidate transform sequence speculatively applied to a
+fork of the exploring session.  The model separates
+
+* :class:`WorldStep` -- one replayable action (a registry transform, a
+  variable classification, a user assertion, or an auto-parallelize
+  sweep), addressed by unit name and display loop id so the same step
+  applies identically to any uid-preserving fork of the same program;
+* :class:`WorldProposal` -- a named, ordered step sequence with the
+  rationale the proposer derived it from;
+* :class:`WorldResult` -- what happened when the world was raced:
+  apply outcome, byte-identity verdict against the serial oracle,
+  deterministic virtual speedup (ranking key) and measured wall-clock
+  speedup (reporting);
+* :class:`WorldsReport` -- the ranked race outcome plus the adopted
+  winner, JSON-able for the fleet's per-program record (timing fields
+  are excluded by default so checkpoint-resumed fleet reports stay
+  byte-identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorldStep:
+    """One replayable action of a world's transform sequence."""
+
+    #: "apply" | "classify" | "assert" | "autopar"
+    op: str
+    #: registry transform name (op == "apply")
+    transform: str = ""
+    #: target unit name (apply/classify)
+    unit: str = ""
+    #: target loop display id, e.g. "L2" (apply/classify); display ids
+    #: are source-order positional, so they resolve identically on any
+    #: fork of the same program
+    loop: str = ""
+    #: variable name / classification kind (op == "classify")
+    var: str = ""
+    kind: str = ""
+    #: assertion text (op == "assert")
+    text: str = ""
+    #: extra transform parameters (op == "apply")
+    params: tuple = ()
+
+    def describe(self) -> str:
+        if self.op == "autopar":
+            return "auto_parallelize"
+        if self.op == "apply":
+            where = f" @ {self.unit}:{self.loop}" if self.loop else ""
+            return f"{self.transform}{where}"
+        if self.op == "classify":
+            return (f"classify {self.var} -> {self.kind} "
+                    f"@ {self.unit}:{self.loop}")
+        if self.op == "assert":
+            return f"ASSERT {self.text}"
+        return self.op
+
+    def to_json(self) -> dict:
+        out = {"op": self.op}
+        for k in ("transform", "unit", "loop", "var", "kind", "text"):
+            v = getattr(self, k)
+            if v:
+                out[k] = v
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+
+@dataclass(frozen=True)
+class WorldProposal:
+    """A named candidate transform sequence."""
+
+    name: str
+    steps: tuple[WorldStep, ...]
+    rationale: str = ""
+
+    def signature(self) -> tuple:
+        """Dedup key: the step sequence itself, not the name."""
+        return tuple(self.steps)
+
+    def to_json(self) -> dict:
+        return {"name": self.name,
+                "steps": [s.to_json() for s in self.steps],
+                "rationale": self.rationale}
+
+
+#: race outcomes
+STATUS_ACCEPTED = "accepted"   # applied, ran, byte-identical to oracle
+STATUS_REJECTED = "rejected"   # ran but observables diverged
+STATUS_FAILED = "failed"       # a step refused/crashed or the run died
+
+
+@dataclass
+class WorldResult:
+    """One world's race outcome."""
+
+    proposal: WorldProposal
+    status: str = STATUS_FAILED
+    error: str = ""
+    #: descriptions of the steps that actually applied, in order
+    applied: list[str] = field(default_factory=list)
+    #: unit:loop ids parallel in the world's final program
+    parallel_loops: list[str] = field(default_factory=list)
+    byte_identical: bool = False
+    #: observable differences vs. the serial oracle (0 when identical)
+    diffs: int = 0
+    #: deterministic ranking key: oracle virtual clock / world virtual
+    #: clock -- identical across workers, schedules and engines because
+    #: the fork-join virtual clock is
+    virtual_speedup: float = 0.0
+    world_clock: float = 0.0
+    #: wall-clock speedup of the world itself (1 worker vs. N workers on
+    #: the primary engine); host-dependent, reported but never ranked on
+    measured_speedup: float = 0.0
+    wall_serial: float = 0.0
+    wall_parallel: float = 0.0
+    #: engines the world executed (and byte-matched the oracle) under
+    engines: tuple[str, ...] = ()
+    #: the world's final program text (what adoption must reproduce)
+    source: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.proposal.name
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == STATUS_ACCEPTED
+
+    def to_json(self, include_timing: bool = False) -> dict:
+        out = {
+            "name": self.name,
+            "status": self.status,
+            "steps": [s.to_json() for s in self.proposal.steps],
+            "applied": list(self.applied),
+            "parallel_loops": list(self.parallel_loops),
+            "byte_identical": self.byte_identical,
+            "diffs": self.diffs,
+            "virtual_speedup": round(self.virtual_speedup, 6),
+            "engines": list(self.engines),
+        }
+        if self.error:
+            out["error"] = self.error
+        if include_timing:
+            out["measured_speedup"] = round(self.measured_speedup, 3)
+            out["wall_serial"] = round(self.wall_serial, 6)
+            out["wall_parallel"] = round(self.wall_parallel, 6)
+            out["elapsed"] = round(self.elapsed, 6)
+        return out
+
+
+@dataclass
+class WorldsReport:
+    """The full outcome of one exploration."""
+
+    #: results in rank order (accepted best-first, then rejected/failed)
+    results: list[WorldResult] = field(default_factory=list)
+    #: name of the top-ranked accepted world (None: nothing survived)
+    winner: str | None = None
+    #: step descriptions replayed onto the exploring session
+    adopted: list[str] = field(default_factory=list)
+    adopt_error: str = ""
+    #: race configuration
+    workers: int = 4
+    schedule: str = "static"
+    engines: tuple[str, ...] = ("compiled",)
+    oracle_clock: float = 0.0
+    #: impediment count of the probe's auto-parallelize sweep
+    impediments: int = 0
+
+    @property
+    def winner_result(self) -> WorldResult | None:
+        for r in self.results:
+            if r.name == self.winner:
+                return r
+        return None
+
+    def ranked(self) -> list[WorldResult]:
+        """Accepted worlds only, best first."""
+        return [r for r in self.results if r.accepted]
+
+    def describe(self) -> str:
+        lines = [f"explored {len(self.results)} world(s) at "
+                 f"{self.workers} workers / {self.schedule} schedule "
+                 f"on {'+'.join(self.engines)}"]
+        lines.append(f"{'world':<36} {'status':<9} {'virtual':>8} "
+                     f"{'measured':>9} {'parallel':>8}")
+        for r in self.results:
+            virt = f"{r.virtual_speedup:.2f}x" if r.accepted else "-"
+            meas = f"{r.measured_speedup:.2f}x" \
+                if r.accepted and r.measured_speedup else "-"
+            mark = " <- winner" if r.name == self.winner else ""
+            lines.append(f"{r.name:<36} {r.status:<9} {virt:>8} "
+                         f"{meas:>9} {len(r.parallel_loops):>8}{mark}")
+            if r.error:
+                lines.append(f"    {r.error}")
+        if self.adopted:
+            lines.append("adopted: " + "; ".join(self.adopted))
+        elif self.adopt_error:
+            lines.append(f"adoption failed: {self.adopt_error}")
+        return "\n".join(lines)
+
+    def to_json(self, include_timing: bool = False) -> dict:
+        return {
+            "winner": self.winner,
+            "adopted": list(self.adopted),
+            "workers": self.workers,
+            "schedule": self.schedule,
+            "engines": list(self.engines),
+            "oracle_clock": self.oracle_clock,
+            "impediments": self.impediments,
+            "worlds": [r.to_json(include_timing=include_timing)
+                       for r in self.results],
+        }

@@ -1,0 +1,325 @@
+"""Parallel-worlds explorer suite: fork API, proposer, race, ranking,
+adoption, and the vector-tier entry-plan memo.
+
+The acceptance bars (ISSUE tentpole):
+
+* exploration is deterministic: the ranked world order (names and
+  virtual speedups) and the adopted winner are identical across worker
+  counts {1, 2, 4}, schedules {static, dynamic} and execution engines
+  {compiled, vector};
+* losing worlds leave the exploring session byte-identical -- only an
+  explicit adoption mutates it, through the journaled undo path;
+* every adopted world's program is byte-identical to what the race
+  measured (replay reproduces the raced winner exactly).
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import PROGRAMS
+from repro.fleet import run_program_pipeline
+from repro.interp.verify import compare_runs, run_program
+from repro.ped.session import PedSession
+from repro.perf import counters
+from repro.perf.pool import run_tasks
+from repro.transform.transaction import ProgramSnapshot
+from repro.worlds import (WorldStep, explore_session, pick_winner,
+                          propose_worlds, rank_results)
+from repro.worlds.__main__ import main as worlds_main
+
+
+def _session(name: str) -> PedSession:
+    return PedSession(PROGRAMS[name].source)
+
+
+def _inputs(name: str) -> list:
+    return list(PROGRAMS[name].inputs)
+
+
+# ---------------------------------------------------------------------------
+# fork API
+# ---------------------------------------------------------------------------
+
+def test_fork_is_byte_identical_and_independent():
+    parent = _session("slab2d")
+    child = parent.fork()
+    assert child.source() == parent.source()
+    # mutating the child never touches the parent...
+    before = parent.source()
+    child.auto_parallelize()
+    assert child.source() != before
+    assert parent.source() == before
+    # ...and vice versa
+    child_src = child.source()
+    parent.auto_parallelize()
+    assert child.source() == child_src
+
+
+def test_fork_preserves_uids():
+    parent = _session("dpmin")
+    child = parent.fork()
+    for uname in parent.program.unit_names():
+        a = [li.loop.uid
+             for li in parent.program.units[uname].loops.all_loops()]
+        b = [li.loop.uid
+             for li in child.program.units[uname].loops.all_loops()]
+        assert a == b
+
+
+def test_fork_carries_assertions_and_marks():
+    parent = _session("slab2d")
+    parent.assert_fact("KLO .NE. KHI")
+    child = parent.fork()
+    texts = [a.text for a in child.assertions.assertions]
+    assert "KLO .NE. KHI" in texts
+    # but the copy is independent
+    child.assert_fact("KLO .LT. KHI")
+    assert len(child.assertions.assertions) == \
+        len(parent.assertions.assertions) + 1
+
+
+def test_snapshot_materialize_is_independent():
+    parent = _session("dpmin")
+    snap = ProgramSnapshot.capture_program(parent.program)
+    fresh = snap.materialize()
+    assert fresh is not parent.program
+    # same statements, same uids, fully re-analyzed
+    assert fresh.unit_names() == parent.program.unit_names()
+    parent.auto_parallelize()
+    run = run_program(fresh, inputs=_inputs("dpmin"))
+    assert run.clock > 0
+
+
+# ---------------------------------------------------------------------------
+# proposer
+# ---------------------------------------------------------------------------
+
+def test_proposer_baseline_first_and_deterministic():
+    s1, _ = propose_worlds(_session("slab2d"))
+    s2, _ = propose_worlds(_session("slab2d"))
+    assert [p.name for p in s1] == [p.name for p in s2]
+    assert [p.signature() for p in s1] == [p.signature() for p in s2]
+    assert s1[0].name == "autopar"
+    assert s1[0].steps == (WorldStep(op="autopar"),)
+
+
+def test_proposer_names_unique_and_capped():
+    for name in ("slab2d", "dpmin", "spec77"):
+        props, _ = propose_worlds(_session(name), max_worlds=5)
+        names = [p.name for p in props]
+        assert len(names) == len(set(names))
+        assert len(props) <= 5
+        sigs = [p.signature() for p in props]
+        assert len(sigs) == len(set(sigs))
+
+
+def test_proposer_leaves_session_untouched():
+    session = _session("slab2d")
+    before = session.source()
+    propose_worlds(session)
+    assert session.source() == before
+
+
+# ---------------------------------------------------------------------------
+# exploration: determinism across workers x schedules x engines
+# ---------------------------------------------------------------------------
+
+def _explore_key(report):
+    return (report.winner,
+            [(r.name, r.status, round(r.virtual_speedup, 9))
+             for r in report.results])
+
+
+@pytest.mark.parametrize("engine", ["compiled", "vector"])
+def test_explore_deterministic_across_workers_and_schedules(engine):
+    baseline = None
+    for workers in (1, 2, 4):
+        for schedule in ("static", "dynamic"):
+            rep = explore_session(
+                _session("dpmin"), inputs=_inputs("dpmin"),
+                max_worlds=4, workers=workers, schedule=schedule,
+                engines=(engine,), adopt=False)
+            key = _explore_key(rep)
+            if baseline is None:
+                baseline = key
+            else:
+                assert key == baseline, \
+                    f"divergent at {workers}w/{schedule}/{engine}"
+    assert baseline[0] is not None   # something won
+
+
+def test_explore_deterministic_across_engines():
+    keys = [_explore_key(explore_session(
+        _session("dpmin"), inputs=_inputs("dpmin"), max_worlds=4,
+        engines=(eng,), adopt=False)) for eng in ("compiled", "vector")]
+    # the virtual clock is engine-invariant, so ranks and speedups agree
+    assert keys[0] == keys[1]
+
+
+def test_explore_losing_worlds_leave_session_byte_identical():
+    session = _session("slab2d")
+    before = session.source()
+    history_before = len(session.history())
+    rep = explore_session(session, inputs=_inputs("slab2d"),
+                          adopt=False)
+    assert rep.winner is not None
+    assert session.source() == before
+    # no transformation was journaled (guidance log entries aside,
+    # nothing undoable happened)
+    assert not any(h["kind"] == "transformation"
+                   for h in session.history()[history_before:])
+
+
+def test_explore_ranks_by_virtual_speedup():
+    rep = explore_session(_session("slab2d"), inputs=_inputs("slab2d"),
+                          adopt=False)
+    accepted = rep.ranked()
+    assert accepted
+    speeds = [r.virtual_speedup for r in accepted]
+    assert speeds == sorted(speeds, reverse=True)
+    assert rep.winner == accepted[0].name
+    ranked_again = rank_results(list(rep.results))
+    assert [r.name for r in ranked_again] == \
+        [r.name for r in rep.results]
+    assert pick_winner(ranked_again).name == rep.winner
+
+
+def test_explore_accepted_worlds_are_byte_identical_to_oracle():
+    rep = explore_session(_session("slab2d"), inputs=_inputs("slab2d"),
+                          engines=("compiled", "vector"), adopt=False)
+    for r in rep.results:
+        if r.accepted:
+            assert r.byte_identical and r.diffs == 0
+        elif r.status == "rejected":
+            assert r.diffs > 0
+
+
+# ---------------------------------------------------------------------------
+# adoption
+# ---------------------------------------------------------------------------
+
+def test_adoption_replays_winner_and_is_undoable():
+    session = _session("slab2d")
+    before = session.source()
+    rep = session.explore(inputs=_inputs("slab2d"))
+    assert rep.adopted and not rep.adopt_error
+    # the session now IS the raced winner, byte for byte
+    assert session.source() == rep.winner_result.source
+    assert session.source() != before
+    # adoption went through the journaled path: undo all the way back
+    while session.undo():
+        pass
+    assert session.source() == before
+
+
+def test_adoption_beats_or_ties_plain_autopar():
+    # the winner is at least as good as the baseline autopar world
+    # (which is always proposed), on the same deterministic metric
+    rep = explore_session(_session("slab2d"), inputs=_inputs("slab2d"),
+                          adopt=False)
+    names = {r.name: r for r in rep.results}
+    assert "autopar" in names and names["autopar"].accepted
+    assert rep.winner_result.virtual_speedup >= \
+        names["autopar"].virtual_speedup
+
+
+def test_health_reports_worlds_counters():
+    counters.reset()
+    session = _session("dpmin")
+    session.explore(inputs=_inputs("dpmin"), max_worlds=3)
+    worlds = session.health().worlds
+    assert worlds["worlds_proposed"] >= 1
+    assert worlds["worlds_forked"] >= worlds["worlds_proposed"]
+    assert worlds["worlds_raced"] == worlds["worlds_proposed"]
+    assert worlds["worlds_accepted"] + worlds["worlds_rejected"] == \
+        worlds["worlds_raced"]
+    assert worlds["worlds_adopted"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI + fleet stage
+# ---------------------------------------------------------------------------
+
+def test_worlds_cli_json(capsys):
+    assert worlds_main(["dpmin", "--max-worlds", "2",
+                        "--format", "json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert "dpmin" in out and out["dpmin"]["winner"] is not None
+
+
+def test_worlds_cli_rejects_unknown_program(capsys):
+    assert worlds_main(["nosuch"]) == 2
+
+
+def test_fleet_pipeline_explore_stage():
+    rec = run_program_pipeline(
+        "slab2d", {"mode": "auto", "explore": True, "max_worlds": 4})
+    assert rec["status"] == "ok"
+    stages = {s["stage"]: s for s in rec["stages"]}
+    assert stages["explore"]["ok"] and not stages["explore"]["skipped"]
+    assert rec["worlds"]["winner"] is not None
+    assert rec["worlds"]["adopted"]
+    assert rec["parallel_loops"]
+    assert not rec["diverged"]
+    # the canonical record is timing-free: resume byte-identity
+    assert "elapsed" not in json.dumps(rec["worlds"])
+
+
+def test_fleet_pipeline_explore_disabled_by_default():
+    rec = run_program_pipeline("slab2d", {"mode": "auto"})
+    assert rec["worlds"] is None
+    assert rec["parallel_loops"]
+
+
+# ---------------------------------------------------------------------------
+# worlds executor kind: deterministic order, no deadlock at 1 worker
+# ---------------------------------------------------------------------------
+
+def test_run_tasks_worlds_reuse_preserves_order():
+    out = run_tasks([lambda i=i: i * i for i in range(16)],
+                    max_workers=4, reuse="worlds")
+    assert out == [i * i for i in range(16)]
+
+
+def test_explore_single_race_worker_no_deadlock():
+    # worlds race on their own executor kind, so even ONE race worker
+    # cannot deadlock against the DOALL chunk pool the worlds use
+    rep = explore_session(_session("dpmin"), inputs=_inputs("dpmin"),
+                          max_worlds=3, workers=4, race_workers=1,
+                          adopt=False)
+    assert rep.winner is not None
+
+
+# ---------------------------------------------------------------------------
+# vector-tier entry-plan memo (precheck hoisting)
+# ---------------------------------------------------------------------------
+
+def test_vector_entry_memo_hits_on_repeated_nests():
+    counters.reset()
+    p = PROGRAMS["slalom"]
+    v = run_program(p.source, inputs=_inputs("slalom"), engine="vector")
+    snap = counters.snapshot()
+    # slalom's integrator re-enters its nests 349 times; the hoisted
+    # plans must serve the overwhelming majority from the memo
+    assert snap["vec_entry_misses"] > 0
+    assert snap["vec_entry_hits"] > 5 * snap["vec_entry_misses"]
+    # and observables stay byte-identical to the compiled tier
+    c = run_program(p.source, inputs=_inputs("slalom"),
+                    engine="compiled")
+    assert not compare_runs(c, v, rtol=0.0, atol=0.0)
+    assert c.clock == v.clock
+
+
+def test_vector_entry_memo_never_changes_fallbacks():
+    # eligibility must be decided exactly as without the memo: arc3d
+    # has nests that legitimately fall back every entry, and those
+    # failures are never cached
+    counters.reset()
+    p = PROGRAMS["arc3d"]
+    v = run_program(p.source, inputs=_inputs("arc3d"), engine="vector")
+    snap = counters.snapshot()
+    assert snap["vec_fallbacks"] == 29
+    c = run_program(p.source, inputs=_inputs("arc3d"),
+                    engine="compiled")
+    assert not compare_runs(c, v, rtol=0.0, atol=0.0)
