@@ -1,0 +1,181 @@
+"""A14: PED-as-a-service -- multi-tenant replay over the tiered
+cross-session artifact store.
+
+The 1991 workshop was many users analyzing the same eight programs; the
+session server replays that workload as concurrent tenants.  This
+module times the serviced replay and asserts the three claims that make
+the shared store worth its locks:
+
+* **identity**: every response a tenant receives -- cold store, warm
+  store, concurrent neighbors, LRU eviction churn -- is byte-identical
+  to a single-user in-process ``PedSession`` transcript;
+* **sharing**: replaying the workshop's 8 scripted sessions x N
+  clients against one store, the cross-session artifact hit rate
+  (summaries, loop analyses, pair tests, compiled units, lint, raced
+  explorations) clears 60%;
+* **throughput**: the shared store beats per-session isolated caches
+  by >= 2x on total replay work.  The ratio is measured on a serial
+  round-robin interleave of all tenants -- the same op stream the
+  concurrent server executes, minus the scheduler noise a loaded
+  single-core runner injects into threaded wall-clock (A9/A13
+  precedent); a threaded run asserts correctness separately.
+"""
+
+import threading
+
+import pytest
+
+from repro.ped.scripts import program_source
+from repro.serve import (SCRIPTS, SessionManager, canonical_json,
+                         oracle_transcript)
+from repro.store import ArtifactStore, scoped_store
+
+CLIENTS = 4
+JOBS = [(f"{name}-{c}", name) for name in SCRIPTS for c in range(CLIENTS)]
+
+
+@pytest.fixture(scope="module")
+def oracles():
+    return {name: oracle_transcript(name) for name in SCRIPTS}
+
+
+def _replay_one_tenant_each(store: ArtifactStore) -> dict[str, list]:
+    """One tenant per program, sequentially, against ``store``."""
+    out: dict[str, list] = {}
+    with scoped_store(store):
+        m = SessionManager(max_live=len(SCRIPTS))
+        for name in SCRIPTS:
+            m.open(name, program_source(name))
+            out[name] = [canonical_json(
+                m.run(name, s["op"], s.get("params") or {}))
+                for s in SCRIPTS[name]]
+    return out
+
+
+def _replay_interleaved(shared: bool) -> tuple[dict, ArtifactStore]:
+    """Round-robin all 8 x CLIENTS tenants through one manager.
+
+    ``shared=True``: every tenant reads one store.  ``shared=False``:
+    every tenant gets a private store -- per-session caches only, the
+    pre-service baseline.
+    """
+    m = SessionManager(max_live=len(JOBS))
+    shared_store = ArtifactStore(from_env=False)
+    stores = {sid: shared_store if shared
+              else ArtifactStore(from_env=False) for sid, _ in JOBS}
+    results: dict[str, list] = {sid: [] for sid, _ in JOBS}
+    for sid, name in JOBS:
+        with scoped_store(stores[sid]):
+            m.open(sid, program_source(name))
+    longest = max(len(s) for s in SCRIPTS.values())
+    for i in range(longest):
+        for sid, name in JOBS:
+            if i < len(SCRIPTS[name]):
+                step = SCRIPTS[name][i]
+                with scoped_store(stores[sid]):
+                    results[sid].append(canonical_json(
+                        m.run(sid, step["op"],
+                              step.get("params") or {})))
+    return results, shared_store
+
+
+def _store_totals(store: ArtifactStore) -> tuple[int, int]:
+    hits = misses = 0
+    for info in store.stats()["memory"].values():
+        hits += info["hits"]
+        misses += info["misses"]
+    return hits, misses
+
+
+# ---------------------------------------------------------------------------
+# timing: the unit of service work
+# ---------------------------------------------------------------------------
+
+def test_bench_serve_replay_cold(benchmark, oracles):
+    """All 8 scripted sessions, one tenant each, empty store: the cost
+    of the first tenant wave after a server start."""
+    def run():
+        return _replay_one_tenant_each(ArtifactStore(from_env=False))
+
+    out = benchmark(run)
+    for name in SCRIPTS:
+        assert out[name] == oracles[name], name
+
+
+def test_bench_serve_replay_warm(benchmark, oracles):
+    """The same wave against a store warmed by a previous tenant: the
+    steady-state marginal cost of one more tenant."""
+    store = ArtifactStore(from_env=False)
+    _replay_one_tenant_each(store)
+
+    out = benchmark(_replay_one_tenant_each, store)
+    for name in SCRIPTS:
+        assert out[name] == oracles[name], name
+
+
+# ---------------------------------------------------------------------------
+# acceptance: hit rate, throughput, byte identity
+# ---------------------------------------------------------------------------
+
+def test_perf_serve_shared_vs_isolated(reporter, oracles):
+    import time
+
+    t0 = time.perf_counter()
+    iso_results, _ = _replay_interleaved(shared=False)
+    t_iso = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sh_results, store = _replay_interleaved(shared=True)
+    t_shared = time.perf_counter() - t0
+
+    for results in (iso_results, sh_results):
+        for sid, out in results.items():
+            name = sid.rsplit("-", 1)[0]
+            assert out == oracles[name], sid
+
+    hits, misses = _store_totals(store)
+    hit_rate = hits / (hits + misses)
+    ratio = t_iso / t_shared
+    rows = [["isolated per-session stores", f"{t_iso:.2f}s", "-"],
+            ["one shared tiered store", f"{t_shared:.2f}s",
+             f"{hit_rate:.1%}"]]
+    reporter(
+        f"A14: serviced workshop replay, {len(SCRIPTS)} programs x "
+        f"{CLIENTS} clients (throughput {ratio:.2f}x)",
+        ["configuration", "replay time", "artifact hit rate"], rows)
+
+    assert hit_rate >= 0.60, \
+        f"cross-session hit rate {hit_rate:.1%} < 60%"
+    assert ratio >= 2.0, \
+        f"shared store only {ratio:.2f}x over isolated caches"
+
+
+def test_perf_serve_concurrent_byte_identity(oracles):
+    """The threaded form: all tenants race one manager small enough to
+    force LRU snapshot eviction, and every transcript still matches the
+    single-user oracle byte for byte."""
+    m = SessionManager(max_live=3)
+    results: dict[str, list] = {}
+    errors: list = []
+
+    def client(sid: str, name: str):
+        try:
+            m.open(sid, program_source(name))
+            results[sid] = [canonical_json(
+                m.run(sid, s["op"], s.get("params") or {}))
+                for s in SCRIPTS[name]]
+        except BaseException as e:   # pragma: no cover
+            errors.append(e)
+
+    threads = [threading.Thread(target=client, args=j) for j in JOBS]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    assert not errors, errors[0]
+    for sid, name in JOBS:
+        assert results[sid] == oracles[name], sid
+    stats = m.stats()
+    assert stats["evictions"] > 0
+    assert stats["ops_run"] == sum(
+        len(SCRIPTS[name]) for _, name in JOBS)

@@ -27,16 +27,21 @@ from repro.corpus import ORDER, PROGRAMS
 from repro.interp.compile import clear_code_cache
 from repro.ped.session import PedSession
 from repro.perf import counters
+from repro.store import ArtifactStore, scoped_store
 from repro.worlds import explore_session
 
 EXPLORE_PROGRAMS = ["dpmin", "slab2d"]
 
 
 def _explore(name: str, **kw):
+    """Explore against a fresh private artifact store: A13 times the
+    *live* propose/fork/race pipeline, not a cross-session cache hit
+    (the serviced warm path is A14's subject)."""
     kw.setdefault("adopt", False)
-    session = PedSession(PROGRAMS[name].source)
-    return explore_session(session, inputs=list(PROGRAMS[name].inputs),
-                           **kw)
+    with scoped_store(ArtifactStore(from_env=False)):
+        session = PedSession(PROGRAMS[name].source)
+        return explore_session(session,
+                               inputs=list(PROGRAMS[name].inputs), **kw)
 
 
 # ---------------------------------------------------------------------------

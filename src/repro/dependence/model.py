@@ -101,6 +101,16 @@ class Reference:
 _dep_ids = itertools.count(1)
 
 
+def fresh_dep_id() -> int:
+    """Mint a process-unique dependence id.
+
+    Dependences adopted from the artifact store carry the ids they were
+    pickled with; re-minting on adoption keeps pane selection ids (the
+    only consumer) collision-free within a session.
+    """
+    return next(_dep_ids)
+
+
 @dataclass
 class Dependence:
     dtype: DepType

@@ -23,8 +23,6 @@ marking discipline of Section 3.1.
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
 from math import gcd
@@ -32,6 +30,7 @@ from math import gcd
 from ..analysis.linear import LinearExpr, linearize
 from ..fortran import ast
 from ..perf import counters as _counters
+from ..store import MISS, declare as _declare_ns, get_store
 from .facts import FactBase
 from .model import ANY, EQ, GT, LT, DirectionVector, expand_vector
 
@@ -359,10 +358,11 @@ def _strong_siv_distance(h: LinearExpr, level: int,
 # Reference-pair testing (memoized)
 # --------------------------------------------------------------------------
 
-#: bounded LRU over canonical pair signatures -> PairResult
-_PAIR_CACHE: OrderedDict = OrderedDict()
-_PAIR_CACHE_LOCK = threading.Lock()
-_PAIR_CACHE_LIMIT = 8192
+#: pair verdicts live in the tiered artifact store: the signature is
+#: uid-free (expression trees, loop contexts, env, facts), so verdicts
+#: are shared across sessions and survive restarts via the disk tier
+_PAIR_NS = "pair"
+_declare_ns(_PAIR_NS, mem_entries=8192, disk=True)
 
 
 def _pair_signature(src_subs: tuple[ast.Expr, ...],
@@ -390,27 +390,21 @@ def _pair_signature(src_subs: tuple[ast.Expr, ...],
 
 
 def clear_pair_cache() -> None:
-    with _PAIR_CACHE_LOCK:
-        _PAIR_CACHE.clear()
+    get_store().clear(_PAIR_NS)
 
 
 def set_pair_cache_limit(n: int) -> None:
-    """Resize the memo LRU (0 disables caching)."""
-    global _PAIR_CACHE_LIMIT
-    with _PAIR_CACHE_LOCK:
-        _PAIR_CACHE_LIMIT = max(0, n)
-        while len(_PAIR_CACHE) > _PAIR_CACHE_LIMIT:
-            _PAIR_CACHE.popitem(last=False)
+    """Resize the memo LRU's memory tier (0 disables caching)."""
+    get_store().set_limit(_PAIR_NS, entries=max(0, n))
 
 
 def pair_cache_info() -> dict:
     """Size/limit plus the process-wide hit/miss counters."""
-    with _PAIR_CACHE_LOCK:
-        size = len(_PAIR_CACHE)
-        limit = _PAIR_CACHE_LIMIT
+    info = get_store().info(_PAIR_NS)
     c = _counters.COUNTERS
-    return {"size": size, "limit": limit, "hits": c.pair_hits,
-            "misses": c.pair_misses, "hit_rate": c.pair_hit_rate()}
+    return {"size": info["size"], "limit": info["limit"],
+            "hits": c.pair_hits, "misses": c.pair_misses,
+            "hit_rate": c.pair_hit_rate()}
 
 
 def test_pair(src_subs: tuple[ast.Expr, ...], snk_subs: tuple[ast.Expr, ...],
@@ -434,26 +428,22 @@ def test_pair(src_subs: tuple[ast.Expr, ...], snk_subs: tuple[ast.Expr, ...],
     except TypeError:           # unhashable oddity: run uncached
         key = None
     if key is not None:
-        with _PAIR_CACHE_LOCK:
-            hit = _PAIR_CACHE.get(key)
-            if hit is not None:
-                _PAIR_CACHE.move_to_end(key)
-                _counters.COUNTERS.pair_hits += 1
-                return PairResult(vectors=list(hit.vectors),
-                                  distances=dict(hit.distances),
-                                  exact=hit.exact, reason=hit.reason)
-            _counters.COUNTERS.pair_misses += 1
+        hit = get_store().get(_PAIR_NS, key)
+        if hit is not MISS:
+            _counters.COUNTERS.pair_hits += 1
+            return PairResult(vectors=list(hit.vectors),
+                              distances=dict(hit.distances),
+                              exact=hit.exact, reason=hit.reason)
+        _counters.COUNTERS.pair_misses += 1
     result = _test_pair_uncached(src_subs, snk_subs, loops, env, facts)
-    if key is not None and _PAIR_CACHE_LIMIT > 0:
-        with _PAIR_CACHE_LOCK:
-            _PAIR_CACHE[key] = PairResult(vectors=list(result.vectors),
-                                          distances=dict(result.distances),
-                                          exact=result.exact,
-                                          reason=result.reason)
-            _PAIR_CACHE.move_to_end(key)
-            while len(_PAIR_CACHE) > _PAIR_CACHE_LIMIT:
-                _PAIR_CACHE.popitem(last=False)
-                _counters.COUNTERS.pair_evictions += 1
+    if key is not None:
+        evicted = get_store().put(
+            _PAIR_NS, key,
+            PairResult(vectors=list(result.vectors),
+                       distances=dict(result.distances),
+                       exact=result.exact, reason=result.reason))
+        if evicted:
+            _counters.COUNTERS.pair_evictions += evicted
     return result
 
 

@@ -37,14 +37,15 @@ byte-identical ``snapshot()`` observables and matching profiles (see
 
 from __future__ import annotations
 
+import hashlib
 import math
-from collections import OrderedDict
 from dataclasses import fields as dc_fields
 
 import numpy as np
 
 from ..fortran import ast
 from ..perf import counters as perf_counters
+from ..store import MISS, declare as _declare_ns, get_store
 from .machine import (
     COST_BRANCH, COST_CALL, COST_INTRINSIC, COST_MEMREF, COST_OP,
     COST_STMT, COST_TERM, _TYPE_DTYPE, ArrayStorage, Frame,
@@ -60,6 +61,7 @@ from .runtime import build_plan
 __all__ = [
     "CompiledInterpreter", "UnitCode", "LinkedUnit", "linked_unit",
     "compile_cache_info", "clear_code_cache",
+    "unit_fingerprint", "program_fingerprint",
 ]
 
 
@@ -208,16 +210,55 @@ def fingerprint_unit(unit: ast.ProgramUnit, st) -> tuple:
             tuple(_fp_stmt(s) for s in unit.body), _fp_symtab(st))
 
 
-_CODE_CACHE: "OrderedDict[tuple, UnitCode]" = OrderedDict()
-_CODE_CACHE_LIMIT = 256
+#: compiled units live in the artifact store's memory tier only --
+#: UnitCode closes over python functions, which cannot round-trip
+#: through the disk tier's pickles
+_COMPILE_NS = "compile"
+_declare_ns(_COMPILE_NS, mem_entries=256, disk=False)
+
 _STATS = {"hits": 0, "relinks": 0, "misses": 0}
+
+
+def unit_fingerprint(uir) -> str:
+    """Uid-free fingerprint digest of a UnitIR's current state.
+
+    A sha256 over the structural tuple: digests hash in O(1) as cache
+    keys (the raw tuples re-walk the whole unit on every dict probe)
+    and are stable across processes, which the disk tier needs.
+
+    Memoized per ``(generation, symbol count)``.  Symtabs can be
+    enriched *without* a generation bump (interprocedural COMMON
+    propagation), so a generation-only memo would serve stale
+    fingerprints -- but that enrichment strictly *adds* symbols, and
+    nothing in the engine edits a Symbol in place or removes one, so
+    the pair is a sound validity key.
+    """
+    memo_key = (uir.generation, len(uir.symtab.symbols))
+    memo = uir._fp_memo
+    if memo is not None and memo[0] == memo_key:
+        return memo[1]
+    raw = repr(fingerprint_unit(uir.unit, uir.symtab))
+    fp = hashlib.sha256(
+        raw.encode("utf-8", "backslashreplace")).hexdigest()
+    uir._fp_memo = (memo_key, fp)
+    return fp
+
+
+def program_fingerprint(program) -> tuple:
+    """Uid-free structural identity of a whole analyzed program: the
+    sorted per-unit fingerprints.  Two sessions editing structurally
+    identical programs share one interprocedural-summary artifact."""
+    return tuple(unit_fingerprint(u)
+                 for u in sorted(program.units.values(),
+                                 key=lambda u: u.unit.name))
 
 
 def compile_cache_info() -> dict:
     """Compile-cache occupancy and hit/miss counters (cf.
     ``dependence.tests.pair_cache_info``)."""
+    info = get_store().info(_COMPILE_NS)
     total = _STATS["hits"] + _STATS["relinks"] + _STATS["misses"]
-    return {"size": len(_CODE_CACHE), "limit": _CODE_CACHE_LIMIT,
+    return {"size": info["size"], "limit": info["limit"],
             "hits": _STATS["hits"], "relinks": _STATS["relinks"],
             "misses": _STATS["misses"],
             "hit_rate": (_STATS["hits"] + _STATS["relinks"]) / total
@@ -225,7 +266,7 @@ def compile_cache_info() -> dict:
 
 
 def clear_code_cache() -> None:
-    _CODE_CACHE.clear()
+    get_store().clear(_COMPILE_NS)
     _STATS["hits"] = _STATS["relinks"] = _STATS["misses"] = 0
 
 
@@ -247,19 +288,17 @@ def linked_unit(uir, vector: bool = False) -> LinkedUnit:
         _STATS["hits"] += 1
         perf_counters.bump("compile_hits")
         return cached[1]
-    fp = fingerprint_unit(uir.unit, uir.symtab)
+    fp = unit_fingerprint(uir)
     if vector:
-        fp = ("vector",) + fp
-    code = _CODE_CACHE.get(fp)
-    if code is not None:
-        _CODE_CACHE.move_to_end(fp)
+        fp = ("vector", fp)
+    store = get_store()
+    code = store.get(_COMPILE_NS, fp)
+    if code is not MISS:
         _STATS["relinks"] += 1
         perf_counters.bump("compile_relinks")
     else:
         code = _compile_unit(uir.unit, uir.symtab, vector=vector)
-        _CODE_CACHE[fp] = code
-        while len(_CODE_CACHE) > _CODE_CACHE_LIMIT:
-            _CODE_CACHE.popitem(last=False)
+        store.put(_COMPILE_NS, fp, code, disk=False)
         _STATS["misses"] += 1
         perf_counters.bump("compile_misses")
     walk = list(ast.walk_stmts(uir.unit.body))

@@ -31,15 +31,14 @@ wall-clock time changes, which :func:`simulate_speedup` reports in
 from __future__ import annotations
 
 import os
-import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..fortran import parse_program
 from ..ir.program import AnalyzedProgram
+from ..store import MISS, declare as _declare_ns, get_store
 from .compile import CompiledInterpreter
 from .machine import Interpreter, Profile
 from .runtime import resolve_schedule, resolve_workers
@@ -48,9 +47,10 @@ from .vectorize import VectorInterpreter
 #: recognized engine names
 ENGINES = ("compiled", "vector", "tree")
 
-_PROGRAM_CACHE: "OrderedDict[str, AnalyzedProgram]" = OrderedDict()
-_PROGRAM_CACHE_LIMIT = 32
-_PROGRAM_CACHE_LOCK = threading.Lock()
+#: source text -> AnalyzedProgram; memory tier only (UnitIRs embed
+#: compiled closures and process-local statement uids)
+_PROGRAM_NS = "program"
+_declare_ns(_PROGRAM_NS, mem_entries=32, disk=False)
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -91,22 +91,17 @@ def analyzed_program(source_or_program) -> AnalyzedProgram:
         return source_or_program
     if os.environ.get("REPRO_EXEC_CACHE", "1") == "0":
         return AnalyzedProgram(parse_program(source_or_program))
-    with _PROGRAM_CACHE_LOCK:
-        prog = _PROGRAM_CACHE.get(source_or_program)
-        if prog is not None:
-            _PROGRAM_CACHE.move_to_end(source_or_program)
-            return prog
+    store = get_store()
+    prog = store.get(_PROGRAM_NS, source_or_program)
+    if prog is not MISS:
+        return prog
     prog = AnalyzedProgram(parse_program(source_or_program))
-    with _PROGRAM_CACHE_LOCK:
-        _PROGRAM_CACHE[source_or_program] = prog
-        while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_LIMIT:
-            _PROGRAM_CACHE.popitem(last=False)
+    store.put(_PROGRAM_NS, source_or_program, prog)
     return prog
 
 
 def clear_program_cache() -> None:
-    with _PROGRAM_CACHE_LOCK:
-        _PROGRAM_CACHE.clear()
+    get_store().clear(_PROGRAM_NS)
 
 
 def run_program(source_or_program, inputs=None, max_steps: int = 5_000_000,

@@ -204,7 +204,7 @@ class SummaryBuilder:
         return self._summarize(name)
 
     def build(self) -> dict[str, ProcSummary]:
-        self._propagate_common_symbols()
+        self.propagate_common_symbols()
         for name in self.callgraph.reverse_topo_order():
             if name in self.program.units:
                 self.summaries[name] = self._summary_for(name)
@@ -214,7 +214,7 @@ class SummaryBuilder:
                 self.summaries[name] = self._summary_for(name)
         return self.summaries
 
-    def _propagate_common_symbols(self) -> None:
+    def propagate_common_symbols(self) -> None:
         """Make every COMMON symbol visible in every unit that can reach
         it through a call.
 
@@ -222,7 +222,10 @@ class SummaryBuilder:
         with callees that do; dependence and kill analysis in the caller
         must know those names (and whether they are arrays).  Symbols are
         copied (type, dims, block) into the symtabs of all transitive
-        callers, to a fixpoint over the call graph.
+        callers, to a fixpoint over the call graph.  Idempotent, and
+        called explicitly by sessions that adopt a *shared* summary dict
+        from the artifact store: the symtab enrichment is a program-side
+        effect a cache hit must not skip.
         """
         from ..ir.symtab import Symbol
         changed = True

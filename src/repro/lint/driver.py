@@ -18,8 +18,17 @@ from ..interproc.oracle import InterproceduralOracle
 from ..interproc.summary import SummaryBuilder
 from ..ir.program import AnalyzedProgram
 from ..perf import counters as perf_counters
+from ..store import MISS, declare as _declare_ns, get_store
 from .core import Diagnostic, Suppressions, all_rules, dedup_sorted
 from .races import recover_index_array
+
+#: lint results shared across sessions.  Diagnostics are frozen,
+#: uid-free value objects (unit/line/loop-id strings), so a rule run
+#: over one session's program is valid verbatim for any structurally
+#: identical program; loop PARALLEL/private state -- which rules read
+#: but structural fingerprints exclude -- enters the key positionally.
+_LINT_NS = "lint"
+_declare_ns(_LINT_NS, mem_entries=256, disk=True)
 
 
 class LintContext:
@@ -223,6 +232,13 @@ class SessionLinter:
     def _assert_key(self) -> tuple:
         return tuple(a.text for a in self.session.assertions.assertions)
 
+    def _program_fp(self):
+        from ..interp.compile import program_fingerprint
+        try:
+            return program_fingerprint(self.session.program)
+        except Exception:
+            return None
+
     def _unit_key(self, name: str) -> tuple:
         uir = self.session.program.units[name]
         loops = tuple(
@@ -230,6 +246,51 @@ class SessionLinter:
             for t, _ in ast.walk_stmts(uir.unit.body)
             if isinstance(t, ast.DoLoop))
         return (uir.generation, loops, self._assert_key())
+
+    def _positional_loop_state(self, name: str) -> tuple:
+        """Like :meth:`_unit_key`'s loop state but keyed by statement
+        position instead of uid, so it matches across sessions."""
+        uir = self.session.program.units[name]
+        out = []
+        for i, (t, _) in enumerate(ast.walk_stmts(uir.unit.body)):
+            if isinstance(t, ast.DoLoop):
+                out.append((i, t.parallel,
+                            tuple(sorted(t.private_vars))))
+        return tuple(out)
+
+    def _store_unit_diags(self, ctx: LintContext, name: str,
+                          pfp) -> list[Diagnostic]:
+        skey = None
+        if pfp is not None:
+            skey = (pfp, name, self._positional_loop_state(name),
+                    self._assert_key())
+            hit = get_store().get(_LINT_NS, skey)
+            if hit is not MISS:
+                perf_counters.bump("lint_units_shared")
+                return list(hit)
+        diags = run_rules(ctx, units=[name],
+                          rules=_unit_scope_rule_ids())
+        unit_diags = [d for d in diags if d.unit == name]
+        if skey is not None:
+            get_store().put(_LINT_NS, skey, tuple(unit_diags))
+        return unit_diags
+
+    def _store_program_diags(self, ctx: LintContext, names,
+                             pfp) -> list[Diagnostic]:
+        skey = None
+        if pfp is not None:
+            skey = (pfp, None,
+                    tuple(self._positional_loop_state(n)
+                          for n in names),
+                    self._assert_key())
+            hit = get_store().get(_LINT_NS, skey)
+            if hit is not MISS:
+                return list(hit)
+        diags = run_rules(ctx, units=None,
+                          rules=_program_scope_rule_ids())
+        if skey is not None:
+            get_store().put(_LINT_NS, skey, tuple(diags))
+        return diags
 
     def refresh(self) -> list[Diagnostic]:
         """Re-lint only what changed since the last call."""
@@ -245,6 +306,7 @@ class SessionLinter:
         names = sorted(program.units)
         all_diags: list[Diagnostic] = []
         any_changed = False
+        pfp = None
         for name in names:
             key = self._unit_key(name)
             cached = self._unit_cache.get(name)
@@ -254,9 +316,9 @@ class SessionLinter:
                 continue
             any_changed = True
             perf_counters.bump("lint_units")
-            diags = run_rules(ctx, units=[name],
-                              rules=_unit_scope_rule_ids())
-            unit_diags = [d for d in diags if d.unit == name]
+            if pfp is None:
+                pfp = self._program_fp()
+            unit_diags = self._store_unit_diags(ctx, name, pfp)
             self._unit_cache[name] = (key, unit_diags)
             all_diags.extend(unit_diags)
         program_key = tuple(self._unit_key(n) for n in names)
@@ -265,8 +327,9 @@ class SessionLinter:
                 and not any_changed:
             all_diags.extend(self._program_cache[1])
         else:
-            diags = run_rules(ctx, units=None,
-                              rules=_program_scope_rule_ids())
+            if pfp is None:
+                pfp = self._program_fp()
+            diags = self._store_program_diags(ctx, names, pfp)
             self._program_cache = (program_key, diags)
             all_diags.extend(diags)
         out = dedup_sorted(ctx.suppressions.apply(all_diags))

@@ -26,6 +26,7 @@ corresponds to, which is how the Table 2 benchmark counts feature usage.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 from ..analysis.arraykills import array_kills
@@ -37,11 +38,13 @@ from ..dependence.model import Dependence, Mark
 from ..dependence.tests import pair_cache_info
 from ..fortran import ParseError, ast, parse_program
 from ..interp import Interpreter, compile_cache_info, make_interpreter
+from ..interp.compile import program_fingerprint
 from ..interproc import InterproceduralOracle, SummaryBuilder, check_program
 from ..ir.loops import LoopInfo
 from ..ir.program import AnalyzedProgram
 from ..perf import counters as perf_counters
 from ..perf import estimate_program, navigation_report
+from ..store import MISS, declare as _declare_ns, get_store
 from ..transform import TContext, get as get_transform, names as \
     transform_names
 from ..transform.base import Advice, DirtyScope, TransformError, \
@@ -49,6 +52,20 @@ from ..transform.base import Advice, DirtyScope, TransformError, \
 from ..transform.transaction import ProgramSnapshot
 from .filters import DependenceFilter, SourceFilter, VariableFilter
 from .panes import DependencePane, LintPane, SourcePane, VariablePane
+
+#: interprocedural summary dicts keyed by whole-program fingerprint;
+#: summaries are uid-free and picklable, so the disk tier applies
+_SUMMARY_NS = "summary"
+_declare_ns(_SUMMARY_NS, mem_entries=128, disk=True)
+
+#: full per-loop dependence analyses as pickle bytes.  Keys are
+#: uid-free (program fingerprint + loop ordinal + analysis inputs);
+#: the artifact records the nest's statement uids at store time so
+#: adoption can remap every pickled ``Reference.stmt_uid`` onto the
+#: adopting session's live AST positionally -- see
+#: :meth:`PedSession._adopt_loopdeps`.
+_LOOPDEPS_NS = "loopdeps"
+_declare_ns(_LOOPDEPS_NS, mem_entries=512, disk=True)
 
 
 @dataclass(frozen=True)
@@ -136,6 +153,9 @@ class HealthReport:
     #: parallel-worlds explorer activity (worlds proposed, raced,
     #: accepted/rejected by the byte-identity gate, adopted winners)
     worlds: dict = field(default_factory=dict)
+    #: tiered cross-session artifact store: per-namespace, per-tier
+    #: hit/miss/evict/promote counters (memory + disk)
+    artifact_store: dict = field(default_factory=dict)
 
     def __getitem__(self, key: str):
         """Dict-style access: ``session.health()["lint"]``."""
@@ -227,7 +247,21 @@ class PedSession:
             from ..analysis.defuse import SideEffectOracle
             return SideEffectOracle()
         if self._summaries is None:
-            self._summaries = SummaryBuilder(self.program).build()
+            # Interprocedural summaries are uid-free, so structurally
+            # identical programs -- every session opened on the same
+            # corpus member -- share one summary artifact through the
+            # tiered store.
+            fp = ("summaries", program_fingerprint(self.program))
+            shared = get_store().get(_SUMMARY_NS, fp)
+            if shared is not MISS:
+                # A build's symtab enrichment (COMMON propagation) is a
+                # side effect on *this* program the shared dict cannot
+                # carry; replay it before adopting the summaries.
+                SummaryBuilder(self.program).propagate_common_symbols()
+                self._summaries = dict(shared)
+            else:
+                self._summaries = SummaryBuilder(self.program).build()
+                get_store().put(_SUMMARY_NS, fp, dict(self._summaries))
         return InterproceduralOracle(self._summaries)
 
     def analyzer(self, unit_name: str | None = None) -> DependenceAnalyzer:
@@ -307,6 +341,16 @@ class PedSession:
         reusing every untouched unit's summary object as-is."""
         if self._summaries is None:
             return
+        fp = ("summaries", program_fingerprint(self.program))
+        shared = get_store().get(_SUMMARY_NS, fp)
+        if shared is not MISS:
+            # Another session already summarized this exact program
+            # state (e.g. the same transform applied by an earlier
+            # tenant).  Adopt, replaying the symtab side effect just
+            # like the cold path in :meth:`_oracle`.
+            SummaryBuilder(self.program).propagate_common_symbols()
+            self._summaries = dict(shared)
+            return
         retained = {name: s for name, s in self._summaries.items()
                     if name not in dirty_units}
         perf_counters.bump("summaries_retained", len(retained))
@@ -314,6 +358,7 @@ class PedSession:
             "summaries_rebuilt", len(self._summaries) - len(retained))
         self._summaries = SummaryBuilder(
             self.program, reuse=retained).build()
+        get_store().put(_SUMMARY_NS, fp, dict(self._summaries))
 
     def _rebind_panes(self) -> None:
         self.source_pane = SourcePane(self.unit)
@@ -367,11 +412,96 @@ class PedSession:
                       f"select loop {li.id} line {li.line}")
         return ld
 
+    def _loopdeps_key(self, li: LoopInfo) -> tuple | None:
+        """Artifact-store key for one loop's analysis (None: unkeyable).
+
+        Uid-free: the program fingerprint pins structure, the loop's
+        source-order ordinal pins which loop, and every analysis input
+        that is *not* AST structure appears explicitly -- privatization
+        state is excluded from structural fingerprints (``interp
+        .compile._FP_SKIP``) yet feeds the analysis, and assertions
+        change what the dependence tests can prove.  Privatization is
+        recorded by statement *position* within the nest, matching the
+        positional uid remap :meth:`_loop_deps` performs on adoption.
+        """
+        try:
+            nodes = [li.loop, *li.statements()]
+            privates = tuple(
+                (i, tuple(sorted(n.private_vars)))
+                for i, n in enumerate(nodes)
+                if isinstance(n, ast.DoLoop) and n.private_vars)
+            return (
+                program_fingerprint(self.program),
+                self.current_unit_name,
+                li.ordinal,
+                privates,
+                tuple(a.text for a in self.assertions.assertions),
+                self.include_input_deps,
+                self.interprocedural,
+            )
+        except Exception:
+            return None
+
+    def _adopt_loopdeps(self, blob: bytes,
+                        li: LoopInfo) -> LoopDependences:
+        """Rebind a pickled analysis onto this session's live AST.
+
+        The artifact records the uid of every nest statement at store
+        time, in AST order.  The adopting session's nest has identical
+        structure (the store key pins the program fingerprint and loop
+        ordinal) but its own uids, so each ``Reference.stmt_uid`` is
+        remapped positionally; a reference whose uid falls outside the
+        recorded nest raises KeyError and the caller re-analyzes.
+        """
+        from dataclasses import replace as _replace
+        from ..dependence.model import fresh_dep_id
+        stored_uids, ld = pickle.loads(blob)
+        live_uids = tuple(n.uid for n in [li.loop, *li.statements()])
+        if len(stored_uids) != len(live_uids):
+            raise ValueError("uid inventory length mismatch")
+        if stored_uids != live_uids:
+            remap = dict(zip(stored_uids, live_uids))
+            for d in ld.dependences:
+                d.source = _replace(d.source,
+                                    stmt_uid=remap[d.source.stmt_uid])
+                d.sink = _replace(d.sink,
+                                  stmt_uid=remap[d.sink.stmt_uid])
+        for d in ld.dependences:
+            d.id = fresh_dep_id()   # pane selection ids stay unique
+        ld.loop = li                # panes/transforms need the live nest
+        return ld
+
     def _loop_deps(self, li: LoopInfo) -> LoopDependences:
         key = (self.current_unit_name, li.loop.uid)
-        if key not in self._deps_cache:
-            self._deps_cache[key] = self.analyzer().analyze_loop(li)
-        return self._deps_cache[key]
+        if key in self._deps_cache:
+            return self._deps_cache[key]
+        skey = self._loopdeps_key(li)
+        blob = get_store().get(_LOOPDEPS_NS, skey) if skey else MISS
+        if blob is not MISS:
+            try:
+                ld = self._adopt_loopdeps(blob, li)
+                self._deps_cache[key] = ld
+                return ld
+            except Exception:
+                pass
+        ld = self.analyzer().analyze_loop(li)
+        if skey is not None and not ld.degraded:
+            # store before session-local marks mutate the dependence
+            # objects in place; degraded results (budget/worker notes)
+            # stay private -- they are not reproducible facts
+            try:
+                uids = tuple(
+                    n.uid for n in [li.loop, *li.statements()])
+                ld.loop = None   # adopters rebind; don't pickle the nest
+                blob = pickle.dumps((uids, ld),
+                                    pickle.HIGHEST_PROTOCOL)
+                get_store().put(_LOOPDEPS_NS, skey, blob)
+            except Exception:
+                pass
+            finally:
+                ld.loop = li
+        self._deps_cache[key] = ld
+        return ld
 
     def analyze_all(self, parallel: bool | None = None
                     ) -> dict[tuple[str, int], LoopDependences]:
@@ -789,7 +919,8 @@ class PedSession:
             li = self.current_loop
         params.setdefault("program", self.program)
         ctx = TContext(uir=self.unit, analyzer=self.analyzer(), loop=li,
-                       params=params)
+                       params=params,
+                       _deps=self._loop_deps(li) if li else None)
         return t.check(ctx)
 
     def apply(self, name: str, loop=None, **params):
@@ -810,7 +941,8 @@ class PedSession:
             li = self.current_loop
         params.setdefault("program", self.program)
         ctx = TContext(uir=self.unit, analyzer=self.analyzer(), loop=li,
-                       params=params)
+                       params=params,
+                       _deps=self._loop_deps(li) if li else None)
         wide = t.category == "Interprocedural"
         pre = ProgramSnapshot.capture_program(self.program) if wide \
             else ProgramSnapshot.capture(self.program, [self.unit])
@@ -1020,7 +1152,8 @@ class PedSession:
             lint=lint_summary, exec=exec_info,
             worlds={k: cnt[k] for k in (
                 "worlds_proposed", "worlds_forked", "worlds_raced",
-                "worlds_accepted", "worlds_rejected", "worlds_adopted")})
+                "worlds_accepted", "worlds_rejected", "worlds_adopted")},
+            artifact_store=get_store().stats())
         self._log("access to analysis",
                   f"health: {'ok' if report.ok else 'degraded'}")
         return report
@@ -1038,7 +1171,8 @@ class PedSession:
             if not t.needs_loop:
                 continue
             ctx = TContext(uir=self.unit, analyzer=self.analyzer(),
-                           loop=li, params={"program": self.program})
+                           loop=li, params={"program": self.program},
+                           _deps=self._loop_deps(li))
             try:
                 advice = t.check(ctx)
             except Exception as e:

@@ -113,6 +113,9 @@ class EngineCounters:
     lint_units: int = 0
     #: units whose cached lint results were reused (incremental re-lint)
     lint_units_reused: int = 0
+    #: units whose lint results were adopted from the shared artifact
+    #: store (another session already linted the same program state)
+    lint_units_shared: int = 0
     #: diagnostics produced (after dedup, including suppressed)
     lint_diags: int = 0
 
@@ -240,6 +243,7 @@ def report() -> str:
         f"adopted {s['worlds_adopted']}",
         f"  lint           runs {s['lint_runs']}, "
         f"units {s['lint_units']}, reused {s['lint_units_reused']}, "
+        f"shared {s['lint_units_shared']}, "
         f"diagnostics {s['lint_diags']}",
         f"  fleet          tasks {s['fleet_tasks']}, "
         f"completed {s['fleet_completed']}, "

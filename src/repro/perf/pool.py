@@ -92,6 +92,10 @@ def worker_count(n_tasks: int, max_workers: int | None = None) -> int:
 # --------------------------------------------------------------------------
 
 _SHARED: dict[str, tuple] = {}      # kind -> (executor, max_workers)
+#: executors replaced by a grow; callers that obtained them before the
+#: grow may still be submitting, so they drain here and are reaped at
+#: shutdown instead of being shut down mid-flight
+_RETIRED: list = []
 _SHARED_LOCK = threading.Lock()
 
 
@@ -114,7 +118,11 @@ def shared_executor(kind: str, workers: int):
             counters.bump("pool_reuses")
             return cur[0]
         if cur is not None:
-            cur[0].shutdown(wait=True)
+            # Never shut a replaced executor down here: a concurrent
+            # caller that resolved it before this grow may be mid-submit,
+            # and submitting to a shut-down executor raises.  Retire it;
+            # in-flight work drains and the reap happens at shutdown.
+            _RETIRED.append(cur[0])
         if kind == "process":
             import multiprocessing
             ex = ProcessPoolExecutor(
@@ -138,6 +146,9 @@ def shutdown_shared_executors(wait: bool = False) -> None:
         for ex, _ in _SHARED.values():
             ex.shutdown(wait=wait)
         _SHARED.clear()
+        for ex in _RETIRED:
+            ex.shutdown(wait=wait)
+        _RETIRED.clear()
 
 
 atexit.register(shutdown_shared_executors)
@@ -225,6 +236,23 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
 
     counters.bump("pool_batches")
     counters.bump("pool_tasks", len(tasks))
+
+    # A thread-scoped artifact store (repro.store.scoped_store) is
+    # thread-local, so pool workers would silently fall back to the
+    # process-default store -- leaking one session's artifacts into the
+    # shared tier.  Extend the submitter's scope across its workers.
+    # Process pools are exempt: stores don't cross process boundaries,
+    # and process tasks must stay picklable.
+    if resolved != "process":
+        from ..store import current_override, scoped_store
+        override = current_override()
+        if override is not None:
+            def _scope(task, _ov=override):
+                def run():
+                    with scoped_store(_ov):
+                        return task()
+                return run
+            tasks = [_scope(t) for t in tasks]
 
     if not parallel or len(tasks) <= 1:
         with counters._LOCK:

@@ -1,0 +1,31 @@
+"""``python -m repro.serve``: run the session server."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from .server import PedServer
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="PED session server (HTTP/JSON)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8777)
+    ap.add_argument("--max-live", type=int, default=8,
+                    help="resident sessions before LRU snapshot "
+                         "eviction (default 8)")
+    ap.add_argument("--workers", type=int, default=8,
+                    help="op executor threads (default 8)")
+    args = ap.parse_args()
+    server = PedServer(max_live=args.max_live, workers=args.workers)
+    try:
+        asyncio.run(server.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

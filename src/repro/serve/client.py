@@ -1,0 +1,68 @@
+"""Minimal blocking client for the session server (stdlib http.client).
+
+``op`` returns the *raw response body string* alongside the parsed
+object: the server's op responses are canonical JSON, so those raw
+strings are the served transcript and compare byte-for-byte against
+:func:`repro.serve.replay.oracle_transcript`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class PedClient:
+    """One keep-alive connection to a running PedServer."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0):
+        self._conn = http.client.HTTPConnection(host, port,
+                                                timeout=timeout)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[str, dict]:
+        body = json.dumps(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} \
+            if body is not None else {}
+        self._conn.request(method, path, body=body, headers=headers)
+        resp = self._conn.getresponse()
+        raw = resp.read().decode()
+        return raw, json.loads(raw)
+
+    def open(self, session_id: str, program: str | None = None,
+             source: str | None = None) -> dict:
+        payload = {"program": program} if program is not None \
+            else {"source": source or ""}
+        raw, parsed = self._request(
+            "POST", f"/session/{session_id}/open", payload)
+        return parsed
+
+    def op(self, session_id: str, op: str,
+           params: dict | None = None) -> tuple[str, dict]:
+        return self._request("POST", f"/session/{session_id}/op",
+                             {"op": op, "params": params or {}})
+
+    def run_script(self, session_id: str,
+                   script: list[dict]) -> list[str]:
+        """Replay an op script; the raw bodies are the transcript."""
+        return [self.op(session_id, step["op"],
+                        step.get("params") or {})[0]
+                for step in script]
+
+    def close_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/session/{session_id}")[1]
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")[1]
+
+    def sessions(self) -> dict:
+        return self._request("GET", "/sessions")[1]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "PedClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

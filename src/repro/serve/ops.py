@@ -1,0 +1,304 @@
+"""Deterministic JSON op vocabulary over a :class:`PedSession`.
+
+Every op maps ``(session, params) -> JSON-serializable dict``.  Three
+rules make served transcripts byte-comparable to single-user in-process
+runs:
+
+* **uid-free** -- responses may name units, loop display ids ("L2"),
+  lines, variables and statement *text*, never statement uids (uids are
+  process-local counters that differ between a served session, its
+  rehydrated twin and the oracle);
+* **cache-independent** -- a response must not change with the state of
+  the artifact store (caches may only make it faster);
+* **timing-free** -- no wall-clock values; the explore op serializes the
+  worlds report through its canonical timing-free projection.
+
+Errors are part of the contract: an op that raises produces a
+deterministic ``{"error": {"type", "message"}}`` response, so scripted
+replays that provoke failures still transcript-match.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dependence.model import Mark
+from ..ped.filters import DependenceFilter
+from ..ped.session import PedSession
+
+
+def canonical_json(obj) -> str:
+    """The transcript normal form: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------------
+# Loop selection (shared with the scripted workshop sessions)
+# --------------------------------------------------------------------------
+
+def _find_loop(s: PedSession, params: dict):
+    """Resolve a loop selector: ``id`` ("L2"), ``var`` (+ ``ordinal``),
+    or ``assigns`` (innermost loop directly assigning the scalar)."""
+    if "id" in params:
+        for li in s.loops():
+            if li.id == params["id"]:
+                return li
+        raise LookupError(f"no loop {params['id']!r} "
+                          f"in {s.current_unit_name}")
+    if "var" in params:
+        var = params["var"].upper()
+        matches = [li for li in s.loops() if li.var == var]
+        ordinal = int(params.get("ordinal", 0))
+        if ordinal >= len(matches):
+            raise LookupError(f"loop #{ordinal} of {var} not found "
+                              f"in {s.current_unit_name}")
+        return matches[ordinal]
+    if "assigns" in params:
+        from ..fortran import ast
+        var = params["assigns"].upper()
+        best = None
+        for li in s.loops():
+            for st in li.loop.body:
+                if isinstance(st, ast.Assign) \
+                        and isinstance(st.target, ast.VarRef) \
+                        and st.target.name == var:
+                    if best is None or li.depth > best.depth:
+                        best = li
+        if best is None:
+            raise LookupError(f"no loop assigns {var} "
+                              f"in {s.current_unit_name}")
+        return best
+    raise ValueError("loop selector needs 'id', 'var' or 'assigns'")
+
+
+def _loop_info(li) -> dict:
+    return {"id": li.id, "var": li.var, "line": li.line,
+            "depth": li.depth}
+
+
+def _dep_row(d) -> dict:
+    return {"var": d.var, "type": str(d.dtype),
+            "vector": list(d.vector), "mark": d.mark.value,
+            "reason": d.reason, "source": d.source.text,
+            "sink": d.sink.text, "carried": d.loop_carried}
+
+
+# --------------------------------------------------------------------------
+# The ops
+# --------------------------------------------------------------------------
+
+def _op_units(s: PedSession, p: dict) -> dict:
+    return {"units": s.units()}
+
+
+def _op_select_unit(s: PedSession, p: dict) -> dict:
+    s.select_unit(p["unit"])
+    return {"unit": s.current_unit_name,
+            "loops": [_loop_info(li) for li in s.loops()]}
+
+
+def _op_select_loop(s: PedSession, p: dict) -> dict:
+    if "unit" in p:
+        s.select_unit(p["unit"])
+    li = _find_loop(s, p)
+    s.select_loop(li)
+    return {"loop": _loop_info(li), "pane": s.dependence_pane.render()}
+
+
+def _op_dependences(s: PedSession, p: dict) -> dict:
+    deps = s.dependences()
+    return {"count": len(deps), "deps": [_dep_row(d) for d in deps],
+            "pane": s.dependence_pane.render()}
+
+
+def _op_analyze_all(s: PedSession, p: dict) -> dict:
+    # serial on purpose: pool workers would bypass a thread-scoped store
+    # (the isolated-cache benchmark leg), and op responses must not
+    # depend on which store the analysis hit
+    cache = s.analyze_all(parallel=False)
+    return {"loops_analyzed": len(cache)}
+
+
+def _op_hot_loops(s: PedSession, p: dict) -> dict:
+    ranked = s.hot_loops(top=int(p.get("top", 10)))
+    return {"loops": [{"unit": e.unit, "loop": e.loop.id,
+                       "line": e.loop.line, "trip": e.trip,
+                       "time": e.time} for e in ranked]}
+
+
+def _op_check_program(s: PedSession, p: dict) -> dict:
+    return {"diagnostics": [str(d) for d in s.check_program()]}
+
+
+def _op_sections(s: PedSession, p: dict) -> dict:
+    return {"text": s.sections_summary()}
+
+
+def _op_symbolic_info(s: PedSession, p: dict) -> dict:
+    return s.symbolic_info()
+
+
+def _op_navigation(s: PedSession, p: dict) -> dict:
+    return {"text": s.navigation_report(top=int(p.get("top", 10)))}
+
+
+def _op_call_graph(s: PedSession, p: dict) -> dict:
+    return {"text": s.call_graph_text()}
+
+
+def _op_help(s: PedSession, p: dict) -> dict:
+    return {"text": s.help(p.get("topic"))}
+
+
+def _op_advice(s: PedSession, p: dict) -> dict:
+    loop = _find_loop(s, p["loop"]) if "loop" in p else None
+    adv = s.advice(p["name"], loop=loop, **p.get("params", {}))
+    return {"ok": adv.ok, "explain": adv.explain()}
+
+
+def _op_apply(s: PedSession, p: dict) -> dict:
+    loop = _find_loop(s, p["loop"]) if "loop" in p else None
+    res = s.apply(p["name"], loop=loop, **p.get("params", {}))
+    return {"applied": res.applied,
+            "description": res.description or "",
+            "explain": res.advice.explain()}
+
+
+def _op_classify(s: PedSession, p: dict) -> dict:
+    loop = _find_loop(s, p["loop"]) if "loop" in p else None
+    s.classify_variable(p["var"], p["kind"], loop=loop,
+                        reason=p.get("reason", ""))
+    return {"var": p["var"].upper(), "kind": p["kind"]}
+
+
+def _op_reject_pending(s: PedSession, p: dict) -> dict:
+    n = s.mark_dependences_where(DependenceFilter(mark=Mark.PENDING),
+                                 Mark.REJECTED, p.get("reason", ""))
+    return {"marked": n}
+
+
+def _op_mark_first_pending(s: PedSession, p: dict) -> dict:
+    deps = s.dependences()
+    pend = [d for d in deps if d.mark is Mark.PENDING]
+    if not pend:
+        return {"marked": 0, "var": None}
+    s.mark_dependence(pend[0], Mark.REJECTED, p.get("reason", ""))
+    return {"marked": 1, "var": pend[0].var}
+
+
+def _op_assert_fact(s: PedSession, p: dict) -> dict:
+    s.assert_fact(p["text"])
+    return {"asserted": p["text"]}
+
+
+def _op_breaking_conditions(s: PedSession, p: dict) -> dict:
+    deps = s.dependences()
+    carried = [d for d in deps if d.loop_carried]
+    if not carried:
+        return {"var": None, "conditions": []}
+    bcs = s.breaking_conditions(carried[0])
+    return {"var": carried[0].var,
+            "conditions": [str(b) for b in bcs]}
+
+
+def _op_undo(s: PedSession, p: dict) -> dict:
+    return {"ok": s.undo()}
+
+
+def _op_redo(s: PedSession, p: dict) -> dict:
+    return {"ok": s.redo()}
+
+
+def _op_history(s: PedSession, p: dict) -> dict:
+    return {"entries": s.history()}
+
+
+def _op_source(s: PedSession, p: dict) -> dict:
+    return {"text": s.source()}
+
+
+def _op_edit(s: PedSession, p: dict) -> dict:
+    return {"errors": list(s.edit(p["text"]))}
+
+
+def _op_lint(s: PedSession, p: dict) -> dict:
+    diags = s.lint()
+    return {"count": len([d for d in diags if not d.suppressed]),
+            "diagnostics": [d.to_json() for d in diags]}
+
+
+def _op_explore(s: PedSession, p: dict) -> dict:
+    report = s.explore(max_worlds=int(p.get("max_worlds", 8)),
+                       adopt=bool(p.get("adopt", True)))
+    return {"winner": report.winner,
+            "adopted": list(report.adopted),
+            "impediments": report.impediments,
+            "results": [r.to_json(include_timing=False)
+                        for r in report.results]}
+
+
+def _op_health(s: PedSession, p: dict) -> dict:
+    """The deterministic projection of :meth:`PedSession.health`.
+
+    Process-global counters (pair/compile caches, pool, artifact store)
+    are excluded on purpose: they depend on what *other* sessions in the
+    process have done, so they can never be part of a transcript that
+    must match a single-user run.  The server's ``/health`` endpoint is
+    where the store counters live.
+    """
+    h = s.health()
+    return {
+        "ok": h.ok,
+        "undo_depth": h.undo_depth,
+        "redo_depth": h.redo_depth,
+        "degraded_loops": h.degraded_loops,
+        "failed_units": h.failed_units,
+        "transform_failures": h.transform_failures,
+        "guidance_failures": h.guidance_failures,
+        "edit_failures": h.edit_failures,
+        "lint": h.lint,
+    }
+
+
+#: op name -> handler
+OPS = {
+    "units": _op_units,
+    "select_unit": _op_select_unit,
+    "select_loop": _op_select_loop,
+    "dependences": _op_dependences,
+    "analyze_all": _op_analyze_all,
+    "hot_loops": _op_hot_loops,
+    "check_program": _op_check_program,
+    "sections": _op_sections,
+    "symbolic_info": _op_symbolic_info,
+    "navigation": _op_navigation,
+    "call_graph": _op_call_graph,
+    "help": _op_help,
+    "advice": _op_advice,
+    "apply": _op_apply,
+    "classify": _op_classify,
+    "reject_pending": _op_reject_pending,
+    "mark_first_pending": _op_mark_first_pending,
+    "assert_fact": _op_assert_fact,
+    "breaking_conditions": _op_breaking_conditions,
+    "undo": _op_undo,
+    "redo": _op_redo,
+    "history": _op_history,
+    "source": _op_source,
+    "edit": _op_edit,
+    "lint": _op_lint,
+    "explore": _op_explore,
+    "health": _op_health,
+}
+
+
+def run_op(session: PedSession, op: str, params: dict | None = None
+           ) -> dict:
+    """Execute one op; failures become deterministic error responses."""
+    handler = OPS.get(op)
+    if handler is None:
+        return {"error": {"type": "UnknownOp", "message": op}}
+    try:
+        return {"result": handler(session, params or {})}
+    except Exception as e:
+        return {"error": {"type": type(e).__name__, "message": str(e)}}

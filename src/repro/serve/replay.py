@@ -1,0 +1,198 @@
+"""The eight workshop programs' sessions as servable op scripts.
+
+:mod:`repro.ped.scripts` drives the 1991 workshop groups through the
+in-process ``PedSession`` API.  This module re-expresses each program's
+session in the JSON op vocabulary of :mod:`repro.serve.ops`, one script
+per corpus program, so the same interaction can be replayed
+
+* in process (:func:`oracle_transcript`) -- the single-user ground
+  truth;
+* over HTTP against the session server -- which must produce
+  byte-identical responses, however many other clients are hammering
+  the same server and however many times the session was evicted and
+  rehydrated in between.
+
+A transcript is the list of canonical-JSON response strings, one per
+op.  It contains no uids, no timings and no cache counters, so it is
+comparable across processes and across runs.
+"""
+
+from __future__ import annotations
+
+from ..ped.scripts import program_source
+from ..ped.session import PedSession
+from .ops import canonical_json, run_op
+
+
+def _op(op: str, **params) -> dict:
+    return {"op": op, "params": params}
+
+
+#: program name -> op script (Section 2's groups, one per program)
+SCRIPTS: dict[str, list[dict]] = {
+    # G1 Poole & Hsieh: interprocedural call loops, embedding, expansion
+    "spec77": [
+        _op("units"),
+        _op("hot_loops"),
+        _op("check_program"),
+        _op("select_loop", unit="GLOOP", var="LAT"),
+        _op("dependences"),
+        _op("sections"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="parallelize"),
+        _op("select_loop", unit="GLOOP", var="LAT"),
+        _op("apply", name="loop_embedding"),
+        _op("select_loop", unit="PHYS", assigns="Q"),
+        _op("apply", name="scalar_expansion", params={"var": "Q"}),
+        _op("select_loop", unit="SMOOTH", var="J", ordinal=1),
+        _op("classify", var="T", kind="private",
+            reason="killed at the start of each row"),
+        _op("reject_pending", reason="user: rows are independent"),
+        _op("undo"),
+        _op("redo"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G2 Zosel & Engle, part 1: dialect restructuring before loop work
+    "neoss": [
+        _op("help", topic="panes"),
+        _op("hot_loops"),
+        _op("select_loop", unit="REGIME", var="K"),
+        _op("dependences"),
+        _op("apply", name="control_flow_simplification"),
+        _op("lint"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G2 part 2: permutation subscripts + interprocedural KILL
+    "nxsns": [
+        _op("check_program"),
+        _op("select_loop", unit="OVERLAP", var="IT"),
+        _op("reject_pending", reason="user: MAP is a permutation"),
+        _op("select_loop", unit="NXSNS", var="J", ordinal=1),
+        _op("dependences"),
+        _op("classify", var="ACC", kind="private",
+            reason="killed inside RELAX on every path"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="parallelize"),
+        _op("apply", name="control_flow_simplification"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G3 Pottle: index arrays, breaking conditions, assertions
+    "dpmin": [
+        _op("hot_loops"),
+        _op("select_loop", unit="FORCES", var="N"),
+        _op("dependences"),
+        _op("breaking_conditions"),
+        _op("assert_fact", text="MONOTONE(IT, 3)"),
+        _op("assert_fact", text="MONOTONE(JT, 3)"),
+        _op("assert_fact", text="MONOTONE(KT, 3)"),
+        _op("assert_fact", text="DISJOINT(IT, JT, 3)"),
+        _op("assert_fact", text="DISJOINT(JT, KT, 3)"),
+        _op("assert_fact", text="DISJOINT(IT, KT, 3)"),
+        _op("select_loop", unit="FORCES", var="N"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="parallelize"),
+        _op("apply", name="control_flow_simplification"),
+        _op("select_loop", unit="LSRCH", var="I"),
+        _op("reject_pending", reason="user: reduction is associative"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G4 Heimbach, part 1: distribution then privatization
+    "slab2d": [
+        _op("hot_loops"),
+        _op("select_loop", unit="STEP", var="J"),
+        _op("dependences"),
+        _op("select_loop", unit="STEP", var="I"),
+        _op("apply", name="loop_distribution"),
+        _op("select_loop", unit="STEP", var="J"),
+        _op("classify", var="BUF", kind="private",
+            reason="wholly rewritten each row after distribution"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="parallelize"),
+        _op("select_loop", unit="STEP", assigns="TMP"),
+        _op("apply", name="scalar_expansion", params={"var": "TMP"}),
+        _op("reject_pending", reason="user: boundary values settled"),
+        _op("undo"),
+        _op("redo"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G4 part 2: expansion with extent, unrolling, reduction deletion
+    "slalom": [
+        _op("help"),
+        _op("hot_loops"),
+        _op("select_loop", unit="FACTOR", assigns="T"),
+        _op("dependences"),
+        _op("classify", var="T", kind="private",
+            reason="killed each iteration"),
+        _op("apply", name="scalar_expansion",
+            params={"var": "T", "extent": 24}),
+        _op("apply", name="loop_unrolling",
+            loop={"var": "J"}, params={"factor": 4}),
+        _op("select_loop", unit="RESID", var="I", ordinal=1),
+        _op("reject_pending",
+            reason="user: sum reduction reassociates"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G5 Brickner: the MCN assertion, fusion, unrolling
+    "pueblo3d": [
+        _op("hot_loops"),
+        _op("select_loop", unit="SWEEP", var="I"),
+        _op("dependences"),
+        _op("symbolic_info"),
+        _op("mark_first_pending",
+            reason="user: neighbor offset exceeds region"),
+        _op("assert_fact", text="MCN .GT. IENDV(IR) - ISTRT(IR)"),
+        _op("select_loop", unit="SWEEP", var="I"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="loop_fusion"),
+        _op("apply", name="loop_unrolling",
+            loop={"var": "I", "ordinal": 1}, params={"factor": 2}),
+        _op("select_loop", unit="SWEEP", var="I"),
+        _op("classify", var="X", kind="private",
+            reason="killed each iteration"),
+        _op("reject_pending",
+            reason="user: neighbor offset exceeds region"),
+        _op("history"),
+        _op("health"),
+    ],
+    # G6 Fletcher: the JM relation, privatization, interchange
+    "arc3d": [
+        _op("check_program"),
+        _op("hot_loops"),
+        _op("select_loop", unit="FILTER", var="N"),
+        _op("dependences"),
+        _op("mark_first_pending",
+            reason="user: WR1 rewritten every plane"),
+        _op("classify", var="WR1", kind="private",
+            reason="killed each N iteration given JM = JMAX - 1"),
+        _op("advice", name="parallelize"),
+        _op("apply", name="parallelize"),
+        _op("select_loop", unit="SMOOTH", var="J"),
+        _op("apply", name="loop_interchange"),
+        _op("select_loop", unit="FILTER", var="N"),
+        _op("reject_pending",
+            reason="user: work arrays private per plane"),
+        _op("history"),
+        _op("health"),
+    ],
+}
+
+
+def run_script(session: PedSession, script: list[dict]) -> list[str]:
+    """Execute an op script in process; canonical response per op."""
+    return [canonical_json(run_op(session, step["op"],
+                                  step.get("params") or {}))
+            for step in script]
+
+
+def oracle_transcript(prog_name: str) -> list[str]:
+    """The single-user ground truth: a fresh in-process session runs
+    the program's script start to finish.  Every served replay of the
+    same script must match this transcript byte for byte."""
+    session = PedSession(program_source(prog_name))
+    return run_script(session, SCRIPTS[prog_name])

@@ -1,0 +1,185 @@
+"""Asyncio HTTP/JSON front end for the session manager.
+
+Stdlib-only (no web framework): a tiny HTTP/1.1 server over
+``asyncio.start_server`` with keep-alive.  The event loop only parses
+requests and shuttles bytes; every op executes on a thread pool via
+``run_in_executor``, so CPU-bound analysis for different sessions
+overlaps while the :class:`~repro.serve.manager.SessionManager`'s
+per-session locks keep each individual session single-threaded.
+
+Routes (bodies and responses are JSON):
+
+* ``POST /session/{id}/open``    -- ``{"program": name}`` (corpus) or
+  ``{"source": text}``; creates the session
+* ``POST /session/{id}/op``      -- ``{"op": name, "params": {...}}``;
+  the response body is *exactly* the canonical JSON of
+  :func:`repro.serve.ops.run_op`, so a client's raw body bytes are
+  directly comparable to an in-process transcript
+* ``DELETE /session/{id}``       -- drops the session
+* ``GET /sessions``              -- the session table
+* ``GET /health``                -- manager stats + the artifact
+  store's per-namespace, per-tier hit/miss/evict/promote counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from ..store import get_store
+from .manager import SessionManager
+from .ops import canonical_json
+
+_MAX_BODY = 16 * 1024 * 1024
+
+
+class PedServer:
+    """One server instance wrapping one session manager."""
+
+    def __init__(self, max_live: int = 8, workers: int = 8):
+        self.manager = SessionManager(max_live=max_live)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> tuple[int, str]:
+        loop = asyncio.get_running_loop()
+        parts = [p for p in path.split("/") if p]
+        try:
+            payload = json.loads(body) if body else {}
+        except ValueError:
+            return 400, canonical_json(
+                {"error": {"type": "BadJSON", "message": "request body"}})
+
+        if method == "GET" and parts == ["health"]:
+            return 200, canonical_json(self.health())
+        if method == "GET" and parts == ["sessions"]:
+            return 200, canonical_json(
+                {"sessions": self.manager.sessions()})
+        if len(parts) == 3 and parts[0] == "session" \
+                and parts[2] == "open" and method == "POST":
+            sid = parts[1]
+
+            def _open() -> tuple[int, str]:
+                if "program" in payload:
+                    from ..ped.scripts import program_source
+                    source = program_source(payload["program"])
+                else:
+                    source = payload.get("source", "")
+                try:
+                    self.manager.open(
+                        sid, source,
+                        interprocedural=payload.get(
+                            "interprocedural", True))
+                except KeyError as e:
+                    return 409, canonical_json(
+                        {"error": {"type": "SessionExists",
+                                   "message": str(e)}})
+                except Exception as e:
+                    return 400, canonical_json(
+                        {"error": {"type": type(e).__name__,
+                                   "message": str(e)}})
+                return 200, canonical_json({"result": {"opened": sid}})
+
+            return await loop.run_in_executor(self._pool, _open)
+        if len(parts) == 3 and parts[0] == "session" \
+                and parts[2] == "op" and method == "POST":
+            sid = parts[1]
+            out = await loop.run_in_executor(
+                self._pool, self.manager.run, sid,
+                payload.get("op", ""), payload.get("params") or {})
+            return 200, canonical_json(out)
+        if len(parts) == 2 and parts[0] == "session" \
+                and method == "DELETE":
+            closed = self.manager.close(parts[1])
+            return 200, canonical_json({"result": {"closed": closed}})
+        return 404, canonical_json(
+            {"error": {"type": "NotFound", "message": path}})
+
+    def health(self) -> dict:
+        """Server-level health: the service view plus the shared store."""
+        return {"manager": self.manager.stats(),
+                "artifact_store": get_store().stats()}
+
+    # -- HTTP plumbing ------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await reader.readline()
+                if not request:
+                    break
+                try:
+                    method, path, _ = request.decode(
+                        "latin-1").strip().split(" ", 2)
+                except ValueError:
+                    break
+                length = 0
+                keep_alive = True
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    name = name.strip().lower()
+                    if name == "content-length":
+                        length = int(value.strip())
+                    elif name == "connection" \
+                            and value.strip().lower() == "close":
+                        keep_alive = False
+                if length > _MAX_BODY:
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, out = await self._dispatch(method.upper(),
+                                                   path, body)
+                data = out.encode()
+                reason = {200: "OK", 400: "Bad Request",
+                          404: "Not Found",
+                          409: "Conflict"}.get(status, "OK")
+                writer.write(
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: "
+                    f"{'keep-alive' if keep_alive else 'close'}\r\n"
+                    f"\r\n".encode() + data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass   # loop already torn down / peer already gone
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, host, port)
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False)
+
+    async def serve_forever(self, host: str = "127.0.0.1",
+                            port: int = 8777) -> None:
+        host, port = await self.start(host, port)
+        print(f"repro.serve listening on http://{host}:{port}")
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()

@@ -1,0 +1,614 @@
+"""Tiered cross-session artifact store.
+
+Every expensive artifact the system derives -- compiled units, pair-test
+verdicts, parsed programs, interprocedural summaries, pristine program
+snapshots -- is keyed on *uid-free structural identity* (a fingerprint,
+a source text, a canonical signature).  Two sessions analyzing the same
+unit therefore ask the same questions, and the service layer's job is to
+make them pay for the answer once.  This module is that shared layer:
+
+* a **memory tier** per namespace -- a thread-safe LRU bounded by entry
+  count *and* approximate bytes, so a thousand-session server cannot
+  grow a cache without limit;
+* an optional **disk tier** -- fingerprint-digest-keyed pickle files
+  that survive process restarts (a freshly started server re-hits the
+  previous run's pair-test and summary verdicts).  A disk hit is
+  *promoted* back into the memory tier.  Namespaces whose values embed
+  process-local state (closures in compiled units, statement uids in
+  snapshots) never touch disk;
+* **per-tier counters** -- hits / misses / evictions / promotions /
+  stores per namespace, surfaced through ``session.health()`` and the
+  server's ``/health`` endpoint, because a sharing layer that cannot
+  prove its hit rate is indistinguishable from one that does nothing.
+
+Configuration (read when the default store is first built):
+
+* ``REPRO_STORE_MEM_ENTRIES`` / ``REPRO_STORE_MEM_BYTES`` -- default
+  per-namespace memory bounds (entries / approximate bytes);
+* ``REPRO_STORE_<NS>_ENTRIES`` / ``REPRO_STORE_<NS>_BYTES`` -- override
+  one namespace (``<NS>`` upper-cased: PAIR, COMPILE, PROGRAM, SUMMARY,
+  SNAPSHOT);
+* ``REPRO_STORE_DIR`` -- disk-tier root directory (unset/empty
+  disables the disk tier);
+* ``REPRO_STORE_DISK_ENTRIES`` / ``REPRO_STORE_DISK_BYTES`` -- disk
+  tier bounds (entries / bytes of pickled artifacts).
+
+The process-global default store is shared by every session (that is
+the point).  Benchmarks and tests that need *isolated* per-session
+caches install a private store for the current thread with
+:func:`scoped_store`; lookups made from that thread -- which is where a
+session's analysis runs -- then never touch the shared tiers.  (Work a
+session explicitly fans out to pool workers keeps using the shared
+store; the scoped override is a measurement tool, not a sandbox.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from sys import getsizeof
+
+
+class _Miss:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<miss>"
+
+
+#: sentinel returned by :meth:`ArtifactStore.get` when no tier has the key
+MISS = _Miss()
+
+
+@dataclass
+class TierCounters:
+    """Hit/miss/evict/promote counters for one namespace's tier."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    promotions: int = 0
+    stores: int = 0
+    #: values that could not enter the tier (unpicklable, over-size...)
+    skips: int = 0
+
+    def as_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "promotions": self.promotions, "stores": self.stores,
+                "skips": self.skips,
+                "hit_rate": self.hits / total if total else 0.0}
+
+
+@dataclass
+class NamespaceSpec:
+    """Declared defaults for one artifact namespace."""
+
+    name: str
+    mem_entries: int = 1024
+    mem_bytes: int | None = None
+    #: whether values may be persisted to the disk tier (closures and
+    #: uid-bearing artifacts must say False)
+    disk: bool = False
+
+
+#: namespace declarations, registered by the subsystems that own them
+_DECLARED: dict[str, NamespaceSpec] = {}
+
+
+def declare(name: str, mem_entries: int = 1024,
+            mem_bytes: int | None = None, disk: bool = False
+            ) -> NamespaceSpec:
+    """Register (or update) a namespace's default bounds.
+
+    Idempotent; every :class:`ArtifactStore` instance lazily creates its
+    tiers for declared namespaces on first use.
+    """
+    spec = NamespaceSpec(name=name, mem_entries=mem_entries,
+                         mem_bytes=mem_bytes, disk=disk)
+    _DECLARED[name] = spec
+    return spec
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _approx_size(value) -> int:
+    """Cheap shallow size estimate (the bytes bound is approximate by
+    contract; exact deep sizes would cost more than the artifacts)."""
+    try:
+        return getsizeof(value)
+    except Exception:
+        return 64
+
+
+class _MemoryNamespace:
+    """One namespace's in-memory LRU (entries + approximate bytes)."""
+
+    __slots__ = ("entries", "max_entries", "max_bytes", "total_bytes",
+                 "counters")
+
+    def __init__(self, max_entries: int, max_bytes: int | None):
+        self.entries: "OrderedDict[object, tuple[object, int]]" = \
+            OrderedDict()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
+        self.counters = TierCounters()
+
+    def shrink(self) -> int:
+        evicted = 0
+        while len(self.entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self.total_bytes > self.max_bytes
+                and self.entries):
+            _, (_, nbytes) = self.entries.popitem(last=False)
+            self.total_bytes -= nbytes
+            self.counters.evictions += 1
+            evicted += 1
+        return evicted
+
+
+class _DiskNamespaceIndex:
+    __slots__ = ("files", "total_bytes")
+
+    def __init__(self):
+        #: digest -> (path, nbytes); insertion order approximates LRU
+        self.files: "OrderedDict[str, tuple[str, int]]" = OrderedDict()
+        self.total_bytes = 0
+
+
+class DiskTier:
+    """Digest-keyed pickle files under ``root/<namespace>/``.
+
+    Files are written atomically (tmp + rename) and verified on load:
+    each file stores ``(key, value)`` and a read only counts as a hit
+    when the unpickled key equals the probe key (the digest is a
+    filename, not a proof).  Corrupt or unreadable files are treated as
+    misses and removed.  Bounds are enforced per tier across all
+    namespaces, oldest-first.
+    """
+
+    def __init__(self, root: str, max_entries: int = 4096,
+                 max_bytes: int | None = 256 * 1024 * 1024):
+        self.root = root
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._index: dict[str, _DiskNamespaceIndex] = {}
+        self._counters: dict[str, TierCounters] = {}
+        self._scan()
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _ns(self, namespace: str) -> _DiskNamespaceIndex:
+        idx = self._index.get(namespace)
+        if idx is None:
+            idx = self._index[namespace] = _DiskNamespaceIndex()
+        return idx
+
+    def counters(self, namespace: str) -> TierCounters:
+        c = self._counters.get(namespace)
+        if c is None:
+            c = self._counters[namespace] = TierCounters()
+        return c
+
+    def _scan(self) -> None:
+        """Rebuild the index from what a previous process left behind."""
+        try:
+            namespaces = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        entries = []
+        for ns in namespaces:
+            nsdir = os.path.join(self.root, ns)
+            if not os.path.isdir(nsdir):
+                continue
+            for fn in sorted(os.listdir(nsdir)):
+                if not fn.endswith(".pkl"):
+                    continue
+                path = os.path.join(nsdir, fn)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, ns, fn[:-4], path,
+                                st.st_size))
+        for _, ns, digest, path, size in sorted(entries):
+            idx = self._ns(ns)
+            idx.files[digest] = (path, size)
+            idx.total_bytes += size
+
+    def _entry_count(self) -> int:
+        return sum(len(i.files) for i in self._index.values())
+
+    def _byte_count(self) -> int:
+        return sum(i.total_bytes for i in self._index.values())
+
+    def _evict_oldest(self) -> None:
+        # oldest-first across namespaces (approximate: index order)
+        for ns, idx in self._index.items():
+            if idx.files:
+                digest, (path, size) = idx.files.popitem(last=False)
+                idx.total_bytes -= size
+                self.counters(ns).evictions += 1
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return
+
+    def _drop(self, namespace: str, digest: str) -> None:
+        idx = self._ns(namespace)
+        ent = idx.files.pop(digest, None)
+        if ent is not None:
+            idx.total_bytes -= ent[1]
+            try:
+                os.remove(ent[0])
+            except OSError:
+                pass
+
+    # -- access -----------------------------------------------------------
+
+    @staticmethod
+    def digest(key) -> str:
+        """Filename-safe digest of a key's canonical repr."""
+        return hashlib.sha256(repr(key).encode(
+            "utf-8", "backslashreplace")).hexdigest()
+
+    def get(self, namespace: str, key, digest: str):
+        c = self.counters(namespace)
+        with self._lock:
+            ent = self._ns(namespace).files.get(digest)
+        if ent is None:
+            # probe the filesystem anyway: another process may have
+            # written the artifact after our scan
+            path = os.path.join(self.root, namespace, digest + ".pkl")
+            if not os.path.exists(path):
+                c.misses += 1
+                return MISS
+            ent = (path, 0)
+        path = ent[0]
+        try:
+            with open(path, "rb") as f:
+                stored_key, value = pickle.load(f)
+        except Exception:
+            with self._lock:
+                self._drop(namespace, digest)
+                c.misses += 1
+            return MISS
+        if stored_key != key:        # digest collision: not our artifact
+            c.misses += 1
+            return MISS
+        with self._lock:
+            idx = self._ns(namespace)
+            if digest in idx.files:
+                idx.files.move_to_end(digest)
+            else:                    # found by filesystem probe
+                idx.files[digest] = (path, os.path.getsize(path))
+                idx.total_bytes += idx.files[digest][1]
+            c.hits += 1
+        return value
+
+    def put(self, namespace: str, key, value, digest: str) -> None:
+        c = self.counters(namespace)
+        try:
+            blob = pickle.dumps((key, value),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with self._lock:
+                c.skips += 1
+            return
+        nsdir = os.path.join(self.root, namespace)
+        path = os.path.join(nsdir, digest + ".pkl")
+        tmp = path + ".tmp"
+        try:
+            os.makedirs(nsdir, exist_ok=True)
+            with open(tmp, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            with self._lock:
+                c.skips += 1
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        with self._lock:
+            idx = self._ns(namespace)
+            old = idx.files.pop(digest, None)
+            if old is not None:
+                idx.total_bytes -= old[1]
+            idx.files[digest] = (path, len(blob))
+            idx.total_bytes += len(blob)
+            c.stores += 1
+            while self._entry_count() > self.max_entries or (
+                    self.max_bytes is not None
+                    and self._byte_count() > self.max_bytes
+                    and self._entry_count()):
+                self._evict_oldest()
+
+    def clear(self, namespace: str | None = None) -> None:
+        with self._lock:
+            names = [namespace] if namespace is not None \
+                else list(self._index)
+            for ns in names:
+                idx = self._index.get(ns)
+                if idx is None:
+                    continue
+                for path, _ in idx.files.values():
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                idx.files.clear()
+                idx.total_bytes = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = {}
+            for ns in sorted(set(self._index) | set(self._counters)):
+                idx = self._index.get(ns)
+                d = self.counters(ns).as_dict()
+                d["size"] = len(idx.files) if idx else 0
+                d["bytes"] = idx.total_bytes if idx else 0
+                out[ns] = d
+            out["_limits"] = {"entries": self.max_entries,
+                              "bytes": self.max_bytes}
+            return out
+
+
+class ArtifactStore:
+    """Namespaced tiered artifact cache (memory LRU + optional disk)."""
+
+    def __init__(self, disk_dir: str | None = None,
+                 mem_entries: int | None = None,
+                 mem_bytes: int | None = None,
+                 disk_entries: int | None = None,
+                 disk_bytes: int | None = None,
+                 from_env: bool = True):
+        self._lock = threading.RLock()
+        self._mem: dict[str, _MemoryNamespace] = {}
+        self._from_env = from_env
+        self._default_entries = mem_entries if mem_entries is not None \
+            else (_env_int("REPRO_STORE_MEM_ENTRIES")
+                  if from_env else None)
+        self._default_bytes = mem_bytes if mem_bytes is not None \
+            else (_env_int("REPRO_STORE_MEM_BYTES") if from_env else None)
+        if disk_dir is None and from_env:
+            disk_dir = os.environ.get("REPRO_STORE_DIR", "").strip() \
+                or None
+        self.disk: DiskTier | None = None
+        if disk_dir:
+            de = disk_entries if disk_entries is not None else (
+                _env_int("REPRO_STORE_DISK_ENTRIES") if from_env
+                else None)
+            db = disk_bytes if disk_bytes is not None else (
+                _env_int("REPRO_STORE_DISK_BYTES") if from_env else None)
+            self.disk = DiskTier(
+                disk_dir,
+                max_entries=de if de is not None else 4096,
+                max_bytes=db if db is not None else 256 * 1024 * 1024)
+        self._disk_enabled: dict[str, bool] = {}
+
+    # -- namespaces -------------------------------------------------------
+
+    def _spec(self, name: str) -> NamespaceSpec:
+        spec = _DECLARED.get(name)
+        if spec is None:
+            spec = declare(name)
+        return spec
+
+    def _mem_ns(self, name: str) -> _MemoryNamespace:
+        ns = self._mem.get(name)
+        if ns is None:
+            spec = self._spec(name)
+            entries = spec.mem_entries
+            nbytes = spec.mem_bytes
+            if self._default_entries is not None:
+                entries = self._default_entries
+            if self._default_bytes is not None:
+                nbytes = self._default_bytes
+            if self._from_env:
+                upper = name.upper()
+                env_e = _env_int(f"REPRO_STORE_{upper}_ENTRIES")
+                env_b = _env_int(f"REPRO_STORE_{upper}_BYTES")
+                if env_e is not None:
+                    entries = env_e
+                if env_b is not None:
+                    nbytes = env_b
+            ns = self._mem[name] = _MemoryNamespace(entries, nbytes)
+            self._disk_enabled[name] = spec.disk
+        return ns
+
+    def set_limit(self, name: str, entries: int | None = None,
+                  nbytes: "int | None | object" = False) -> None:
+        """Resize one namespace's memory tier (0 entries disables it)."""
+        with self._lock:
+            ns = self._mem_ns(name)
+            if entries is not None:
+                ns.max_entries = max(0, entries)
+            if nbytes is not False:
+                ns.max_bytes = nbytes
+            ns.shrink()
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, name: str, key):
+        """Look ``key`` up through the tiers; :data:`MISS` when absent.
+
+        A disk hit is promoted into the memory tier so the next lookup
+        is cheap.
+        """
+        with self._lock:
+            ns = self._mem_ns(name)
+            ent = ns.entries.get(key)
+            if ent is not None:
+                ns.entries.move_to_end(key)
+                ns.counters.hits += 1
+                return ent[0]
+            ns.counters.misses += 1
+            disk_ok = self._disk_enabled[name] and self.disk is not None
+        if not disk_ok:
+            return MISS
+        value = self.disk.get(name, key, DiskTier.digest(key))
+        if value is MISS:
+            return MISS
+        with self._lock:
+            ns = self._mem_ns(name)
+            if key not in ns.entries:
+                size = _approx_size(value)
+                ns.entries[key] = (value, size)
+                ns.total_bytes += size
+                ns.counters.promotions += 1
+                ns.shrink()
+        return value
+
+    def put(self, name: str, key, value, nbytes: int | None = None,
+            disk: bool = True) -> int:
+        """Store into the memory tier (write-through to disk when the
+        namespace allows it and ``disk`` is not overridden to False).
+        Returns the number of memory-tier evictions this put caused.
+        """
+        size = nbytes if nbytes is not None else _approx_size(value)
+        with self._lock:
+            ns = self._mem_ns(name)
+            old = ns.entries.pop(key, None)
+            if old is not None:
+                ns.total_bytes -= old[1]
+            if ns.max_entries > 0:
+                ns.entries[key] = (value, size)
+                ns.total_bytes += size
+                ns.counters.stores += 1
+            else:
+                ns.counters.skips += 1
+            evicted = ns.shrink()
+            disk_ok = disk and self._disk_enabled[name] \
+                and self.disk is not None
+        if disk_ok:
+            self.disk.put(name, key, value, DiskTier.digest(key))
+        return evicted
+
+    def clear(self, name: str | None = None, disk: bool = True) -> None:
+        with self._lock:
+            names = [name] if name is not None else list(self._mem)
+            for n in names:
+                ns = self._mem.get(n)
+                if ns is not None:
+                    ns.entries.clear()
+                    ns.total_bytes = 0
+        if disk and self.disk is not None:
+            self.disk.clear(name)
+
+    # -- observability ----------------------------------------------------
+
+    def info(self, name: str) -> dict:
+        """Occupancy + memory-tier counters for one namespace (the shape
+        ``pair_cache_info`` / ``compile_cache_info`` have always had)."""
+        with self._lock:
+            ns = self._mem_ns(name)
+            d = ns.counters.as_dict()
+            d.update(size=len(ns.entries), limit=ns.max_entries,
+                     limit_bytes=ns.max_bytes, bytes=ns.total_bytes)
+            return d
+
+    def stats(self) -> dict:
+        """Per-namespace, per-tier counters plus totals."""
+        with self._lock:
+            memory = {}
+            th = tm = 0
+            for name in sorted(self._mem):
+                ns = self._mem[name]
+                d = ns.counters.as_dict()
+                d.update(size=len(ns.entries), limit=ns.max_entries,
+                         limit_bytes=ns.max_bytes, bytes=ns.total_bytes)
+                memory[name] = d
+                th += ns.counters.hits
+                tm += ns.counters.misses
+        out = {
+            "memory": memory,
+            "disk": self.disk.stats() if self.disk is not None else None,
+            "totals": {"hits": th, "misses": tm,
+                       "hit_rate": th / (th + tm) if th + tm else 0.0},
+        }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The process-default store and the per-thread override
+# ---------------------------------------------------------------------------
+
+_DEFAULT: ArtifactStore | None = None
+_DEFAULT_LOCK = threading.Lock()
+_TLS = threading.local()
+
+
+def get_store() -> ArtifactStore:
+    """The active store: the current thread's scoped override when one
+    is installed, otherwise the process-wide shared store."""
+    override = getattr(_TLS, "store", None)
+    if override is not None:
+        return override
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = ArtifactStore()
+    return _DEFAULT
+
+
+def current_override() -> ArtifactStore | None:
+    """This thread's :func:`scoped_store` override, or None.
+
+    The analysis pool uses this to extend a caller's scope across its
+    worker threads: work fanned out on behalf of a scoped session must
+    read and fill that session's store, not the process default.
+    """
+    return getattr(_TLS, "store", None)
+
+
+def set_default_store(store: ArtifactStore | None) -> None:
+    """Replace the process-default store (None re-reads the environment
+    on next :func:`get_store`)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = store
+
+
+@contextmanager
+def scoped_store(store: ArtifactStore | None = None):
+    """Install a private store for the current thread.
+
+    ``None`` builds a fresh environment-independent in-memory store --
+    the \"isolated per-session caches\" configuration the A14 benchmark
+    compares the shared store against.
+    """
+    if store is None:
+        store = ArtifactStore(disk_dir=None, from_env=False)
+    prev = getattr(_TLS, "store", None)
+    _TLS.store = store
+    try:
+        yield store
+    finally:
+        _TLS.store = prev
+
+
+__all__ = [
+    "MISS", "ArtifactStore", "DiskTier", "NamespaceSpec", "TierCounters",
+    "current_override", "declare", "get_store", "scoped_store",
+    "set_default_store",
+]

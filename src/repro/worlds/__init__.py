@@ -31,11 +31,52 @@ line; the fleet pipeline's ``--explore`` stage batches it.
 
 from __future__ import annotations
 
+import pickle
+
 from ..perf import counters as perf_counters
+from ..store import MISS, declare as _declare_ns, get_store
 from .proposer import propose_worlds
 from .ranker import pick_winner, rank_results
 from .report import WorldProposal, WorldResult, WorldsReport, WorldStep
 from .scheduler import apply_steps, parallel_loop_ids, race_worlds
+
+#: raced exploration outcomes shared across sessions.  A race is a
+#: pure function of the program (fingerprint), the session's
+#: analysis-relevant state (positional privatization, uid-free loose
+#: marks, assertions) and the explore parameters; adoption -- the only
+#: session mutation -- replays per session from the cached winner.
+#: Timing fields inside cached results are host noise, but reports
+#: exclude them from JSON by default, so transcripts stay identical.
+_WORLDS_NS = "worlds"
+_declare_ns(_WORLDS_NS, mem_entries=64, disk=True)
+
+
+def _explore_key(session, max_worlds, workers, schedule, engines,
+                 inputs, max_steps):
+    """Uid-free store key for one exploration, or None if unkeyable."""
+    from ..fortran import ast
+    from ..interp.compile import program_fingerprint
+    try:
+        privates = []
+        for name in sorted(session.program.units):
+            uir = session.program.units[name]
+            for i, (t, _) in enumerate(ast.walk_stmts(uir.unit.body)):
+                if isinstance(t, ast.DoLoop) \
+                        and (t.parallel or t.private_vars):
+                    privates.append((name, i, t.parallel,
+                                     tuple(sorted(t.private_vars))))
+        loose = tuple(sorted(
+            (sig.var, sig.dtype, sig.source_text, sig.sink_text,
+             sig.vector, mark.value, reason)
+            for sig, (mark, reason) in session._loose_marks.items()))
+        return (program_fingerprint(session.program),
+                tuple(privates), loose,
+                tuple(a.text for a in session.assertions.assertions),
+                session.include_input_deps, session.interprocedural,
+                max_worlds, workers, schedule, engines,
+                repr(inputs), max_steps)
+    except Exception:
+        return None
 
 __all__ = [
     "WorldStep", "WorldProposal", "WorldResult", "WorldsReport",
@@ -70,13 +111,31 @@ def explore_session(session, inputs=None, max_worlds: int = 8,
         engines = tuple(engines)
     engines = tuple(resolve_engine(e) for e in engines)
 
-    proposals, impediments = propose_worlds(session,
-                                            max_worlds=max_worlds)
-    results, oracle_clock = race_worlds(
-        session, proposals, inputs=inputs, workers=workers,
-        schedule=schedule, engines=engines, race_workers=race_workers,
-        max_steps=max_steps)
-    ranked = rank_results(results)
+    skey = _explore_key(session, max_worlds, workers, schedule,
+                        engines, inputs, max_steps)
+    cached = get_store().get(_WORLDS_NS, skey) if skey else MISS
+    ranked = None
+    if cached is not MISS:
+        try:
+            ranked, impediments, oracle_clock = pickle.loads(cached)
+        except Exception:
+            ranked = None
+    if ranked is None:
+        proposals, impediments = propose_worlds(session,
+                                                max_worlds=max_worlds)
+        results, oracle_clock = race_worlds(
+            session, proposals, inputs=inputs, workers=workers,
+            schedule=schedule, engines=engines,
+            race_workers=race_workers, max_steps=max_steps)
+        ranked = rank_results(results)
+        if skey is not None:
+            try:
+                get_store().put(
+                    _WORLDS_NS, skey,
+                    pickle.dumps((ranked, impediments, oracle_clock),
+                                 pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                pass
     winner = pick_winner(ranked)
     report = WorldsReport(
         results=ranked,

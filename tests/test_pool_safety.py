@@ -1,0 +1,145 @@
+"""Thread-safety of the persistent shared-executor registry.
+
+Server worker threads hit :func:`repro.perf.pool.shared_executor`
+concurrently with different ``reuse=`` kinds and grow requests.  The
+regression these tests pin down: growing a kind used to shut the old
+executor down while a racing caller could still be submitting to it,
+which raises ``RuntimeError: cannot schedule new futures after
+shutdown``.  Replaced executors must instead retire and drain.
+"""
+
+import threading
+
+import pytest
+
+from repro.perf import pool
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared():
+    pool.shutdown_shared_executors(wait=True)
+    yield
+    pool.shutdown_shared_executors(wait=True)
+
+
+class TestSharedExecutorRace:
+    def test_grow_does_not_kill_in_flight_executor(self):
+        """A caller may submit to the executor it resolved even while
+        another thread grows the same kind."""
+        errors: list[BaseException] = []
+        results: list[int] = []
+        res_lock = threading.Lock()
+        stop = threading.Event()
+
+        def submitter():
+            i = 0
+            while not stop.is_set():
+                ex = pool.shared_executor("thread", 1)
+                try:
+                    fut = ex.submit(lambda x: x + 1, i)
+                    r = fut.result(timeout=10)
+                except BaseException as e:   # the regression: RuntimeError
+                    errors.append(e)
+                    return
+                with res_lock:
+                    results.append(r)
+                i += 1
+
+        def grower():
+            # monotonically growing requests replace (retire) the
+            # current executor on every call
+            for n in range(50):
+                pool.shared_executor("thread", n + 2)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        g = threading.Thread(target=grower)
+        for t in threads:
+            t.start()
+        g.start()
+        g.join(timeout=60)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, f"submit raced a shutdown: {errors[0]!r}"
+        assert results, "submitters made no progress"
+
+    def test_distinct_kinds_do_not_interfere(self):
+        """Growing one kind never invalidates another kind's executor."""
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(3)
+
+        def worker(kind: str):
+            try:
+                barrier.wait(timeout=30)
+                for n in range(100):
+                    ex = pool.shared_executor(kind, 1 + (n % 4))
+                    assert ex.submit(int, "7").result(timeout=10) == 7
+            except BaseException as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in ("thread", "worlds", "thread")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, f"cross-kind interference: {errors[0]!r}"
+
+    def test_reuse_when_big_enough(self):
+        a = pool.shared_executor("thread", 2)
+        b = pool.shared_executor("thread", 1)
+        assert a is b, "a large-enough executor must be reused"
+        c = pool.shared_executor("thread", 4)
+        assert c is not a, "a grow must produce a bigger executor"
+        # the retired executor still serves callers that hold it
+        assert a.submit(int, "3").result(timeout=10) == 3
+
+    def test_shutdown_reaps_retired_executors(self):
+        a = pool.shared_executor("thread", 1)
+        pool.shared_executor("thread", 2)          # retires a
+        pool.shutdown_shared_executors(wait=True)  # reaps both
+        with pytest.raises(RuntimeError):
+            a.submit(int, "1")
+
+
+class TestRunTasksConcurrentReuse:
+    def test_concurrent_reusing_batches(self):
+        """Many threads fanning batches through reuse= simultaneously."""
+        errors: list[BaseException] = []
+
+        def batch(seed: int):
+            try:
+                out = pool.run_tasks(
+                    [lambda i=i: seed * 100 + i for i in range(8)],
+                    parallel=True, reuse=True, max_workers=2 + seed % 3)
+                assert out == [seed * 100 + i for i in range(8)]
+            except BaseException as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=batch, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, f"concurrent reuse batch failed: {errors[0]!r}"
+
+
+class TestScopedStorePropagation:
+    def test_workers_see_submitters_scoped_store(self):
+        """A thread-scoped artifact store must extend across the pool:
+        worker threads filling caches on behalf of a scoped session
+        would otherwise leak artifacts into the process-default store."""
+        from repro.store import ArtifactStore, get_store, scoped_store
+        mine = ArtifactStore(from_env=False)
+        with scoped_store(mine):
+            seen = pool.run_tasks([get_store for _ in range(8)],
+                                  parallel=True, mode="thread")
+        assert all(s is mine for s in seen)
+
+    def test_no_override_means_default_store_everywhere(self):
+        from repro.store import get_store
+        default = get_store()
+        seen = pool.run_tasks([get_store for _ in range(4)],
+                              parallel=True, mode="thread")
+        assert all(s is default for s in seen)

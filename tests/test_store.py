@@ -1,0 +1,232 @@
+"""The tiered cross-session artifact store (repro.store).
+
+Pins the contract the promoted caches (pair / compile / program /
+summary) and the session server rely on: bounded memory LRU with
+entry and approximate-byte limits, write-through to a disk tier that
+survives process restarts, disk-hit promotion back into memory,
+per-tier counters, env-var configuration and thread safety.
+"""
+
+import threading
+
+import pytest
+
+from repro.store import (ArtifactStore, MISS, declare, get_store,
+                         scoped_store)
+
+declare("t_mem", mem_entries=4, disk=False)
+declare("t_bytes", mem_entries=1024, mem_bytes=200, disk=False)
+declare("t_disk", mem_entries=4, disk=True)
+
+
+@pytest.fixture
+def store():
+    return ArtifactStore(from_env=False)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, store):
+        assert store.get("t_mem", "k") is MISS
+        store.put("t_mem", "k", 41)
+        assert store.get("t_mem", "k") == 41
+        info = store.info("t_mem")
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["stores"] == 1 and info["size"] == 1
+
+    def test_entry_bound_evicts_lru(self, store):
+        for i in range(4):
+            assert store.put("t_mem", i, i) == 0
+        store.get("t_mem", 0)          # 0 becomes most recent
+        evicted = store.put("t_mem", 4, 4)
+        assert evicted == 1
+        assert store.get("t_mem", 1) is MISS   # 1 was the LRU victim
+        assert store.get("t_mem", 0) == 0
+        assert store.info("t_mem")["evictions"] == 1
+
+    def test_byte_bound(self, store):
+        # the 200-byte budget holds one 100-char string but not two:
+        # the second put displaces the first
+        store.put("t_bytes", "a", "x" * 100)
+        store.put("t_bytes", "b", "y" * 100)
+        assert store.get("t_bytes", "a") is MISS
+        assert store.get("t_bytes", "b") == "y" * 100
+        assert store.info("t_bytes")["size"] == 1
+
+    def test_set_limit_shrinks(self, store):
+        for i in range(4):
+            store.put("t_mem", i, i)
+        store.set_limit("t_mem", entries=2)
+        assert store.info("t_mem")["size"] == 2
+        # oldest went first
+        assert store.get("t_mem", 0) is MISS
+        assert store.get("t_mem", 3) == 3
+
+    def test_zero_limit_disables(self, store):
+        store.set_limit("t_mem", entries=0)
+        store.put("t_mem", "k", 1)
+        assert store.get("t_mem", "k") is MISS
+        assert store.info("t_mem")["skips"] == 1
+
+    def test_overwrite_same_key(self, store):
+        store.put("t_mem", "k", 1)
+        store.put("t_mem", "k", 2)
+        assert store.get("t_mem", "k") == 2
+        assert store.info("t_mem")["size"] == 1
+
+    def test_clear(self, store):
+        store.put("t_mem", "k", 1)
+        store.clear("t_mem")
+        assert store.get("t_mem", "k") is MISS
+
+    def test_undeclared_namespace_gets_defaults(self, store):
+        store.put("t_never_declared", "k", 7)
+        assert store.get("t_never_declared", "k") == 7
+
+
+class TestDiskTier:
+    def test_memory_eviction_then_disk_promotion(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        for i in range(5):                 # t_mem limit is 4 -> evicts 0
+            store.put("t_disk", i, {"v": i})
+        assert store.info("t_disk")["size"] == 4
+        # key 0 fell out of memory but write-through kept it on disk
+        assert store.get("t_disk", 0) == {"v": 0}
+        assert store.info("t_disk")["promotions"] == 1
+        # promoted: now a memory hit
+        assert store.get("t_disk", 0) == {"v": 0}
+        assert store.info("t_disk")["hits"] == 1
+
+    def test_survives_restart(self, tmp_path):
+        a = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        a.put("t_disk", ("fp", 1), [1, 2, 3])
+        # a new store over the same directory = a process restart
+        b = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        assert b.get("t_disk", ("fp", 1)) == [1, 2, 3]
+        assert b.stats()["disk"]["t_disk"]["hits"] == 1
+
+    def test_memory_only_namespace_never_touches_disk(self, tmp_path):
+        a = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        a.put("t_mem", "k", 1)
+        b = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        assert b.get("t_mem", "k") is MISS
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        a = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        a.put("t_disk", "k", "value")
+        for f in (tmp_path / "t_disk").iterdir():
+            f.write_bytes(b"not a pickle")
+        b = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        assert b.get("t_disk", "k") is MISS
+
+    def test_no_disk_dir_means_memory_only(self, store):
+        store.put("t_disk", "k", 1)        # disk-eligible, no disk tier
+        assert store.get("t_disk", "k") == 1
+        assert store.stats()["disk"] is None
+
+
+class TestEnvConfig:
+    def test_namespace_entry_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_T_MEM_ENTRIES", "2")
+        store = ArtifactStore()
+        for i in range(3):
+            store.put("t_mem", i, i)
+        assert store.info("t_mem")["limit"] == 2
+        assert store.info("t_mem")["size"] == 2
+
+    def test_global_entry_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MEM_ENTRIES", "1")
+        store = ArtifactStore()
+        store.put("t_mem", "a", 1)
+        store.put("t_mem", "b", 2)
+        assert store.info("t_mem")["size"] == 1
+
+
+class TestScopedStore:
+    def test_override_and_restore(self, store):
+        default = get_store()
+        with scoped_store(store):
+            assert get_store() is store
+            get_store().put("t_mem", "scoped", 1)
+        assert get_store() is default
+        assert store.get("t_mem", "scoped") == 1
+
+    def test_scoped_is_per_thread(self, store):
+        seen = {}
+
+        def other():
+            seen["store"] = get_store()
+
+        with scoped_store(store):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["store"] is not store
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get(self, store):
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(300):
+                    store.put("t_fuzz", (tid, i % 7), i)
+                    store.get("t_fuzz", (tid, (i + 3) % 7))
+                    if i % 50 == 0:
+                        store.info("t_fuzz")
+                        store.stats()
+            except BaseException as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors[0]
+        info = store.info("t_fuzz")
+        assert info["size"] <= info["limit"]
+        assert info["hits"] + info["misses"] == 8 * 300
+
+    def test_concurrent_disk_tier(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(50):
+                    store.put("t_disk", (tid, i % 5), [tid, i])
+                    store.get("t_disk", ((tid + 1) % 4, i % 5))
+            except BaseException as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors[0]
+
+
+class TestPromotedCaches:
+    """The module caches now live on the store: spot-check the wiring."""
+
+    def test_pair_cache_on_store(self):
+        from repro.dependence import tests as dtests
+        info = dtests.pair_cache_info()
+        assert {"size", "limit", "hits", "misses"} <= set(info)
+
+    def test_compile_cache_on_store(self):
+        from repro.interp.compile import compile_cache_info
+        info = compile_cache_info()
+        assert {"size", "limit"} <= set(info)
+
+    def test_health_has_artifact_store_section(self):
+        from repro.ped.session import PedSession
+        s = PedSession("      PROGRAM T\n      END\n",
+                       interprocedural=False)
+        h = s.health()
+        assert "memory" in h.artifact_store
+        assert "totals" in h.artifact_store
