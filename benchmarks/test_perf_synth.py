@@ -1,0 +1,46 @@
+"""A15: generative-corpus synthesis + differential validation throughput.
+
+The synthesizer's value is proportional to how many programs the
+differential harness can push through the three analysis layers per
+second; these benchmarks bound that, separating generation cost (pure
+string assembly) from single-program checking (parse + dependence +
+lint + shadow execution) and whole-batch sharding overhead.
+"""
+
+from repro.corpus.synth import (check_program, generate, generate_batch,
+                                run_batch)
+
+SEED = 1993          # the CI smoke seed: numbers match the A15 table
+
+
+def test_bench_synth_generate_batch(benchmark):
+    batch = benchmark(generate_batch, SEED, 200)
+    assert len(batch) == 200
+
+
+def test_bench_synth_check_carried(benchmark):
+    sp = generate(SEED, 1)
+    assert sp.template == "carried"
+    mismatches = benchmark(check_program, sp)
+    assert mismatches == []
+
+
+def test_bench_synth_check_gallery(benchmark):
+    """Index 3 carries the full statement gallery: the front-end-heavy
+    upper bound of per-program checking cost."""
+    sp = generate(SEED, 3)
+    assert "GALERY" in sp.source
+    mismatches = benchmark(check_program, sp)
+    assert mismatches == []
+
+
+def test_bench_synth_batch_serial(benchmark):
+    summary = benchmark(run_batch, SEED, 28, False, True, False)
+    assert summary.clean and summary.checked == 28
+
+
+def test_bench_synth_batch_pooled(benchmark):
+    """The same batch sharded over the analysis pool: the delta against
+    ``test_bench_synth_batch_serial`` is the sharding overhead/win."""
+    summary = benchmark(run_batch, SEED, 28, True, True, False)
+    assert summary.clean and summary.checked == 28

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Gate a fleet report over the generative corpus against planted truth.
+
+Usage: check_synth_fleet.py <fleet_report.json>
+
+The synthesizer knows, by construction, which generated programs carry
+an unsound PARALLEL mark (``truth.raced``).  The fleet's adversarial
+verifier decides divergence dynamically and independently, so the two
+must relate as:
+
+* every program completes (no pipeline errors, no quarantines);
+* **diverged implies raced**: a divergence verdict on a sound program
+  (or on a hand-written corpus program) is a dynamic false positive and
+  fails the gate;
+* at least one planted race in the batch is caught dynamically (the
+  verifier is scheduling-dependent, so not every raced plant must
+  diverge -- but a batch where none does means the verifier is dead).
+
+Exit 0 when the report upholds all three, 1 otherwise.
+"""
+
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.corpus.synth import generate, parse_name  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip())
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    bad = []
+    n_synth = n_raced = n_caught = 0
+    for rec in report["programs"]:
+        name = rec["program"]
+        if rec.get("status") != "ok":
+            bad.append(f"{name}: status={rec.get('status')}")
+            continue
+        try:
+            seed, index = parse_name(name)
+        except ValueError:
+            if rec.get("diverged"):      # hand-written corpus program
+                bad.append(f"{name}: corpus program diverged")
+            continue
+        n_synth += 1
+        raced = generate(seed, index).truth.raced
+        n_raced += raced
+        if rec.get("diverged"):
+            if raced:
+                n_caught += 1
+            else:
+                bad.append(f"{name}: sound plant diverged "
+                           f"(dynamic false positive)")
+    if report.get("quarantined"):
+        bad.append(f"quarantined: {report['quarantined']}")
+    if n_raced and not n_caught:
+        bad.append(f"verifier caught none of the {n_raced} planted "
+                   f"races dynamically")
+
+    print(f"synth-fleet gate: {n_synth} generated program(s), "
+          f"{n_raced} planted race(s), {n_caught} caught dynamically, "
+          f"{len(bad)} violation(s)")
+    for b in bad:
+        print(f"  FAIL  {b}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

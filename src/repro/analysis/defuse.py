@@ -124,6 +124,15 @@ def accesses(stmt: ast.Stmt, symtab: SymbolTable,
     elif isinstance(stmt, ast.WriteStmt):
         for it in stmt.items:
             use(it)
+    elif isinstance(stmt, ast.OpaqueStmt):
+        # Conservative effects of an un-lowered statement: every named
+        # variable possibly read, every mod possibly written (never a kill).
+        for name in stmt.refs:
+            acc.append(VarAccess(name, is_def=False, ref=None))
+        for name in stmt.mods:
+            acc.append(VarAccess(name, is_def=True, ref=None, must=False))
+    elif isinstance(stmt, ast.Return) and stmt.alt is not None:
+        use(stmt.alt)
     # Function calls inside any used expression may also touch globals; we
     # treat user FuncRefs conservatively as readers of their args only,
     # which accesses() already records via use().

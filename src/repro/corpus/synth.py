@@ -1,0 +1,600 @@
+"""Property-based F77 corpus synthesizer with known ground truth.
+
+The eight hand-built corpus programs exercise the analyses on *designed*
+inputs; this module complements them with an unbounded generative corpus
+whose parallelization facts are known **by construction**: every
+generated program plants a specific dependence pattern (an independent
+loop, a loop-carried flow dependence of chosen distance, an anti
+dependence, a REAL reduction, a privatizable temporary, an unsound
+scalar reuse) into an otherwise fixed skeleton, and records the expected
+analysis outcome as a :class:`LoopTruth`.
+
+The differential harness (:func:`check_program`, :func:`run_batch`) then
+runs the *three independent* race-finding layers over each program --
+the static dependence engine, the lint race detector, and the shadow
+interpreter's dynamic access log -- and compares every layer against the
+planted truth.  The acceptance property is **zero false negatives and
+zero false positives**: the engine's level-1 carried set must equal the
+planted set exactly, lint must flag exactly the raced variants on
+exactly the planted variable, and the shadow log must observe a dynamic
+conflict iff one was planted in a PARALLEL loop.
+
+Every program also passes through the statement classifier (no UNKNOWN
+kinds) and, in strict mode, a parse -> print -> parse round-trip.
+
+Generation is deterministic: ``generate(seed, index)`` depends on
+nothing but its arguments, so a batch is reproducible from ``(seed,
+count)`` alone and any mismatch can be replayed by name
+(``synth:<seed>:<index>``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from functools import partial
+
+from ..fortran.classify import classify_source
+from ..store import MISS, declare, get_store
+
+#: template cycle; order is part of the deterministic contract.
+TEMPLATES = ("independent", "carried", "anti", "reduction", "private",
+             "shared_temp", "mixed")
+
+#: store namespace for batch summaries (small JSON blobs, disk-safe).
+SYNTH_NS = "synth"
+declare(SYNTH_NS, mem_entries=256, disk=True)
+
+#: name prefix; the fleet resolves "synth:<seed>:<index>" through
+#: :func:`source_for_name`.
+NAME_PREFIX = "synth:"
+
+
+@dataclass(frozen=True)
+class LoopTruth:
+    """Ground truth for the planted test loop (label 10 in MAIN)."""
+
+    #: variables with a real level-1 carried (non-INPUT) dependence
+    carried: tuple[str, ...] = ()
+    #: scalars that must be recognized privatizable
+    privatizable: tuple[str, ...] = ()
+    #: scalars that must be recognized as reductions
+    reductions: tuple[str, ...] = ()
+    #: the loop is marked PARALLEL DO in the source
+    parallel: bool = False
+    #: parallel despite a carried dependence: lint must flag it with
+    #: this rule on this variable, and the shadow log must observe it
+    raced: bool = False
+    race_rule: str = ""
+    race_var: str = ""
+    #: dynamic check needs include_reductions (reduction recurrences
+    #: are excluded from the default dynamic conflict set)
+    dynamic_needs_reductions: bool = False
+
+
+@dataclass(frozen=True)
+class SynthProgram:
+    """One generated program with its planted ground truth."""
+
+    name: str
+    seed: int
+    index: int
+    template: str
+    source: str
+    truth: LoopTruth
+
+
+def program_name(seed: int, index: int) -> str:
+    return f"{NAME_PREFIX}{seed}:{index}"
+
+
+def parse_name(name: str) -> tuple[int, int]:
+    """Inverse of :func:`program_name`; raises ValueError on others."""
+    if not name.startswith(NAME_PREFIX):
+        raise ValueError(f"not a synth program name: {name!r}")
+    seed_s, _, index_s = name[len(NAME_PREFIX):].partition(":")
+    return int(seed_s), int(index_s)
+
+
+def source_for_name(name: str) -> str:
+    """Regenerate a synth program's source from its name alone (how the
+    fleet pipeline rebuilds work items inside pool workers)."""
+    seed, index = parse_name(name)
+    return generate(seed, index).source
+
+
+# --------------------------------------------------------------------------
+# Statement gallery: every grammar-table statement kind, in one unit
+# --------------------------------------------------------------------------
+
+#: A never-called subroutine exercising every statement kind the grammar
+#: tables know, including the ones the IR only accepts opaquely (OPEN,
+#: INQUIRE, PAUSE, assigned GOTO, ENTRY, alternate returns...).  Appended
+#: to a deterministic fraction of generated programs so every batch
+#: covers the full front end; it must parse, classify without UNKNOWN,
+#: and round-trip, but it never executes.
+GALLERY = """      SUBROUTINE GALERY(IARG, *)
+      IMPLICIT INTEGER (J)
+      INTEGER IARG
+      DIMENSION ZD(4)
+      REAL ZD, ZQ(3, 3)
+      DOUBLE PRECISION DD
+      COMPLEX CC
+      LOGICAL LF
+      CHARACTER*8 CH
+      INTEGER KV, KW, KX, LAB
+      PARAMETER (KW = 3)
+      COMMON /GAL/ KV
+      EQUIVALENCE (ZD(1), ZQ(1, 1))
+      EXTERNAL GHELP
+      INTRINSIC SQRT
+      SAVE KV
+      DATA ZD /4 * 0.0/
+      ENTRY GALER2(IARG)
+      KX = IARG + KW
+      IF (KX .GT. 5) THEN
+         KX = 5
+      ELSE IF (KX .LT. 0) THEN
+         KX = 0
+      ELSE
+         KX = KX + 1
+      END IF
+      IF (KX .EQ. 2) KX = 3
+      IF (KX - 2) 20, 30, 40
+ 20   CONTINUE
+ 30   CONTINUE
+ 40   ASSIGN 50 TO LAB
+      GO TO LAB
+ 50   GO TO (60, 70), KX
+ 60   CONTINUE
+ 70   DO 80 JI = 1, KW
+         ZD(JI) = ZD(JI) + 1.0
+ 80   CONTINUE
+      DO JJ = 1, 2
+         ZD(JJ) = ZD(JJ) * 2.0
+      END DO
+      LF = ZD(1) .GT. ZD(2)
+      DD = 1.0D0
+      CH = 'GALLERY'
+      CALL GHELP(KX, *90)
+      OPEN (UNIT = 9, FILE = 'GAL.DAT', IOSTAT = KV)
+      WRITE (9) ZD
+      BACKSPACE 9
+      READ (9) ZD
+      REWIND 9
+      END FILE 9
+      INQUIRE (UNIT = 9, IOSTAT = KV)
+      CLOSE (9)
+      PRINT 100, KX
+      PAUSE 'GALLERY'
+ 90   CONTINUE
+ 100  FORMAT (I6)
+      IF (KX .GT. 9) STOP 'GAL'
+      IF (KX .GT. 8) RETURN 1
+      RETURN
+      END
+      SUBROUTINE GHELP(K, *)
+      INTEGER K
+      K = K + 1
+      RETURN
+      END"""
+
+
+# --------------------------------------------------------------------------
+# Templates
+# --------------------------------------------------------------------------
+
+@dataclass
+class _Plan:
+    """One template instantiation before rendering."""
+
+    body: list[str] = field(default_factory=list)
+    pre: list[str] = field(default_factory=list)    # between init and loop
+    truth: LoopTruth = field(default_factory=LoopTruth)
+    out_vars: list[str] = field(default_factory=list)
+    scalars: list[str] = field(default_factory=list)  # extra REAL decls
+
+
+def _mk_independent(rng: random.Random, par: bool) -> _Plan:
+    c = rng.choice(("1.0", "0.5", "2.0"))
+    return _Plan(
+        body=[f"         A(I) = B(I) + {c}"],
+        truth=LoopTruth(parallel=par),
+        out_vars=["A(1)", "A(N)"])
+
+
+def _mk_carried(rng: random.Random, par: bool) -> _Plan:
+    d = rng.randint(1, 3)
+    return _Plan(
+        body=[f"         A(I) = A(I - {d}) + B(I)"],
+        truth=LoopTruth(carried=("A",), parallel=par, raced=par,
+                        race_rule="RACE001", race_var="A"),
+        out_vars=["A(N)"])
+
+
+def _mk_anti(rng: random.Random, par: bool) -> _Plan:
+    d = rng.randint(1, 3)
+    c = rng.choice(("2.0", "3.0"))
+    return _Plan(
+        body=[f"         A(I) = A(I + {d}) * {c}"],
+        truth=LoopTruth(carried=("A",), parallel=par, raced=par,
+                        race_rule="RACE001", race_var="A"),
+        out_vars=["A(2)", "A(N)"])
+
+
+def _mk_reduction(rng: random.Random, par: bool) -> _Plan:
+    return _Plan(
+        pre=["      S = 0.0"],
+        body=["         S = S + A(I)" if rng.random() < 0.5
+              else "         S = S + A(I) * B(I)"],
+        truth=LoopTruth(carried=("S",), reductions=("S",), parallel=par,
+                        raced=par, race_rule="RACE003", race_var="S",
+                        dynamic_needs_reductions=True),
+        out_vars=["S"], scalars=["S"])
+
+
+def _mk_private(rng: random.Random, par: bool) -> _Plan:
+    c = rng.choice(("2.0", "4.0"))
+    return _Plan(
+        body=[f"         T = A(I) * {c}",
+              "         B(I) = T + 1.0"],
+        truth=LoopTruth(privatizable=("T",), parallel=par),
+        out_vars=["B(2)", "B(N)"], scalars=["T"])
+
+
+def _mk_shared_temp(rng: random.Random, par: bool) -> _Plan:
+    """Upward-exposed scalar: reused before it is assigned, so it truly
+    carries a dependence (the unsound twin of the private template)."""
+    c = rng.choice(("0.5", "0.25"))
+    return _Plan(
+        pre=["      T = 1.0"],
+        body=["         B(I) = T + A(I)",
+              f"         T = A(I) * {c}"],
+        truth=LoopTruth(carried=("T",), parallel=par, raced=par,
+                        race_rule="RACE001", race_var="T"),
+        out_vars=["B(2)", "B(N)", "T"], scalars=["T"])
+
+
+def _mk_mixed(rng: random.Random, par: bool) -> _Plan:
+    """Carried dependence on A next to an independent statement on C:
+    exercises zero-false-positive on C at the same time as
+    zero-false-negative on A."""
+    d = rng.randint(1, 2)
+    plan = _Plan(
+        body=[f"         A(I) = A(I - {d}) + B(I)",
+              "         C(I) = B(I) * 2.0"],
+        truth=LoopTruth(carried=("A",), parallel=par, raced=par,
+                        race_rule="RACE001", race_var="A"),
+        out_vars=["A(N)", "C(N)"])
+    return plan
+
+
+_MAKERS = {
+    "independent": _mk_independent,
+    "carried": _mk_carried,
+    "anti": _mk_anti,
+    "reduction": _mk_reduction,
+    "private": _mk_private,
+    "shared_temp": _mk_shared_temp,
+    "mixed": _mk_mixed,
+}
+
+#: templates that are parallel-safe as planted (PARALLEL DO is fine)
+_SAFE = ("independent", "private")
+
+
+def generate(seed: int, index: int) -> SynthProgram:
+    """Deterministically generate program ``index`` of batch ``seed``."""
+    rng = random.Random((seed << 20) ^ index)
+    template = TEMPLATES[index % len(TEMPLATES)]
+    if template in _SAFE:
+        par = True                      # safe loops are always marked
+    else:
+        par = rng.random() < 0.5        # raced vs sequential variant
+    plan = _MAKERS[template](rng, par)
+    n = rng.randint(8, 16)
+    kw = "PARALLEL DO" if par else "DO"
+
+    lines = [
+        "      PROGRAM MAIN",
+        f"C     synthesized: template {template}, seed {seed}, "
+        f"index {index}",
+        "      INTEGER N",
+        f"      PARAMETER (N = {n})",
+        "      REAL A(24), B(24), C(24)",
+        *([f"      REAL {', '.join(plan.scalars)}"]
+          if plan.scalars else []),
+        "      INTEGER I",
+        "      DO 5 I = 1, 24",
+        f"         A(I) = 0.5 * I",
+        f"         B(I) = 0.25 * I",
+        "         C(I) = 0.0",
+        " 5    CONTINUE",
+        *plan.pre,
+        f"      {kw} 10 I = 4, N",
+        *plan.body,
+        " 10   CONTINUE",
+        "      PRINT *, " + ", ".join(plan.out_vars),
+    ]
+    lines.append("      END")
+    if index % 7 == 3:
+        lines.append(GALLERY)
+    source = "\n".join(lines) + "\n"
+    return SynthProgram(program_name(seed, index), seed, index, template,
+                        source, plan.truth)
+
+
+def generate_batch(seed: int, count: int) -> list[SynthProgram]:
+    return [generate(seed, i) for i in range(count)]
+
+
+# --------------------------------------------------------------------------
+# Differential harness
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between a tool layer and the planted truth."""
+
+    program: str
+    template: str
+    layer: str      # "engine" | "lint" | "shadow" | "classify" | ...
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.program} [{self.template}] {self.layer}: " \
+               f"{self.detail}"
+
+
+def _truth_loop(uir):
+    for li in uir.loops.all_loops():
+        if li.loop.term_label == 10:
+            return li
+    return None
+
+
+def check_program(sp: SynthProgram,
+                  roundtrip: bool = True) -> list[Mismatch]:
+    """Run every analysis layer over one program against its truth."""
+    from ..dependence import DepType, DependenceAnalyzer
+    from ..interp.shadow import dynamic_races, run_shadow
+    from ..ir import AnalyzedProgram
+    from ..lint import lint_program
+
+    t = sp.truth
+    out: list[Mismatch] = []
+
+    def bad(layer: str, detail: str) -> None:
+        out.append(Mismatch(sp.name, sp.template, layer, detail))
+
+    # -- classifier: every statement must get a kind ----------------------
+    unknown = [cl for cl in classify_source(sp.source)
+               if cl.cls.kind == "unknown"]
+    for cl in unknown[:3]:
+        bad("classify", f"line {cl.line}: UNKNOWN for {cl.text!r}")
+
+    try:
+        program = AnalyzedProgram.from_source(sp.source)
+    except Exception as e:
+        bad("parse", f"{type(e).__name__}: {e}")
+        return out
+
+    # -- parse -> print -> parse round-trip -------------------------------
+    if roundtrip:
+        from ..fortran import parse_program, print_program
+        try:
+            once = print_program(program.ast)
+            twice = print_program(parse_program(once))
+        except Exception as e:
+            bad("roundtrip", f"{type(e).__name__}: {e}")
+        else:
+            if once != twice:
+                bad("roundtrip", "printed form is not a fixed point")
+
+    # -- static dependence engine -----------------------------------------
+    uir = program.unit("MAIN")
+    li = _truth_loop(uir)
+    if li is None:
+        bad("engine", "test loop (label 10) not found")
+        return out
+    ld = DependenceAnalyzer(uir).analyze_loop(li)
+    if ld.is_degraded:
+        bad("engine", f"analysis degraded: {ld.degraded}")
+    carried = sorted({d.var for d in ld.carried()
+                      if d.level == 1 and d.dtype is not DepType.INPUT})
+    want = sorted(t.carried)
+    missed = [v for v in want if v not in carried]      # false negatives
+    spurious = [v for v in carried if v not in want]    # false positives
+    if missed:
+        bad("engine", f"missed carried dependence on {missed} "
+                      f"(reported {carried})")
+    if spurious:
+        bad("engine", f"spurious carried dependence on {spurious} "
+                      f"(planted {want})")
+    for v in t.privatizable:
+        if v not in ld.privatizable:
+            bad("engine", f"{v} not recognized privatizable "
+                          f"(got {sorted(ld.privatizable)})")
+    for v in t.reductions:
+        if v not in ld.reductions:
+            bad("engine", f"{v} not recognized as a reduction "
+                          f"(got {sorted(ld.reductions)})")
+    expect_par = not t.carried
+    if ld.parallelizable() != expect_par:
+        bad("engine", f"parallelizable()={ld.parallelizable()}, "
+                      f"truth says {expect_par}")
+
+    # -- lint race detector -----------------------------------------------
+    try:
+        diags = lint_program(program, source=sp.source)
+    except Exception as e:
+        bad("lint", f"{type(e).__name__}: {e}")
+        diags = []
+    races = [d for d in diags
+             if d.rule.startswith("RACE") and not d.suppressed]
+    if t.raced:
+        hits = [d for d in races
+                if d.rule == t.race_rule and d.var == t.race_var]
+        if not hits:
+            bad("lint", f"expected {t.race_rule} on {t.race_var}, "
+                        f"got {[(d.rule, d.var) for d in races]}")
+        extras = [d for d in races if d.var != t.race_var]
+        if extras:
+            bad("lint", f"spurious race findings "
+                        f"{[(d.rule, d.var) for d in extras]}")
+    elif races:
+        bad("lint", f"false positives "
+                    f"{[(d.rule, d.var) for d in races]}")
+
+    # -- shadow interpreter (dynamic ground truth) ------------------------
+    try:
+        sh = run_shadow(program, inputs=[])
+    except Exception as e:
+        bad("shadow", f"{type(e).__name__}: {e}")
+        return out
+    dyn = []
+    for log in sh.access_log:
+        dyn.extend(dynamic_races(
+            log, include_reductions=t.dynamic_needs_reductions))
+    if t.parallel and t.raced and not dyn:
+        bad("shadow", f"planted race on {t.race_var} never observed "
+                      f"dynamically")
+    if not t.raced and dyn:
+        bad("shadow", f"false dynamic conflicts: "
+                      f"{[r.describe() for r in dyn[:3]]}")
+    if t.raced and dyn:
+        vars_seen = {r.var for r in dyn}
+        if t.race_var not in vars_seen:
+            bad("shadow", f"dynamic conflicts on {sorted(vars_seen)}, "
+                          f"planted {t.race_var}")
+    return out
+
+
+def _check_index(seed: int, index: int, roundtrip: bool
+                 ) -> tuple[str, list[Mismatch]]:
+    """Pool-worker entry: regenerate from (seed, index) and check (the
+    work item is two ints, so process pools never pickle a program)."""
+    sp = generate(seed, index)
+    return sp.template, check_program(sp, roundtrip=roundtrip)
+
+
+# --------------------------------------------------------------------------
+# Batch driver
+# --------------------------------------------------------------------------
+
+@dataclass
+class BatchSummary:
+    """Outcome of one differential batch run."""
+
+    seed: int
+    count: int
+    checked: int = 0
+    failures: int = 0           # harness crashes (isolated, reported)
+    by_template: dict = field(default_factory=dict)
+    mismatches: list = field(default_factory=list)   # [Mismatch]
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches and not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed, "count": self.count,
+            "checked": self.checked, "failures": self.failures,
+            "by_template": dict(sorted(self.by_template.items())),
+            "mismatches": [m.describe() for m in self.mismatches],
+            "clean": self.clean,
+        }
+
+
+def _summary_key(seed: int, count: int, roundtrip: bool) -> str:
+    return f"batch:{seed}:{count}:{int(roundtrip)}"
+
+
+def run_batch(seed: int, count: int, parallel: bool | None = None,
+              roundtrip: bool = True, use_store: bool = True
+              ) -> BatchSummary:
+    """Generate + differential-check ``count`` programs.
+
+    Shards across the analysis pool (one task per program; the work item
+    is the ``(seed, index)`` pair, regenerated in the worker).  The
+    summary is stored under the ``synth`` namespace so repeated runs of
+    the same batch (CI re-runs, other sessions) are store hits.
+    """
+    from ..perf import pool
+
+    store = get_store() if use_store else None
+    key = _summary_key(seed, count, roundtrip)
+    if store is not None:
+        hit = store.get(SYNTH_NS, key)
+        if hit is not MISS and isinstance(hit, BatchSummary):
+            return hit
+
+    summary = BatchSummary(seed=seed, count=count)
+    results = pool.run_tasks(
+        [partial(_check_index, seed, i, roundtrip) for i in range(count)],
+        parallel=parallel,
+        contexts=[program_name(seed, i) for i in range(count)],
+        on_error="return")
+    for i, res in enumerate(results):
+        if isinstance(res, pool.TaskFailure):
+            summary.failures += 1
+            summary.mismatches.append(Mismatch(
+                program_name(seed, i), TEMPLATES[i % len(TEMPLATES)],
+                "harness", f"{type(res.error).__name__}: {res.error}"))
+            continue
+        template, mismatches = res
+        summary.checked += 1
+        summary.by_template[template] = \
+            summary.by_template.get(template, 0) + 1
+        summary.mismatches.extend(mismatches)
+    if store is not None:
+        store.put(SYNTH_NS, key, summary)
+    return summary
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    import argparse
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.corpus.synth",
+        description="property-based corpus synthesizer + differential "
+                    "harness (static engine vs lint vs shadow "
+                    "interpreter, zero false positives/negatives)")
+    ap.add_argument("--seed", type=int, default=1993)
+    ap.add_argument("--count", type=int, default=200)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on any mismatch")
+    ap.add_argument("--no-roundtrip", action="store_true",
+                    help="skip the parse->print->parse property")
+    ap.add_argument("--no-store", action="store_true",
+                    help="bypass the artifact store summary cache")
+    ap.add_argument("--serial", action="store_true",
+                    help="force the serial path (no pool sharding)")
+    ap.add_argument("--emit", type=int, metavar="INDEX", default=None,
+                    help="print program INDEX of the batch and exit")
+    args = ap.parse_args(argv)
+
+    if args.emit is not None:
+        sp = generate(args.seed, args.emit)
+        print(f"C     {sp.name}  template={sp.template}  "
+              f"truth={sp.truth}")
+        print(sp.source, end="")
+        return 0
+
+    summary = run_batch(args.seed, args.count,
+                        parallel=False if args.serial else None,
+                        roundtrip=not args.no_roundtrip,
+                        use_store=not args.no_store)
+    print(json.dumps(summary.as_dict(), indent=2))
+    if args.strict and not summary.clean:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

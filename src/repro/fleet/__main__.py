@@ -26,7 +26,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "bisection.")
     p.add_argument("programs", nargs="*", metavar="PROGRAM",
                    help=f"corpus programs (default: all -- "
-                        f"{', '.join(ORDER)})")
+                        f"{', '.join(ORDER)}), or synth:<seed>:<index>")
+    p.add_argument("--synth", type=int, metavar="N", default=0,
+                   help="append N generated programs from the "
+                        "property-based synthesizer (repro.corpus.synth)")
+    p.add_argument("--synth-seed", type=int, default=1993,
+                   help="generation seed for --synth (default: 1993)")
     p.add_argument("--mode", choices=MODES, default="auto",
                    help="seeded defects, auto-parallelize, or "
                         "analysis-only (default: auto)")
@@ -94,7 +99,12 @@ def main(argv=None) -> int:
         fleet_workers=args.fleet_workers, pool=args.pool,
         timeout=args.timeout or None, max_attempts=args.max_attempts,
         backoff_base=args.backoff)
-    report = run_fleet(args.programs or None, pipeline, options,
+    programs = list(args.programs)
+    if args.synth > 0:
+        from ..corpus.synth import program_name
+        programs = (programs or list(ORDER)) + [
+            program_name(args.synth_seed, i) for i in range(args.synth)]
+    report = run_fleet(programs or None, pipeline, options,
                        checkpoint=args.checkpoint,
                        log=lambda m: print(m, file=sys.stderr))
     if args.report:

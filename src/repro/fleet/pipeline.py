@@ -138,12 +138,12 @@ class _Pipeline:
                 self.program, self.assertions = seeded_program(self.name)
                 par_source = seeded_source(self.name)
             else:
-                par_source = PROGRAMS[self.name].source
+                par_source = _source_of(self.name)
                 self.program = _parse(par_source)
             # serial reference: same statements, PARALLEL marks dropped
             self.source = re.sub(r"\bPARALLEL\s+DO\b", "DO", par_source)
         else:
-            self.source = PROGRAMS[self.name].source
+            self.source = _source_of(self.name)
             self.program = _parse(self.source)
 
     def analyze(self) -> None:
@@ -270,6 +270,18 @@ def _parse(source: str):
     return AnalyzedProgram.from_source(source)
 
 
+def _source_of(name: str) -> str:
+    """Program source by fleet name.
+
+    ``synth:<seed>:<index>`` names are *regenerated* here, inside the
+    worker -- the work item that crosses the process boundary is just
+    the name, never a program object."""
+    from ..corpus import synth
+    if name.startswith(synth.NAME_PREFIX):
+        return synth.source_for_name(name)
+    return PROGRAMS[name].source
+
+
 def _marked_loops(program) -> list[str]:
     from ..fortran import ast
     out = []
@@ -281,7 +293,8 @@ def _marked_loops(program) -> list[str]:
 
 
 def _inputs(name: str) -> list:
-    return list(PROGRAMS[name].inputs)
+    cp = PROGRAMS.get(name)
+    return list(cp.inputs) if cp is not None else []
 
 
 def run_program_pipeline(name: str, options: dict | None = None) -> dict:
@@ -290,9 +303,11 @@ def run_program_pipeline(name: str, options: dict | None = None) -> dict:
     ``options`` is :meth:`PipelineOptions.to_dict` output (kept as a
     dict so the call crosses process boundaries untouched).
     """
-    if name not in PROGRAMS:
+    from ..corpus import synth
+    if name not in PROGRAMS and not name.startswith(synth.NAME_PREFIX):
         raise ValueError(f"unknown corpus program {name!r}; "
-                         f"known: {', '.join(PROGRAMS)}")
+                         f"known: {', '.join(PROGRAMS)} or "
+                         f"synth:<seed>:<index>")
     opts = PipelineOptions(**(options or {}))
     if opts.mode not in MODES:
         raise ValueError(f"unknown mode {opts.mode!r}; known: "

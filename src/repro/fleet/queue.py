@@ -47,6 +47,16 @@ POOL_LADDER = ("process", "thread", "serial")
 ENGINE_LADDER = ("vector", "compiled", "tree")
 
 
+def _is_synth_name(name: str) -> bool:
+    """True for well-formed generative-corpus names (synth:<seed>:<i>)."""
+    from ..corpus import synth
+    try:
+        synth.parse_name(name)
+    except ValueError:
+        return False
+    return True
+
+
 @dataclass
 class FleetOptions:
     """Scheduling knobs (result-affecting ones live on the pipeline)."""
@@ -83,7 +93,8 @@ class FleetRunner:
                  checkpoint: str | None = None,
                  sleeper=time.sleep, log=None):
         names = list(programs) if programs else list(ORDER)
-        unknown = [n for n in names if n not in PROGRAMS]
+        unknown = [n for n in names
+                   if n not in PROGRAMS and not _is_synth_name(n)]
         if unknown:
             raise ValueError(f"unknown corpus program(s): "
                              f"{', '.join(unknown)}")

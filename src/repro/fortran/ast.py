@@ -378,6 +378,8 @@ class Continue(Stmt):
 class CallStmt(Stmt):
     name: str
     args: tuple[Expr, ...] = ()
+    #: Alternate-return labels (``CALL S(X, *10, *20)``), in argument order.
+    alt_labels: tuple[int, ...] = ()
 
     def exprs(self) -> list[Expr]:
         return list(self.args)
@@ -385,7 +387,11 @@ class CallStmt(Stmt):
 
 @dataclass
 class Return(Stmt):
-    pass
+    #: Alternate-return selector (``RETURN 1``); ``None`` for plain RETURN.
+    alt: Expr | None = None
+
+    def exprs(self) -> list[Expr]:
+        return [self.alt] if self.alt is not None else []
 
 
 @dataclass
@@ -505,6 +511,36 @@ class DataStmt(Stmt):
 
 
 @dataclass
+class EquivalenceStmt(Stmt):
+    """``EQUIVALENCE (a, b), (c(1), d)`` storage-association groups."""
+
+    groups: tuple[tuple[Expr, ...], ...] = ()
+
+
+@dataclass
+class OpaqueStmt(Stmt):
+    """A legal F77 statement the front end accepts but does not lower.
+
+    Graceful-degradation node: the classifier names its ``kind`` (e.g.
+    ``"open"``, ``"assigned-goto"``, ``"entry"``), ``text`` keeps the source
+    spelling for round-tripping, and ``refs``/``mods`` carry conservative
+    variable effects for the analyses (every named variable possibly read /
+    possibly written).  Declaration-like opaques (``decl=True``) are no-ops;
+    executable opaques raise a runtime fault if actually reached, so the
+    interpreter never silently mis-executes what it did not lower.
+    """
+
+    kind: str = ""
+    text: str = ""
+    refs: tuple[str, ...] = ()
+    mods: tuple[str, ...] = ()
+    decl: bool = False
+
+    def exprs(self) -> list[Expr]:
+        return [VarRef(n) for n in self.refs]
+
+
+@dataclass
 class AssertStmt(Stmt):
     """PED extension: a user assertion embedded in the source.
 
@@ -524,12 +560,14 @@ class AssertStmt(Stmt):
 class ProgramUnit:
     """A PROGRAM, SUBROUTINE or FUNCTION with its body."""
 
-    kind: str                      # "program" | "subroutine" | "function"
+    kind: str    # "program" | "subroutine" | "function" | "blockdata"
     name: str
     params: tuple[str, ...]
     body: list[Stmt]
     result_type: str | None = None  # for functions
     line: int = 0
+    #: Number of ``*`` alternate-return dummies in the SUBROUTINE header.
+    alt_returns: int = 0
 
     def walk(self):
         """Yield every statement in the unit, pre-order, with nesting depth."""

@@ -1,0 +1,305 @@
+"""Grammar-table-driven F77 statement classifier.
+
+Works the way classic fixed-form tooling does (the statement grammar
+tables follow the uchchwhash Fortran linter): outside of character
+literals, blanks are insignificant, so classification runs on the
+blank-squashed upper-case statement field and disambiguates with the
+classic rules:
+
+* a statement is an **assignment** (or statement-function definition) iff
+  it contains a top-level ``=`` with no top-level ``,`` after it — this is
+  what makes ``DO10I=1,5`` a DO statement but ``DO10I=1`` an assignment;
+* ``IF(`` is special-cased by finding the matching parenthesis: ``THEN``
+  follows for a block IF, ``l1,l2,l3`` for an arithmetic IF, ``=`` for an
+  assignment to an array named IF, anything else for a logical IF;
+* everything else is a longest-first keyword-prefix match over the
+  grammar tables.
+
+The classifier never raises on legal F77: statements the IR does not
+lower still get a kind here, which is what lets the front end degrade
+them to :class:`repro.fortran.ast.OpaqueStmt` instead of rejecting the
+file.  ``UNKNOWN`` is reserved for text that is not a valid statement
+start at all.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .source import SourceError, read_logical_lines
+
+
+class Grammar:
+    """F77 statement grammar tables (word lists, lower-case).
+
+    Mirrors the statement tables of the uchchwhash fixed-form linter:
+    each category maps to the list of keyword spellings that open a
+    statement of that category.  Multi-word spellings are joined during
+    matching because fixed form allows both ``GO TO`` and ``GOTO``.
+    """
+
+    statements: dict[str, list[list[str]]] = {
+        "control nonblock": [
+            ["go", "to"], ["call"], ["return"], ["continue"], ["stop"],
+            ["pause"], ["end"],
+        ],
+        "control block": [
+            ["if"], ["else", "if"], ["else"], ["end", "if"], ["do"],
+            ["end", "do"],
+        ],
+        "io": [
+            ["read"], ["write"], ["print"], ["rewind"], ["backspace"],
+            ["end", "file"], ["open"], ["close"], ["inquire"],
+        ],
+        "assign": [["assign"]],
+        "specification": [
+            ["dimension"], ["common"], ["equivalence"], ["implicit"],
+            ["parameter"], ["external"], ["intrinsic"], ["save"],
+        ],
+        "type": [
+            ["integer"], ["real"], ["double", "precision"], ["complex"],
+            ["logical"], ["character"],
+        ],
+        "top level": [
+            ["program"], ["function"], ["subroutine"], ["block", "data"],
+            ["entry"],
+        ],
+        "misc nonexec": [["data"], ["format"]],
+        # PED extensions (user assertions, explicit parallel loops).
+        "extension": [["assert"], ["parallel", "do"]],
+    }
+
+    continuation_column = 5
+    margin_column = 6
+
+    @classmethod
+    def executable_categories(cls) -> set[str]:
+        return {"control nonblock", "control block", "io", "assign",
+                "extension"}
+
+    @classmethod
+    def all_kinds(cls) -> set[str]:
+        """Every keyword kind slug, plus the non-keyword statement kinds."""
+        kinds = {"".join(words) for cat in cls.statements.values()
+                 for words in cat}
+        kinds |= {"assignment", "arithmeticif", "logicalif", "empty"}
+        return kinds
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The classified kind of one statement."""
+
+    kind: str       # e.g. "do", "goto", "assignment", "arithmeticif"
+    category: str   # grammar-table category ("control block", "io", ...)
+
+    @property
+    def executable(self) -> bool:
+        return self.category in ("control nonblock", "control block", "io",
+                                 "assign", "extension", "executable")
+
+
+UNKNOWN = Classification("unknown", "unknown")
+
+#: kind -> category, derived from the grammar tables.
+_KIND_CATEGORY: dict[str, str] = {
+    "".join(words): cat
+    for cat, wordlists in Grammar.statements.items()
+    for words in wordlists
+}
+
+#: squashed keyword spellings, longest first, so END FILE beats END DO
+#: beats END, and DOUBLE PRECISION beats DO.
+_KEYWORDS: list[str] = sorted(
+    ("".join(words).upper() for cat in Grammar.statements.values()
+     for words in cat),
+    key=len, reverse=True)
+
+_TYPE_WORDS = ("INTEGER", "REAL", "DOUBLEPRECISION", "COMPLEX", "LOGICAL",
+               "CHARACTER")
+
+_FUNC_HEAD_RE = re.compile(
+    r"^(?:INTEGER|REAL|DOUBLEPRECISION|COMPLEX|LOGICAL|CHARACTER)"
+    r"(?:\*\d+|\*\([^)]*\))?"
+    r"FUNCTION[A-Z_][A-Z0-9_]*\(")
+
+_ARITH_IF_RE = re.compile(r"^\d+,\d+,\d+$")
+
+
+def squash(text: str) -> str:
+    """Upper-case and drop blanks outside character literals.
+
+    Character literals are replaced by the placeholder ``'S'`` so that
+    top-level comma/paren scanning never trips over quoted text.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "'\"":
+            j = i + 1
+            while j < n:
+                if text[j] == ch:
+                    if j + 1 < n and text[j + 1] == ch:
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append("'S'")
+            i = j + 1
+        elif ch in " \t":
+            i += 1
+        else:
+            out.append(ch.upper())
+            i += 1
+    return "".join(out)
+
+
+def _is_assignment(sq: str) -> bool:
+    """Top-level ``=`` with no top-level ``,`` after it."""
+    depth = 0
+    seen_eq = False
+    for ch in sq:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and ch == "=" and not seen_eq:
+            seen_eq = True
+        elif depth == 0 and ch == "," and seen_eq:
+            return False
+    return seen_eq
+
+
+def _match_paren(sq: str, start: int) -> int:
+    """Index one past the parenthesis matching ``sq[start] == '('``."""
+    depth = 0
+    for j in range(start, len(sq)):
+        if sq[j] == "(":
+            depth += 1
+        elif sq[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return -1
+
+
+def classify_statement(text: str) -> Classification:
+    """Classify one statement field (label and continuations removed)."""
+    sq = squash(text)
+    if not sq:
+        return Classification("empty", "control nonblock")
+
+    # IF( first: a logical IF may wrap an assignment, which would otherwise
+    # win the assignment test below.
+    if sq.startswith("IF("):
+        close = _match_paren(sq, 2)
+        if close > 0:
+            rest = sq[close:]
+            if rest == "THEN":
+                return Classification("if", "control block")
+            if _ARITH_IF_RE.match(rest):
+                return Classification("arithmeticif", "control nonblock")
+            if rest.startswith("=") or rest == "":
+                return Classification("assignment", "executable")
+            return Classification("logicalif", "control nonblock")
+
+    if _is_assignment(sq):
+        return Classification("assignment", "executable")
+
+    # REAL FUNCTION F(X) and friends: the type keyword would match first.
+    if _FUNC_HEAD_RE.match(sq):
+        return Classification("function", "top level")
+
+    for kw in _KEYWORDS:
+        if sq.startswith(kw):
+            kind = kw.lower()
+            # A keyword must be followed by something that can continue
+            # its statement -- never by another letter that extends an
+            # identifier in ways the statement could not (e.g. CALLX is a
+            # CALL of X, but ENDY is not a valid END).
+            if kind == "end" and sq not in ("END",):
+                # END only stands alone (ENDDO/ENDIF/ENDFILE matched above)
+                continue
+            if kind == "else" and sq not in ("ELSE",):
+                continue
+            return Classification(kind, _KIND_CATEGORY[kind])
+
+    return UNKNOWN
+
+
+@dataclass(frozen=True)
+class ClassifiedLine:
+    """One classified logical line of a source file."""
+
+    label: int | None
+    line: int                  # first physical line number
+    text: str                  # statement field
+    cls: Classification
+
+
+def classify_source(text: str) -> list[ClassifiedLine]:
+    """Classify every statement of a fixed-form source file.
+
+    Tolerant: a malformed logical line is classified UNKNOWN rather than
+    raising, so semantic diagnostics can still cover the rest of the file.
+    """
+    try:
+        logical = read_logical_lines(text)
+    except SourceError:
+        return []
+    out: list[ClassifiedLine] = []
+    for ll in logical:
+        out.append(ClassifiedLine(ll.label, ll.first_line, ll.text,
+                                  classify_statement(ll.text)))
+    return out
+
+
+@dataclass(frozen=True)
+class NestingIssue:
+    """A mis-nested label-DO range (FRONT006 input)."""
+
+    line: int
+    label: int
+    message: str
+
+
+def do_nesting_issues(text: str) -> list[NestingIssue]:
+    """Detect label-DO ranges that do not close in LIFO order.
+
+    ``DO 10`` ... ``DO 20`` ... ``10 CONTINUE`` ... ``20 CONTINUE`` is
+    mis-nested: the inner range (20) must terminate before the outer (10).
+    Shared terminal labels (``DO 16 J`` / ``DO 16 K`` / ``16 CONTINUE``)
+    are legal and close all matching frames at once.
+    """
+    issues: list[NestingIssue] = []
+    stack: list[tuple[int, int]] = []   # (term_label, do_line)
+    for cl in classify_source(text):
+        if cl.cls.kind in ("do", "paralleldo"):
+            sq = squash(cl.text)
+            m = re.match(r"^(?:PARALLEL)?DO(\d+)", sq)
+            if m:
+                stack.append((int(m.group(1)), cl.line))
+        if cl.label is not None:
+            lab = cl.label
+            if stack and stack[-1][0] == lab:
+                while stack and stack[-1][0] == lab:
+                    stack.pop()
+            elif any(t == lab for t, _ in stack):
+                # Terminal label reached while inner ranges are still open.
+                open_inner = [t for t, _ in stack[
+                    next(i for i, (t, _) in enumerate(stack) if t == lab) + 1:]]
+                issues.append(NestingIssue(
+                    cl.line, lab,
+                    f"DO range {lab} closes while inner DO range(s) "
+                    f"{', '.join(map(str, open_inner))} are still open"))
+                # Recover: close through the mis-nested frame.
+                while stack and stack[-1][0] != lab:
+                    stack.pop()
+                while stack and stack[-1][0] == lab:
+                    stack.pop()
+    for lab, line in stack:
+        issues.append(NestingIssue(line, lab,
+                                   f"DO range {lab} never terminates"))
+    return issues

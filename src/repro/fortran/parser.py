@@ -23,11 +23,22 @@ from .tokens import LexError, TokKind, Token, tokenize
 
 
 class ParseError(Exception):
-    def __init__(self, message: str, line: int | None = None):
-        if line:
+    """Syntax error with source position.
+
+    ``line`` is the first physical line of the logical statement; ``col``
+    is the 0-based offset within the joined statement text (continuation
+    cards collapse onto one logical line).
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 col: int | None = None):
+        if line and col is not None:
+            message = f"line {line}, col {col}: {message}"
+        elif line:
             message = f"line {line}: {message}"
         super().__init__(message)
         self.line = line
+        self.col = col
 
 
 _TYPE_KEYWORDS = {"INTEGER", "REAL", "LOGICAL", "CHARACTER", "DOUBLEPRECISION",
@@ -73,20 +84,23 @@ class _TokenStream:
     def expect_op(self, value: str) -> Token:
         t = self.cur
         if not t.is_op(value):
-            raise ParseError(f"expected {value!r}, got {t.value!r}", self.line)
+            raise ParseError(f"expected {value!r}, got {t.value!r}",
+                             self.line, t.pos)
         return self.advance()
 
     def expect_name(self) -> str:
         t = self.cur
         if t.kind is not TokKind.NAME:
-            raise ParseError(f"expected a name, got {t.value!r}", self.line)
+            raise ParseError(f"expected a name, got {t.value!r}",
+                             self.line, t.pos)
         self.advance()
         return t.value
 
     def expect_int(self) -> int:
         t = self.cur
         if t.kind is not TokKind.INT:
-            raise ParseError(f"expected an integer, got {t.value!r}", self.line)
+            raise ParseError(f"expected an integer, got {t.value!r}",
+                             self.line, t.pos)
         self.advance()
         return int(t.value)
 
@@ -96,7 +110,7 @@ class _TokenStream:
     def expect_end(self) -> None:
         if not self.at_end():
             raise ParseError(f"trailing tokens starting at {self.cur.value!r}",
-                             self.line)
+                             self.line, self.cur.pos)
 
 
 # --------------------------------------------------------------------------
@@ -182,7 +196,8 @@ def _parse_primary(ts: _TokenStream) -> ast.Expr:
                 return ast.FuncRef(name, tuple(args), intrinsic=True)
             return ast.NameRef(name, tuple(args))
         return ast.VarRef(name)
-    raise ParseError(f"unexpected token {t.value!r} in expression", ts.line)
+    raise ParseError(f"unexpected token {t.value!r} in expression",
+                     ts.line, t.pos)
 
 
 def parse_expr_text(text: str) -> ast.Expr:
@@ -197,6 +212,52 @@ def parse_expr_text(text: str) -> ast.Expr:
 # Statement classification and parsing
 # --------------------------------------------------------------------------
 
+_TWO_WORD = {
+    ("GO", "TO"): "GOTO",
+    ("END", "IF"): "ENDIF",
+    ("END", "DO"): "ENDDO",
+    ("ELSE", "IF"): "ELSEIF",
+    ("DOUBLE", "PRECISION"): "DOUBLEPRECISION",
+    ("IMPLICIT", "NONE"): "IMPLICITNONE",
+    ("PARALLEL", "DO"): "PARALLELDO",
+    ("BLOCK", "DATA"): "BLOCKDATA",
+    ("END", "FILE"): "ENDFILE",
+}
+
+_KEYWORDS = {
+    "PROGRAM", "SUBROUTINE", "FUNCTION", "END", "ENDDO", "ENDIF",
+    "DO", "IF", "ELSE", "ELSEIF", "GOTO", "CONTINUE", "CALL", "RETURN",
+    "STOP", "READ", "WRITE", "PRINT", "FORMAT", "DIMENSION", "COMMON",
+    "PARAMETER", "DATA", "SAVE", "EXTERNAL", "INTRINSIC", "IMPLICIT",
+    "IMPLICITNONE", "INTEGER", "REAL", "LOGICAL", "CHARACTER",
+    "DOUBLEPRECISION", "COMPLEX", "ASSERT", "PARALLELDO",
+    "PAUSE", "REWIND", "BACKSPACE", "ENDFILE", "OPEN", "CLOSE", "INQUIRE",
+    "ASSIGN", "EQUIVALENCE", "ENTRY", "BLOCKDATA",
+}
+
+
+def _looks_like_assignment(ts: _TokenStream) -> bool:
+    """Classic F77 disambiguation: a statement is an assignment (or a
+    statement-function definition) iff it has a ``=`` at paren depth 0 with
+    no top-level ``,`` after it.  ``DO 10 I = 1, 5`` fails the test (comma
+    after the ``=``); ``OPEN(1) = 2`` and ``REAL = 3`` pass it.
+    """
+    depth = 0
+    eq_at = None
+    for j in range(ts.i, len(ts.toks)):
+        t = ts.toks[j]
+        if t.kind is TokKind.OP:
+            if t.value == "(":
+                depth += 1
+            elif t.value == ")":
+                depth -= 1
+            elif depth == 0 and t.value == "=" and eq_at is None:
+                eq_at = j
+            elif depth == 0 and t.value == "," and eq_at is not None:
+                return False
+    return eq_at is not None
+
+
 def _join_keywords(ts: _TokenStream) -> str | None:
     """Return the statement keyword, consuming its tokens.
 
@@ -208,36 +269,16 @@ def _join_keywords(ts: _TokenStream) -> str | None:
     if t.kind is not TokKind.NAME:
         return None
     kw = t.value
-    two = {
-        ("GO", "TO"): "GOTO",
-        ("END", "IF"): "ENDIF",
-        ("END", "DO"): "ENDDO",
-        ("ELSE", "IF"): "ELSEIF",
-        ("DOUBLE", "PRECISION"): "DOUBLEPRECISION",
-        ("IMPLICIT", "NONE"): "IMPLICITNONE",
-        ("PARALLEL", "DO"): "PARALLELDO",
-    }
+    # Assignment wins over any keyword except IF (a logical IF can wrap an
+    # assignment: ``IF (L) X = 1``).
+    if kw != "IF" and _looks_like_assignment(ts):
+        return None
     nxt = ts.peek()
-    if nxt.kind is TokKind.NAME and (kw, nxt.value) in two:
+    if nxt.kind is TokKind.NAME and (kw, nxt.value) in _TWO_WORD:
         ts.advance()
         ts.advance()
-        return two[(kw, nxt.value)]
-    keywords = {
-        "PROGRAM", "SUBROUTINE", "FUNCTION", "END", "ENDDO", "ENDIF",
-        "DO", "IF", "ELSE", "ELSEIF", "GOTO", "CONTINUE", "CALL", "RETURN",
-        "STOP", "READ", "WRITE", "PRINT", "FORMAT", "DIMENSION", "COMMON",
-        "PARAMETER", "DATA", "SAVE", "EXTERNAL", "INTRINSIC", "IMPLICIT",
-        "IMPLICITNONE", "INTEGER", "REAL", "LOGICAL", "CHARACTER",
-        "DOUBLEPRECISION", "COMPLEX", "ASSERT", "PARALLELDO",
-    }
-    if kw in keywords:
-        # Guard: "IF" could legitimately start an assignment to a variable
-        # named IF -- we do not support that; likewise for others.  But
-        # "REAL = 3" style is caught by checking the following token.
-        if kw in _TYPE_KEYWORDS and ts.peek().is_op("="):
-            return None
-        if kw in ("DATA", "SAVE", "END") and ts.peek().is_op("="):
-            return None
+        return _TWO_WORD[(kw, nxt.value)]
+    if kw in _KEYWORDS:
         ts.advance()
         return kw
     return None
@@ -249,7 +290,7 @@ def _parse_statement(ll: LogicalLine) -> ast.Stmt:
     try:
         toks = tokenize(ll.text)
     except LexError as e:
-        raise ParseError(str(e), line) from e
+        raise ParseError(str(e), line, e.col) from e
     ts = _TokenStream(toks, line)
     if ts.at_end():
         return ast.Continue(label=ll.label, line=line)
@@ -294,6 +335,14 @@ def _parse_keyword_statement(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
     if kw == "END":
         return _Marker("end")
     if kw == "GOTO":
+        if ts.cur.kind is TokKind.NAME:
+            # Assigned GOTO: ``GOTO IJMP`` / ``GOTO IJMP, (10, 20)``.
+            # Control targets are dynamic; degrade to an opaque statement
+            # that records the jump variable as a conservative read.
+            var = ts.expect_name()
+            return ast.OpaqueStmt("assigned-goto",
+                                  text="GOTO " + var + _rest_raw(ts),
+                                  refs=(var,))
         if ts.cur.is_op("("):
             ts.advance()
             labels = [ts.expect_int()]
@@ -315,18 +364,29 @@ def _parse_keyword_statement(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
     if kw == "CALL":
         name = ts.expect_name()
         args: list[ast.Expr] = []
+        alt_labels: list[int] = []
         if ts.cur.is_op("("):
             ts.advance()
-            if not ts.cur.is_op(")"):
-                args.append(parse_expression(ts))
-                while ts.cur.is_op(","):
+            while not ts.cur.is_op(")"):
+                if ts.cur.is_op("*") or ts.cur.is_op("$"):
+                    # Alternate-return actual: ``*10`` (or VAX-style ``$10``)
                     ts.advance()
+                    alt_labels.append(ts.expect_int())
+                else:
                     args.append(parse_expression(ts))
+                if ts.cur.is_op(","):
+                    ts.advance()
+                elif not ts.cur.is_op(")"):
+                    break
             ts.expect_op(")")
         ts.expect_end()
-        return ast.CallStmt(name, tuple(args))
+        return ast.CallStmt(name, tuple(args), tuple(alt_labels))
     if kw == "RETURN":
-        return ast.Return()
+        alt = None
+        if not ts.at_end():
+            alt = parse_expression(ts)
+            ts.expect_end()
+        return ast.Return(alt)
     if kw == "STOP":
         msg = None
         if not ts.at_end():
@@ -384,40 +444,140 @@ def _parse_keyword_statement(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
         return _Marker("program", name=ts.expect_name())
     if kw == "SUBROUTINE":
         name = ts.expect_name()
-        params = _parse_param_list(ts)
-        return _Marker("subroutine", name=name, params=params)
+        params, stars = _parse_param_list(ts)
+        return _Marker("subroutine", name=name, params=params,
+                       alt_returns=stars)
     if kw == "FUNCTION":
         name = ts.expect_name()
-        params = _parse_param_list(ts)
+        params, _ = _parse_param_list(ts)
         return _Marker("function", name=name, params=params, rtype=None)
     if kw == "ASSERT":
         return ast.AssertStmt(text=_rest_text(ts))
+    if kw == "PAUSE":
+        return ast.OpaqueStmt("pause", text="PAUSE" + _rest_raw(ts))
+    if kw in ("OPEN", "CLOSE", "INQUIRE", "REWIND", "BACKSPACE", "ENDFILE"):
+        return _parse_opaque_io(ts, kw, line)
+    if kw == "ASSIGN":
+        lab = ts.expect_int()
+        to = ts.expect_name()
+        if to != "TO":
+            raise ParseError("ASSIGN requires TO", line)
+        var = ts.expect_name()
+        ts.expect_end()
+        return ast.OpaqueStmt("assign", text=f"ASSIGN {lab} TO {var}",
+                              mods=(var,))
+    if kw == "EQUIVALENCE":
+        return _parse_equivalence(ts, line)
+    if kw == "ENTRY":
+        name = ts.expect_name()
+        return ast.OpaqueStmt("entry", text="ENTRY " + name + _rest_raw(ts),
+                              decl=True)
+    if kw == "BLOCKDATA":
+        name = ts.expect_name() if ts.cur.kind is TokKind.NAME else "BLOCKDATA"
+        return _Marker("blockdata", name=name)
     raise ParseError(f"unsupported statement keyword {kw}", line)
+
+
+def _tok_text(t: Token) -> str:
+    if t.kind is TokKind.STRING:
+        return "'" + t.value.replace("'", "''") + "'"
+    return t.value
 
 
 def _rest_text(ts: _TokenStream) -> str:
     parts = []
     while not ts.at_end():
-        t = ts.advance()
-        if t.kind is TokKind.STRING:
-            parts.append("'" + t.value + "'")
-        else:
-            parts.append(t.value)
+        parts.append(_tok_text(ts.advance()))
     return " ".join(parts)
 
 
-def _parse_param_list(ts: _TokenStream) -> tuple[str, ...]:
-    if not ts.cur.is_op("("):
-        return ()
-    ts.advance()
-    params: list[str] = []
-    if not ts.cur.is_op(")"):
-        params.append(ts.expect_name())
+def _rest_raw(ts: _TokenStream) -> str:
+    rest = _rest_text(ts)
+    return " " + rest if rest else ""
+
+
+#: Control-list spec keywords whose right-hand side variable is *written*
+#: by the statement (everything else is an input).
+_IO_OUT_SPECS = {"IOSTAT"}
+#: For INQUIRE the polarity flips: every spec except these is an output.
+_INQUIRE_IN_SPECS = {"FILE", "UNIT", "ERR"}
+
+
+def _parse_opaque_io(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
+    """OPEN/CLOSE/INQUIRE/REWIND/BACKSPACE/ENDFILE: keep the statement
+    opaque but extract conservative variable effects from the control list
+    (``IOSTAT=IOS`` writes IOS; ``UNIT=IU`` reads IU; INQUIRE's result
+    specs all write)."""
+    toks: list[Token] = []
+    refs: list[str] = []
+    mods: list[str] = []
+    depth = 0
+    spec: str | None = None
+    while not ts.at_end():
+        t = ts.advance()
+        toks.append(t)
+        if t.kind is TokKind.OP:
+            if t.value == "(":
+                depth += 1
+            elif t.value == ")":
+                depth -= 1
+                if depth == 0:
+                    spec = None
+            elif t.value == "," and depth == 1:
+                spec = None
+        elif t.kind is TokKind.NAME:
+            if ts.cur.is_op("=") and depth >= 1:
+                spec = t.value
+                toks.append(ts.advance())
+                continue
+            if kw == "INQUIRE":
+                out = spec is not None and spec not in _INQUIRE_IN_SPECS
+            else:
+                out = spec in _IO_OUT_SPECS
+            (mods if out else refs).append(t.value)
+    text = kw + (" " + " ".join(_tok_text(t) for t in toks) if toks else "")
+    return ast.OpaqueStmt(kw.lower(), text=text,
+                          refs=tuple(dict.fromkeys(refs)),
+                          mods=tuple(dict.fromkeys(mods)))
+
+
+def _parse_equivalence(ts: _TokenStream, line: int) -> ast.Stmt:
+    groups: list[tuple[ast.Expr, ...]] = []
+    while True:
+        ts.expect_op("(")
+        items = [_parse_primary(ts)]
         while ts.cur.is_op(","):
             ts.advance()
+            items.append(_parse_primary(ts))
+        ts.expect_op(")")
+        groups.append(tuple(items))
+        if not ts.cur.is_op(","):
+            break
+        ts.advance()
+    ts.expect_end()
+    return ast.EquivalenceStmt(tuple(groups))
+
+
+def _parse_param_list(ts: _TokenStream) -> tuple[tuple[str, ...], int]:
+    """Dummy-argument list; ``*`` alternate-return dummies are counted but
+    not named (they are matched positionally by ``CALL ... *label``)."""
+    if not ts.cur.is_op("("):
+        return (), 0
+    ts.advance()
+    params: list[str] = []
+    stars = 0
+    while not ts.cur.is_op(")"):
+        if ts.cur.is_op("*") or ts.cur.is_op("$"):
+            ts.advance()
+            stars += 1
+        else:
             params.append(ts.expect_name())
+        if ts.cur.is_op(","):
+            ts.advance()
+        elif not ts.cur.is_op(")"):
+            break
     ts.expect_op(")")
-    return tuple(params)
+    return tuple(params), stars
 
 
 def _parse_do(ts: _TokenStream, line: int, parallel: bool = False) -> ast.Stmt:
@@ -586,7 +746,7 @@ def _parse_type_decl(ts: _TokenStream, kw: str, line: int) -> ast.Stmt:
     if ts.cur.is_name("FUNCTION"):
         ts.advance()
         name = ts.expect_name()
-        params = _parse_param_list(ts)
+        params, _ = _parse_param_list(ts)
         return _Marker("function", name=name, params=params, rtype=kw)
     ents = _parse_entity_list(ts)
     return ast.TypeDecl(kw, tuple(ents), length)
@@ -767,12 +927,14 @@ def parse_program(text: str) -> ast.Program:
     while i < n:
         s = flat[i]
         kind, name, params, rtype, hline = "program", "MAIN", (), None, s.line
+        alt_returns = 0
         if isinstance(s, _Marker) and s.marker in ("program", "subroutine",
-                                                   "function"):
+                                                   "function", "blockdata"):
             kind = s.marker
             name = s.attrs["name"]
             params = s.attrs.get("params", ())
             rtype = s.attrs.get("rtype")
+            alt_returns = s.attrs.get("alt_returns", 0)
             i += 1
         # Collect statements until the matching END at nesting level 0.
         unit_stmts: list[ast.Stmt] = []
@@ -787,7 +949,8 @@ def parse_program(text: str) -> ast.Program:
                 elif s.marker == "end" and depth == 0:
                     i += 1
                     break
-                elif s.marker in ("program", "subroutine", "function"):
+                elif s.marker in ("program", "subroutine", "function",
+                                  "blockdata"):
                     raise ParseError(
                         f"nested program unit {s.attrs['name']}", s.line)
             unit_stmts.append(s)
@@ -797,5 +960,6 @@ def parse_program(text: str) -> ast.Program:
                 raise ParseError(f"missing END for unit {name}", hline)
         body = _structure_unit(unit_stmts, hline)
         units.append(ast.ProgramUnit(kind=kind, name=name, params=params,
-                                     body=body, result_type=rtype, line=hline))
+                                     body=body, result_type=rtype, line=hline,
+                                     alt_returns=alt_returns))
     return ast.Program(units=units, source=text)

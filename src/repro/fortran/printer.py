@@ -121,12 +121,14 @@ def print_stmt(s: ast.Stmt, indent: int = 0) -> list[str]:
     elif isinstance(s, ast.Continue):
         emit("CONTINUE", s.label)
     elif isinstance(s, ast.CallStmt):
-        if s.args:
-            emit(f"CALL {s.name}({', '.join(map(str, s.args))})", s.label)
+        actuals = [str(a) for a in s.args]
+        actuals.extend(f"*{lab}" for lab in s.alt_labels)
+        if actuals:
+            emit(f"CALL {s.name}({', '.join(actuals)})", s.label)
         else:
             emit(f"CALL {s.name}", s.label)
     elif isinstance(s, ast.Return):
-        emit("RETURN", s.label)
+        emit("RETURN" if s.alt is None else f"RETURN {s.alt}", s.label)
     elif isinstance(s, ast.Stop):
         emit("STOP" if s.message is None else f"STOP {s.message}", s.label)
     elif isinstance(s, ast.ReadStmt):
@@ -184,6 +186,13 @@ def print_stmt(s: ast.Stmt, indent: int = 0) -> list[str]:
                 rs = ", ".join(a if a == b else f"{a}-{b}" for a, b in ranges)
                 parts.append(f"{t} ({rs})")
             emit("IMPLICIT " + ", ".join(parts), s.label)
+    elif isinstance(s, ast.EquivalenceStmt):
+        groups = ", ".join(f"({', '.join(map(str, g))})" for g in s.groups)
+        emit(f"EQUIVALENCE {groups}", s.label)
+    elif isinstance(s, ast.OpaqueStmt):
+        # Opaque statements round-trip through their (token-normalized)
+        # source spelling.
+        emit(s.text, s.label)
     elif isinstance(s, ast.AssertStmt):
         emit(f"ASSERT {s.text}", s.label)
     else:  # pragma: no cover - exhaustiveness guard
@@ -195,8 +204,12 @@ def print_unit(unit: ast.ProgramUnit) -> str:
     lines: list[str] = []
     if unit.kind == "program":
         lines.append(_stmt_field(f"PROGRAM {unit.name}", None, 0))
+    elif unit.kind == "blockdata":
+        name = "" if unit.name == "BLOCKDATA" else f" {unit.name}"
+        lines.append(_stmt_field(f"BLOCK DATA{name}", None, 0))
     elif unit.kind == "subroutine":
-        params = f"({', '.join(unit.params)})" if unit.params else ""
+        dummies = list(unit.params) + ["*"] * unit.alt_returns
+        params = f"({', '.join(dummies)})" if dummies else ""
         lines.append(_stmt_field(f"SUBROUTINE {unit.name}{params}", None, 0))
     else:
         rt = ("DOUBLE PRECISION" if unit.result_type == "DOUBLEPRECISION"

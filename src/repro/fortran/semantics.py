@@ -1,0 +1,383 @@
+"""Semantic analysis over parsed F77: the FRONT0xx diagnostic family.
+
+Runs on a plain :class:`repro.fortran.ast.Program` (resolved or not) and
+never raises on bad input -- where :mod:`repro.ir.symtab` would abort
+resolution (e.g. an undeclared name under IMPLICIT NONE), this pass
+reports a finding instead, which is what lets the lint driver surface
+front-end errors the same way it surfaces races.
+
+Rules
+-----
+======== ======== ======================================================
+FRONT000 error    syntax error (tolerant entry point only), with line/col
+FRONT001 error    name used without declaration under IMPLICIT NONE
+FRONT002 info     declared local never referenced
+FRONT003 error    subscript count differs from declared rank
+FRONT004 warning  LOGICAL/arithmetic type mixing in an expression
+FRONT005 error    COMMON member type conflict across units
+FRONT006 error    mis-nested label-DO ranges
+FRONT007 info     statement accepted but not lowered (opaque / alternate
+                  returns) -- the analyses treat it conservatively
+======== ======== ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast
+from .classify import do_nesting_issues
+from ..ir.symtab import SymbolTable, build_symbol_table
+
+
+@dataclass(frozen=True)
+class SemanticFinding:
+    """One FRONT finding; mirrors the lint Diagnostic value fields."""
+
+    rule: str
+    severity: str
+    unit: str
+    line: int
+    message: str
+    var: str | None = None
+    col: int | None = None
+
+    def sort_key(self):
+        return (self.unit, self.line, self.rule, self.var or "",
+                self.message)
+
+
+_NUMERIC = {"INTEGER", "REAL", "DOUBLEPRECISION", "COMPLEX"}
+_ARITH_OPS = {"+", "-", "*", "/", "**"}
+_LOGIC_OPS = {".AND.", ".OR.", ".EQV.", ".NEQV."}
+
+
+def _expr_type(e: ast.Expr, st: SymbolTable) -> str | None:
+    """Best-effort static type; ``None`` when unknown (stay quiet)."""
+    if isinstance(e, ast.IntConst):
+        return "INTEGER"
+    if isinstance(e, ast.RealConst):
+        return "DOUBLEPRECISION" if "D" in e.text.upper() else "REAL"
+    if isinstance(e, ast.LogicalConst):
+        return "LOGICAL"
+    if isinstance(e, ast.StringConst):
+        return "CHARACTER"
+    if isinstance(e, (ast.VarRef, ast.ArrayRef)):
+        sym = st.get(e.name)
+        if sym is not None and sym.declared:
+            return sym.type_name
+        if st.implicit_none:
+            return None
+        return (sym.type_name if sym is not None
+                else st.implicit_type(e.name))
+    if isinstance(e, ast.UnOp):
+        if e.op == ".NOT.":
+            return "LOGICAL"
+        return _expr_type(e.operand, st)
+    if isinstance(e, ast.BinOp):
+        if e.op in _LOGIC_OPS or e.op.startswith(".E") \
+                or e.op in (".NE.", ".LT.", ".LE.", ".GT.", ".GE."):
+            return "LOGICAL" if e.op not in _ARITH_OPS else None
+        if e.op in _ARITH_OPS:
+            lt = _expr_type(e.left, st)
+            rt = _expr_type(e.right, st)
+            for t in ("DOUBLEPRECISION", "REAL", "INTEGER"):
+                if lt == t or rt == t:
+                    return t
+            return None
+    return None   # NameRef / FuncRef / anything clever
+
+
+def _walk_unit_exprs(unit: ast.ProgramUnit):
+    """Yield ``(expr, stmt)`` for every top-level expression of the unit,
+    including assignment/READ targets and DATA/EQUIVALENCE operands."""
+    for s, _ in ast.walk_stmts(unit.body):
+        for e in s.exprs():
+            yield e, s
+        if isinstance(s, ast.Assign):
+            yield s.target, s
+        elif isinstance(s, ast.ReadStmt):
+            for it in s.items:
+                yield it, s
+        elif isinstance(s, ast.DataStmt):
+            for targets, _values in s.groups:
+                for t in targets:
+                    yield t, s
+        elif isinstance(s, ast.EquivalenceStmt):
+            for group in s.groups:
+                for t in group:
+                    yield t, s
+
+
+def _referenced_names(unit: ast.ProgramUnit) -> dict[str, int]:
+    """name -> first line where the unit references it as data."""
+    seen: dict[str, int] = {}
+
+    def note(name: str, line: int) -> None:
+        key = name.upper()
+        if key not in seen:
+            seen[key] = line
+
+    for e, s in _walk_unit_exprs(unit):
+        for node in ast.walk_expr(e):
+            if isinstance(node, (ast.VarRef, ast.ArrayRef, ast.NameRef)):
+                note(node.name, s.line)
+            elif isinstance(node, ast.FuncRef) and not node.intrinsic:
+                note(node.name, s.line)
+    for s, _ in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.DoLoop):
+            note(s.var, s.line)
+        elif isinstance(s, ast.OpaqueStmt):
+            for n in s.refs:
+                note(n, s.line)
+            for n in s.mods:
+                note(n, s.line)
+        elif isinstance(s, ast.SaveStmt):
+            for n in s.names:
+                note(n, s.line)
+    return seen
+
+
+def _check_implicit_none(unit: ast.ProgramUnit, st: SymbolTable,
+                         out: list[SemanticFinding]) -> None:
+    if not st.implicit_none:
+        return
+    flagged: set[str] = set()
+
+    def flag(name: str, line: int) -> None:
+        key = name.upper()
+        if key in flagged or key in st.symbols:
+            return
+        flagged.add(key)
+        out.append(SemanticFinding(
+            "FRONT001", "error", unit.name, line,
+            f"{key} is used without a declaration under IMPLICIT NONE",
+            var=key))
+
+    for e, s in _walk_unit_exprs(unit):
+        for node in ast.walk_expr(e):
+            if isinstance(node, (ast.VarRef, ast.ArrayRef)):
+                flag(node.name, s.line)
+    for s, _ in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.DoLoop):
+            flag(s.var, s.line)
+        elif isinstance(s, ast.OpaqueStmt):
+            for n in s.refs + s.mods:
+                flag(n, s.line)
+
+
+def _check_unused(unit: ast.ProgramUnit, st: SymbolTable,
+                  out: list[SemanticFinding]) -> None:
+    if unit.kind == "blockdata":
+        return
+    referenced = _referenced_names(unit)
+    decl_lines: dict[str, int] = {}
+    for s, _ in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.TypeDecl):
+            for ent in s.entities:
+                decl_lines.setdefault(ent.name.upper(), s.line)
+    for name in sorted(decl_lines):
+        sym = st.get(name)
+        if sym is None or not sym.declared:
+            continue
+        if sym.storage != "local" or sym.external or sym.saved:
+            continue
+        if name in referenced:
+            continue
+        out.append(SemanticFinding(
+            "FRONT002", "info", unit.name, decl_lines[name],
+            f"{name} is declared but never referenced", var=name))
+
+
+def _check_rank(unit: ast.ProgramUnit, st: SymbolTable,
+                out: list[SemanticFinding]) -> None:
+    seen: set[tuple[str, int, int]] = set()
+    for e, s in _walk_unit_exprs(unit):
+        for node in ast.walk_expr(e):
+            if not isinstance(node, (ast.ArrayRef, ast.NameRef)):
+                continue
+            sym = st.get(node.name)
+            if sym is None or not sym.is_array:
+                continue
+            nsubs = len(node.children())
+            if nsubs == sym.rank:
+                continue
+            key = (node.name.upper(), nsubs, s.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(SemanticFinding(
+                "FRONT003", "error", unit.name, s.line,
+                f"{node.name} is declared with rank {sym.rank} but "
+                f"referenced with {nsubs} subscript(s)", var=node.name))
+
+
+def _check_types(unit: ast.ProgramUnit, st: SymbolTable,
+                 out: list[SemanticFinding]) -> None:
+    def visit(e: ast.Expr, line: int) -> None:
+        for node in ast.walk_expr(e):
+            if not isinstance(node, ast.BinOp):
+                continue
+            lt = _expr_type(node.left, st)
+            rt = _expr_type(node.right, st)
+            if node.op in _ARITH_OPS:
+                for side, t in (("left", lt), ("right", rt)):
+                    if t == "LOGICAL":
+                        out.append(SemanticFinding(
+                            "FRONT004", "warning", unit.name, line,
+                            f"LOGICAL {side} operand of arithmetic "
+                            f"{node.op}"))
+            elif node.op in _LOGIC_OPS:
+                for side, t in (("left", lt), ("right", rt)):
+                    if t in _NUMERIC:
+                        out.append(SemanticFinding(
+                            "FRONT004", "warning", unit.name, line,
+                            f"{t} {side} operand of logical {node.op}"))
+
+    for e, s in _walk_unit_exprs(unit):
+        visit(e, s.line)
+    # LOGICAL <- arithmetic (or the reverse) assignments are certain bugs.
+    for s, _ in ast.walk_stmts(unit.body):
+        if not isinstance(s, ast.Assign):
+            continue
+        tt = _expr_type(s.target, st)
+        vt = _expr_type(s.value, st)
+        if tt is None or vt is None:
+            continue
+        if (tt == "LOGICAL") != (vt == "LOGICAL"):
+            out.append(SemanticFinding(
+                "FRONT004", "warning", unit.name, s.line,
+                f"assignment mixes {tt} target with {vt} value",
+                var=getattr(s.target, "name", None)))
+
+
+def _common_layouts(unit: ast.ProgramUnit, st: SymbolTable):
+    """block -> ordered [(member, type, rank)] plus the COMMON line."""
+    layouts: dict[str, tuple[int, list[tuple[str, str, int]]]] = {}
+    for s, _ in ast.walk_stmts(unit.body):
+        if not isinstance(s, ast.CommonStmt):
+            continue
+        for block, ents in s.blocks_:
+            line, members = layouts.setdefault(block, (s.line, []))
+            for ent in ents:
+                sym = st.get(ent.name)
+                tname = sym.type_name if sym is not None \
+                    else st.implicit_type(ent.name)
+                rank = sym.rank if sym is not None else len(ent.dims)
+                members.append((ent.name.upper(), tname, rank))
+    return layouts
+
+
+def _check_common_types(units, tables, out: list[SemanticFinding]) -> None:
+    """FRONT005: positional member-type conflicts between units.
+
+    Layout (length/shape) conflicts are LINT003's job; this rule reports
+    the *type* disagreements LINT003's byte-layout check cannot see for
+    same-size types (INTEGER vs REAL vs LOGICAL all occupy one cell)."""
+    ref: dict[str, tuple[str, int, list[tuple[str, str, int]]]] = {}
+    for unit in units:
+        st = tables[unit.name]
+        for block, (line, members) in _common_layouts(unit, st).items():
+            if block not in ref:
+                ref[block] = (unit.name, line, members)
+                continue
+            ref_unit, _ref_line, ref_members = ref[block]
+            if len(ref_members) != len(members):
+                continue   # shape conflict: LINT003 territory
+            for i, ((rn, rt, _rr), (mn, mt, _mr)) in enumerate(
+                    zip(ref_members, members)):
+                if rt != mt:
+                    blk = block or "blank"
+                    out.append(SemanticFinding(
+                        "FRONT005", "error", unit.name, line,
+                        f"COMMON /{blk}/ member {i + 1} is {mt} {mn} "
+                        f"here but {rt} {rn} in {ref_unit}", var=mn))
+
+
+def _check_opaque(unit: ast.ProgramUnit,
+                  out: list[SemanticFinding]) -> None:
+    for s, _ in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.OpaqueStmt):
+            effects = []
+            if s.refs:
+                effects.append(f"reads {', '.join(s.refs)}")
+            if s.mods:
+                effects.append(f"may write {', '.join(s.mods)}")
+            eff = f" ({'; '.join(effects)})" if effects else ""
+            out.append(SemanticFinding(
+                "FRONT007", "info", unit.name, s.line,
+                f"{s.kind} statement accepted but not lowered{eff}"))
+        elif isinstance(s, ast.CallStmt) and s.alt_labels:
+            out.append(SemanticFinding(
+                "FRONT007", "info", unit.name, s.line,
+                f"alternate-return CALL {s.name} accepted but not "
+                f"lowered"))
+        elif isinstance(s, ast.Return) and s.alt is not None:
+            out.append(SemanticFinding(
+                "FRONT007", "info", unit.name, s.line,
+                "alternate RETURN accepted but not lowered"))
+
+
+def analyze_unit(unit: ast.ProgramUnit,
+                 st: SymbolTable | None = None) -> list[SemanticFinding]:
+    """All unit-local FRONT findings for one program unit."""
+    st = st or build_symbol_table(unit)
+    out: list[SemanticFinding] = []
+    _check_implicit_none(unit, st, out)
+    _check_unused(unit, st, out)
+    _check_rank(unit, st, out)
+    _check_types(unit, st, out)
+    _check_opaque(unit, out)
+    return sorted(out, key=SemanticFinding.sort_key)
+
+
+def analyze_program(prog: ast.Program) -> list[SemanticFinding]:
+    """Unit-local findings plus cross-unit COMMON checks and (when the
+    original source is attached) mis-nested DO detection."""
+    out: list[SemanticFinding] = []
+    tables = {u.name: build_symbol_table(u) for u in prog.units}
+    for u in prog.units:
+        out.extend(analyze_unit(u, tables[u.name]))
+    _check_common_types(prog.units, tables, out)
+    if prog.source:
+        out.extend(_nesting_findings(prog.source, prog.units))
+    return sorted(out, key=SemanticFinding.sort_key)
+
+
+def _unit_at_line(units, line: int) -> str:
+    name = units[0].name if units else ""
+    for u in units:
+        if u.line <= line:
+            name = u.name
+    return name
+
+
+def _nesting_findings(source: str, units) -> list[SemanticFinding]:
+    out = []
+    for issue in do_nesting_issues(source):
+        out.append(SemanticFinding(
+            "FRONT006", "error", _unit_at_line(units, issue.line),
+            issue.line, issue.message, var=str(issue.label)))
+    return out
+
+
+def analyze_source(text: str) -> list[SemanticFinding]:
+    """Tolerant whole-file analysis: never raises.
+
+    A file that fails to parse still gets FRONT000 (with line/column from
+    the parser) and the classification-level FRONT006 nesting check, so a
+    batch run over arbitrary inputs always yields diagnostics, never a
+    traceback."""
+    from .parser import ParseError, parse_program
+    try:
+        prog = parse_program(text)
+    except ParseError as e:
+        out = [SemanticFinding("FRONT000", "error", "", e.line or 0,
+                               f"syntax error: {e}", col=e.col)]
+        out.extend(_nesting_findings(text, []))
+        return sorted(out, key=SemanticFinding.sort_key)
+    except Exception as e:   # SourceError and friends
+        return [SemanticFinding("FRONT000", "error", "",
+                                getattr(e, "line_number", 0) or 0,
+                                f"syntax error: {e}")]
+    return analyze_program(prog)

@@ -40,7 +40,9 @@ class Token:
 
 
 class LexError(Exception):
-    pass
+    def __init__(self, message: str, col: int | None = None):
+        super().__init__(message)
+        self.col = col
 
 
 #: Dot-delimited operators, longest first so .GE. wins over a hypothetical .G.
@@ -70,7 +72,7 @@ def tokenize(text: str) -> list[Token]:
             buf = []
             while True:
                 if j >= n:
-                    raise LexError(f"unterminated string at col {i}")
+                    raise LexError(f"unterminated string at col {i}", i)
                 if text[j] == ch:
                     # doubled quote is an escaped quote
                     if j + 1 < n and text[j + 1] == ch:
@@ -135,7 +137,8 @@ def tokenize(text: str) -> list[Token]:
             toks.append(Token(TokKind.OP, ch, i))
             i += 1
             continue
-        raise LexError(f"unexpected character {ch!r} at col {i} in {text!r}")
+        raise LexError(f"unexpected character {ch!r} at col {i} in {text!r}",
+                       i)
     toks.append(Token(TokKind.EOF, "", n))
     return toks
 

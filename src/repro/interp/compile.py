@@ -882,7 +882,7 @@ def _comp_store(cx: _Cx, target: ast.Expr):
 _DECL_TYPES = (ast.TypeDecl, ast.DimensionStmt, ast.CommonStmt,
                ast.ParameterStmt, ast.DataStmt, ast.SaveStmt,
                ast.ExternalStmt, ast.IntrinsicStmt, ast.ImplicitStmt,
-               ast.FormatStmt)
+               ast.FormatStmt, ast.EquivalenceStmt)
 
 _STRAIGHT_TYPES = (ast.Assign, ast.Continue, ast.WriteStmt,
                    ast.ReadStmt) + _DECL_TYPES
@@ -909,7 +909,8 @@ def _no_signal(s: ast.Stmt) -> bool:
 
 def _comp_stmt(cx: _Cx, s: ast.Stmt):
     idx = cx.idx_of[id(s)]
-    if isinstance(s, _DECL_TYPES):
+    if isinstance(s, _DECL_TYPES) or (isinstance(s, ast.OpaqueStmt)
+                                      and s.decl):
         def op(fr):
             fr.cnt[idx] += 1
             return None
@@ -1024,6 +1025,22 @@ def _comp_stmt(cx: _Cx, s: ast.Stmt):
                 raise StepLimitExceeded(
                     f"exceeded {rt.max_steps} interpreter steps")
             return None
+        return op
+    if isinstance(s, ast.CallStmt) and s.alt_labels:
+        line = s.line
+
+        def op(fr):
+            fr.cnt[idx] += 1
+            raise RuntimeFault(
+                f"line {line}: alternate returns are not lowered")
+        return op
+    if isinstance(s, ast.Return) and s.alt is not None:
+        line = s.line
+
+        def op(fr):
+            fr.cnt[idx] += 1
+            raise RuntimeFault(
+                f"line {line}: alternate returns are not lowered")
         return op
     if isinstance(s, ast.CallStmt):
         callee = s.name.upper()

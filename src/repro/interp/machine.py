@@ -530,8 +530,18 @@ class Interpreter:
         if isinstance(s, (ast.TypeDecl, ast.DimensionStmt, ast.CommonStmt,
                           ast.ParameterStmt, ast.DataStmt, ast.SaveStmt,
                           ast.ExternalStmt, ast.IntrinsicStmt,
-                          ast.ImplicitStmt, ast.FormatStmt)):
+                          ast.ImplicitStmt, ast.FormatStmt,
+                          ast.EquivalenceStmt)):
             return
+        if isinstance(s, ast.OpaqueStmt):
+            # Declaration-like opaques are no-ops; executable ones were
+            # accepted by the front end but never lowered -- refuse to
+            # guess their semantics.
+            if s.decl:
+                return
+            raise RuntimeFault(
+                f"line {s.line}: cannot execute un-lowered statement "
+                f"({s.kind}): {s.text}")
         if isinstance(s, ast.Assign):
             self._tick(self._expr_cost(s.value) + COST_MEMREF)
             value = self._eval_in(s.value, frame)
@@ -578,10 +588,16 @@ class Interpreter:
             self._tick(COST_TERM)
             return
         if isinstance(s, ast.CallStmt):
+            if s.alt_labels:
+                raise RuntimeFault(
+                    f"line {s.line}: alternate returns are not lowered")
             self._tick(COST_CALL)
             self._call(s.name, s.args, frame)
             return
         if isinstance(s, ast.Return):
+            if s.alt is not None:
+                raise RuntimeFault(
+                    f"line {s.line}: alternate returns are not lowered")
             self._flush_common(frame)
             raise _ReturnSignal()
         if isinstance(s, ast.Stop):

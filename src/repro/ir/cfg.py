@@ -24,11 +24,13 @@ EXIT = -2
 _EXECUTABLE_EXCLUDES = (
     ast.TypeDecl, ast.DimensionStmt, ast.CommonStmt, ast.ParameterStmt,
     ast.DataStmt, ast.SaveStmt, ast.ExternalStmt, ast.IntrinsicStmt,
-    ast.ImplicitStmt, ast.FormatStmt,
+    ast.ImplicitStmt, ast.FormatStmt, ast.EquivalenceStmt,
 )
 
 
 def is_executable(s: ast.Stmt) -> bool:
+    if isinstance(s, ast.OpaqueStmt):
+        return not s.decl
     return not isinstance(s, _EXECUTABLE_EXCLUDES)
 
 
@@ -179,6 +181,11 @@ def build_cfg(unit: ast.ProgramUnit) -> CFG:
         if isinstance(s, (ast.Return, ast.Stop)):
             cfg.add_edge(s.uid, EXIT)
             return []
+        if isinstance(s, ast.CallStmt) and s.alt_labels:
+            # Alternate returns: the callee may branch to any *label.
+            for lab in s.alt_labels:
+                cfg.add_edge(s.uid, target(lab, s.line))
+            return [s.uid]
         return [s.uid]
 
     wire(unit.body, [ENTRY], EXIT)

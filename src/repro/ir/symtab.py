@@ -202,6 +202,9 @@ def resolve_unit(unit: ast.ProgramUnit, st: SymbolTable,
         elif isinstance(s, (ast.ReadStmt,)):
             for it in s.items:
                 note(it)
+        elif isinstance(s, ast.OpaqueStmt):
+            for n in s.mods:
+                st.lookup(n)
 
 
 def _resolve_stmt(s: ast.Stmt, fix) -> None:

@@ -22,3 +22,4 @@ __all__ = [
 ]
 
 from . import rules as _rules  # noqa: E402,F401  (populates the registry)
+from . import front as _front  # noqa: E402,F401  (FRONT0xx rules)

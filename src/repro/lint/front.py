@@ -1,0 +1,132 @@
+"""Front-end (FRONT0xx) lint rules.
+
+Thin views over one shared :mod:`repro.fortran.semantics` run per
+program, mirroring how the RACE rules share a single
+:class:`~repro.lint.races.LoopRaceAnalysis`.  FRONT001-004 and FRONT007
+are unit-local (incremental re-lint re-runs them only for dirty units);
+FRONT005 (cross-unit COMMON types) and FRONT006 (DO-range nesting over
+the raw source) are program-scoped.
+
+FRONT000 (syntax error) has no rule here: the lint driver only sees
+programs that already parsed.  Batch front ends get it from
+:func:`repro.fortran.semantics.analyze_source`.
+"""
+
+from __future__ import annotations
+
+from ..fortran.semantics import analyze_program
+from .core import Rule, register
+from .rules import UnitRule
+
+
+def _front_findings(ctx):
+    """unit name -> [SemanticFinding], one semantics run per context."""
+    cache = getattr(ctx, "_front_cache", None)
+    if cache is None:
+        by_unit: dict[str, list] = {}
+        for f in analyze_program(ctx.program.ast):
+            by_unit.setdefault(f.unit, []).append(f)
+        cache = ctx._front_cache = by_unit
+    return cache
+
+
+class FrontUnitRule(UnitRule):
+    """Selects one FRONT rule id out of the shared semantics run."""
+
+    fix: str | None = None
+
+    def check_unit(self, ctx, name, uir):
+        out = []
+        for f in _front_findings(ctx).get(name, []):
+            if f.rule != self.rule_id:
+                continue
+            out.append(self.diag(name, f.line, f.message, var=f.var,
+                                 fix=self.fix, severity=f.severity))
+        return out
+
+
+class FrontProgramRule(Rule):
+    """Program-scoped FRONT rule (cross-unit or raw-source evidence)."""
+
+    scope = "program"
+    fix: str | None = None
+
+    def check(self, ctx):
+        out = []
+        for unit, findings in sorted(_front_findings(ctx).items()):
+            for f in findings:
+                if f.rule != self.rule_id:
+                    continue
+                out.append(self.diag(unit, f.line, f.message, var=f.var,
+                                     fix=self.fix, severity=f.severity))
+        return out
+
+
+@register
+class UndeclaredRule(FrontUnitRule):
+    """Names used without declaration under IMPLICIT NONE."""
+
+    rule_id = "FRONT001"
+    severity = "error"
+    title = "undeclared name under IMPLICIT NONE"
+    fix = "declare the variable, or remove IMPLICIT NONE"
+
+
+@register
+class UnusedRule(FrontUnitRule):
+    """Declared locals never referenced by the unit."""
+
+    rule_id = "FRONT002"
+    severity = "info"
+    title = "declared but never referenced"
+    fix = "delete the declaration"
+
+
+@register
+class RankRule(FrontUnitRule):
+    """Subscript count differs from the declared rank."""
+
+    rule_id = "FRONT003"
+    severity = "error"
+    title = "array rank mismatch"
+    fix = "match the reference to the declared dimensions"
+
+
+@register
+class TypeMixRule(FrontUnitRule):
+    """LOGICAL operands in arithmetic, numeric operands in logic."""
+
+    rule_id = "FRONT004"
+    severity = "warning"
+    title = "LOGICAL/arithmetic type mixing"
+    fix = "convert explicitly, or correct the declaration"
+
+
+@register
+class CommonTypeRule(FrontProgramRule):
+    """Positional COMMON member type conflicts across units."""
+
+    rule_id = "FRONT005"
+    severity = "error"
+    title = "COMMON member type conflict"
+    fix = "declare the block with identical member types in every unit"
+
+
+@register
+class DoNestingRule(FrontProgramRule):
+    """Label-DO ranges that do not close in LIFO order."""
+
+    rule_id = "FRONT006"
+    severity = "error"
+    title = "mis-nested DO ranges"
+    fix = "terminate inner DO ranges before outer ones"
+
+
+@register
+class OpaqueRule(FrontUnitRule):
+    """Statements accepted but not lowered (analyzed conservatively)."""
+
+    rule_id = "FRONT007"
+    severity = "info"
+    title = "statement accepted but not lowered"
+    fix = None

@@ -31,7 +31,12 @@ Configuration (read when the default store is first built):
 * ``REPRO_STORE_DIR`` -- disk-tier root directory (unset/empty
   disables the disk tier);
 * ``REPRO_STORE_DISK_ENTRIES`` / ``REPRO_STORE_DISK_BYTES`` -- disk
-  tier bounds (entries / bytes of pickled artifacts).
+  tier bounds (entries / bytes of pickled artifacts);
+* ``REPRO_STORE_DISK_TTL`` -- disk-tier artifact age bound in seconds:
+  files older than this (by mtime) are garbage-collected on store
+  construction and opportunistically on writes, with per-namespace
+  ``ttl_evictions`` counters surfaced through ``stats()``/``health()``
+  (unset = artifacts never expire).
 
 The process-global default store is shared by every session (that is
 the point).  Benchmarks and tests that need *isolated* per-session
@@ -76,6 +81,8 @@ class TierCounters:
     stores: int = 0
     #: values that could not enter the tier (unpicklable, over-size...)
     skips: int = 0
+    #: disk-tier entries removed by the TTL age sweep (memory tiers: 0)
+    ttl_evictions: int = 0
 
     def as_dict(self) -> dict:
         total = self.hits + self.misses
@@ -83,6 +90,7 @@ class TierCounters:
                 "evictions": self.evictions,
                 "promotions": self.promotions, "stores": self.stores,
                 "skips": self.skips,
+                "ttl_evictions": self.ttl_evictions,
                 "hit_rate": self.hits / total if total else 0.0}
 
 
@@ -122,6 +130,16 @@ def _env_int(name: str) -> int | None:
         return None
     try:
         return int(raw)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
     except ValueError:
         return None
 
@@ -183,14 +201,20 @@ class DiskTier:
     """
 
     def __init__(self, root: str, max_entries: int = 4096,
-                 max_bytes: int | None = 256 * 1024 * 1024):
+                 max_bytes: int | None = 256 * 1024 * 1024,
+                 ttl: float | None = None):
         self.root = root
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        #: artifact age bound in seconds (None = artifacts never expire)
+        self.ttl = ttl
         self._lock = threading.Lock()
         self._index: dict[str, _DiskNamespaceIndex] = {}
         self._counters: dict[str, TierCounters] = {}
+        self._last_sweep = 0.0
         self._scan()
+        if self.ttl is not None:
+            self.sweep()
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -251,6 +275,50 @@ class DiskTier:
                     pass
                 return
 
+    def sweep(self, now: float | None = None) -> int:
+        """Remove artifacts older than ``ttl`` seconds (by file mtime).
+
+        Age-based GC for long-lived server deployments: bounds how stale
+        a cross-session verdict can get, independent of the entry/byte
+        LRU bounds.  Runs on construction, then opportunistically from
+        :meth:`put` (at most once per ``ttl / 4`` seconds), and is safe
+        to call directly (tests pass a fake ``now``).  Returns the
+        number of files removed; a no-op when ``ttl`` is None.
+        """
+        if self.ttl is None:
+            return 0
+        import time as _time
+        now = _time.time() if now is None else now
+        cutoff = now - self.ttl
+        removed = 0
+        with self._lock:
+            self._last_sweep = now
+            for ns, idx in self._index.items():
+                for digest in list(idx.files):
+                    path, size = idx.files[digest]
+                    try:
+                        mtime = os.path.getmtime(path)
+                    except OSError:
+                        mtime = 0.0          # vanished: drop the entry
+                    if mtime > cutoff:
+                        continue
+                    idx.files.pop(digest)
+                    idx.total_bytes -= size
+                    self.counters(ns).ttl_evictions += 1
+                    removed += 1
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+        return removed
+
+    def _maybe_sweep(self) -> None:
+        if self.ttl is None:
+            return
+        import time as _time
+        if _time.time() - self._last_sweep >= self.ttl / 4:
+            self.sweep()
+
     def _drop(self, namespace: str, digest: str) -> None:
         idx = self._ns(namespace)
         ent = idx.files.pop(digest, None)
@@ -304,6 +372,7 @@ class DiskTier:
         return value
 
     def put(self, namespace: str, key, value, digest: str) -> None:
+        self._maybe_sweep()
         c = self.counters(namespace)
         try:
             blob = pickle.dumps((key, value),
@@ -368,7 +437,8 @@ class DiskTier:
                 d["bytes"] = idx.total_bytes if idx else 0
                 out[ns] = d
             out["_limits"] = {"entries": self.max_entries,
-                              "bytes": self.max_bytes}
+                              "bytes": self.max_bytes,
+                              "ttl": self.ttl}
             return out
 
 
@@ -380,6 +450,7 @@ class ArtifactStore:
                  mem_bytes: int | None = None,
                  disk_entries: int | None = None,
                  disk_bytes: int | None = None,
+                 disk_ttl: float | None = None,
                  from_env: bool = True):
         self._lock = threading.RLock()
         self._mem: dict[str, _MemoryNamespace] = {}
@@ -399,10 +470,13 @@ class ArtifactStore:
                 else None)
             db = disk_bytes if disk_bytes is not None else (
                 _env_int("REPRO_STORE_DISK_BYTES") if from_env else None)
+            dt = disk_ttl if disk_ttl is not None else (
+                _env_float("REPRO_STORE_DISK_TTL") if from_env else None)
             self.disk = DiskTier(
                 disk_dir,
                 max_entries=de if de is not None else 4096,
-                max_bytes=db if db is not None else 256 * 1024 * 1024)
+                max_bytes=db if db is not None else 256 * 1024 * 1024,
+                ttl=dt)
         self._disk_enabled: dict[str, bool] = {}
 
     # -- namespaces -------------------------------------------------------

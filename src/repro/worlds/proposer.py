@@ -18,9 +18,15 @@ derives candidate worlds:
   alignment, skewing, reversal) on an impeded loop, again followed by
   the sweep.
 
+Lint is a second, independent vote: unsuppressed RACE findings on the
+probe's post-autopar program become proposals too -- RACE001/002 map to
+privatizing the flagged scalar, RACE003 to reduction recognition --
+named ``lint:<rule>(<var>)+autopar@<unit>:<loop>``.
+
 Proposal order is deterministic: baseline first, then impediment fixes
-in importance order, combo, then structure transforms; duplicates (same
-step sequence) are dropped and the list is capped at ``max_worlds``.
+in importance order, combo, lint-driven fixes, then structure
+transforms; duplicates (same step sequence) are dropped and the list is
+capped at ``max_worlds``.
 """
 
 from __future__ import annotations
@@ -38,6 +44,19 @@ _CLASSIFY_RE = re.compile(r"classify_variable\('([A-Z0-9_]+)',\s*'private'\)")
 _ASSERT_RE = re.compile(r"ASSERT (.+)$")
 
 AUTOPAR = WorldStep(op="autopar")
+
+
+def _lint_race_findings(probe):
+    """Unsuppressed RACE findings (with a loop anchor) on the probe's
+    post-autopar program, in deterministic diagnostic order."""
+    try:
+        from ..lint import lint_program
+        diags = lint_program(probe.program)
+    except Exception:
+        return []
+    return [d for d in diags
+            if d.rule.startswith("RACE") and not d.suppressed
+            and d.loop is not None]
 
 
 def _suggestion_steps(imp, suggestion: str) -> tuple[WorldStep, ...] | None:
@@ -91,6 +110,26 @@ def propose_worlds(session, max_worlds: int = 8
             name="combo+autopar",
             steps=tuple(fix_steps) + (AUTOPAR,),
             rationale=f"all {len(fix_steps)} impediment fixes combined"))
+
+    # lint-driven proposals: the race detector re-derives parallel
+    # safety from independent analyses, so a RACE finding on a marked
+    # loop is evidence the mark needs a fix the impediment report may
+    # not carry -- RACE001/002 suggest privatizing the flagged scalar,
+    # RACE003 suggests recognizing the reduction.
+    for d in _lint_race_findings(probe):
+        if d.rule in ("RACE001", "RACE002") and d.var:
+            step = WorldStep(op="classify", var=d.var, kind="private",
+                             unit=d.unit, loop=d.loop)
+        elif d.rule == "RACE003" and d.var:
+            step = WorldStep(op="apply",
+                             transform="reduction_recognition",
+                             unit=d.unit, loop=d.loop)
+        else:
+            continue
+        proposals.append(WorldProposal(
+            name=f"lint:{d.rule}({d.var})+autopar@{d.unit}:{d.loop}",
+            steps=(step, AUTOPAR),
+            rationale=f"lint {d.rule}: {d.message}"))
 
     # structure transforms on impeded loops, guided by the probe's
     # safety checks (the probe's post-autopar state matches what the

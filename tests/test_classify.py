@@ -1,0 +1,366 @@
+"""Grammar-table statement classifier and FRONT0xx semantic pass.
+
+Pins the general-front-end contract:
+
+* every statement kind in the grammar tables classifies (one example
+  per keyword spelling, plus the classic fixed-form disambiguation
+  cases: ``DO10I=1,5`` vs ``DO10I=1``, the four IF( forms, END vs
+  END DO vs END FILE, type keywords vs typed FUNCTION heads);
+* no UNKNOWN classification anywhere in the hand-written corpus;
+* label-DO nesting issues are detected without parsing;
+* the semantic pass reports FRONT001-007 on crafted programs and
+  FRONT000 (with source position) on unparsable text, never raising;
+* the FRONT rules ride the lint driver: findings appear in
+  ``lint_program`` output and honor ``C$PED LINT`` suppression.
+"""
+
+import pytest
+
+from repro.corpus import PROGRAMS
+from repro.fortran import ParseError, parse_program
+from repro.fortran.classify import (Grammar, classify_source,
+                                    classify_statement, do_nesting_issues,
+                                    squash)
+from repro.fortran.semantics import (analyze_program, analyze_source,
+                                     analyze_unit)
+from repro.ir import AnalyzedProgram
+from repro.lint import lint_program
+
+
+def _kinds(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# classifier: one example per grammar-table statement kind
+# ---------------------------------------------------------------------------
+
+#: (statement field, expected kind) -- covers every keyword spelling in
+#: Grammar.statements plus the assignment/function special cases.
+KIND_EXAMPLES = [
+    ("GO TO 50", "goto"),
+    ("GOTO50", "goto"),
+    ("GO TO (10, 20), I", "goto"),
+    ("CALL FOO(X, *90)", "call"),
+    ("RETURN", "return"),
+    ("RETURN 1", "return"),
+    ("CONTINUE", "continue"),
+    ("STOP 'DONE'", "stop"),
+    ("PAUSE 42", "pause"),
+    ("END", "end"),
+    ("IF (X .GT. 1.0) THEN", "if"),
+    ("ELSE IF (X .LT. 0.0) THEN", "elseif"),
+    ("ELSE", "else"),
+    ("END IF", "endif"),
+    ("DO 10 I = 1, 5", "do"),
+    ("DO I = 1, 5", "do"),
+    ("END DO", "enddo"),
+    ("READ (5, *) X", "read"),
+    ("WRITE (6, *) X", "write"),
+    ("PRINT *, 'A,B'", "print"),
+    ("REWIND 9", "rewind"),
+    ("BACKSPACE 9", "backspace"),
+    ("END FILE 9", "endfile"),
+    ("OPEN (UNIT = 9, FILE = 'T.DAT')", "open"),
+    ("CLOSE (9)", "close"),
+    ("INQUIRE (UNIT = 9, IOSTAT = K)", "inquire"),
+    ("ASSIGN 50 TO LAB", "assign"),
+    ("DIMENSION A(10)", "dimension"),
+    ("COMMON /BLK/ X, Y", "common"),
+    ("EQUIVALENCE (A(1), B(1))", "equivalence"),
+    ("IMPLICIT NONE", "implicit"),
+    ("PARAMETER (N = 10)", "parameter"),
+    ("EXTERNAL FOO", "external"),
+    ("INTRINSIC SQRT", "intrinsic"),
+    ("SAVE K", "save"),
+    ("INTEGER I", "integer"),
+    ("REAL X", "real"),
+    ("DOUBLE PRECISION D", "doubleprecision"),
+    ("COMPLEX C", "complex"),
+    ("LOGICAL L", "logical"),
+    ("CHARACTER*8 CH", "character"),
+    ("PROGRAM MAIN", "program"),
+    ("FUNCTION F(X)", "function"),
+    ("SUBROUTINE SUB(A, *)", "subroutine"),
+    ("BLOCK DATA INIT", "blockdata"),
+    ("BLOCKDATA", "blockdata"),
+    ("ENTRY ALT(X)", "entry"),
+    ("DATA A /10 * 0.0/", "data"),
+    ("FORMAT (I6)", "format"),
+    ("ASSERT X .GT. 0", "assert"),
+    ("PARALLEL DO 10 I = 1, N", "paralleldo"),
+]
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("text,kind", KIND_EXAMPLES,
+                             ids=[k for _, k in KIND_EXAMPLES])
+    def test_every_grammar_kind_classifies(self, text, kind):
+        assert classify_statement(text).kind == kind
+
+    def test_examples_cover_the_whole_grammar(self):
+        table_kinds = {"".join(words)
+                       for cat in Grammar.statements.values()
+                       for words in cat}
+        covered = {k for _, k in KIND_EXAMPLES}
+        assert table_kinds <= covered
+
+    def test_blanks_are_insignificant(self):
+        # the classic fixed-form pair: a comma makes it a DO statement
+        assert classify_statement("DO10I=1,5").kind == "do"
+        assert classify_statement("DO10I=1").kind == "assignment"
+        assert classify_statement("D O 1 0 I = 1 , 5").kind == "do"
+
+    def test_if_forms_disambiguate_on_matching_paren(self):
+        assert classify_statement("IF(X.GT.1)THEN").kind == "if"
+        assert classify_statement("IF(X-2)10,20,30").kind == "arithmeticif"
+        assert classify_statement("IF(L)X=1").kind == "logicalif"
+        # an array named IF: assignment, not a control statement
+        assert classify_statement("IF(1)=2").kind == "assignment"
+
+    def test_longest_keyword_wins(self):
+        assert classify_statement("ENDFILE 9").kind == "endfile"
+        assert classify_statement("ENDDO").kind == "enddo"
+        assert classify_statement("ENDIF").kind == "endif"
+        assert classify_statement("END").kind == "end"
+        # DOUBLE PRECISION must not classify as a DO statement
+        assert classify_statement("DOUBLEPRECISION D").kind \
+            == "doubleprecision"
+
+    def test_typed_function_head_beats_type_decl(self):
+        assert classify_statement("REAL FUNCTION F(X)").kind == "function"
+        assert classify_statement("INTEGERFUNCTIONG(Y)").kind == "function"
+        assert classify_statement("CHARACTER*8 FUNCTION H(Z)").kind \
+            == "function"
+        assert classify_statement("REAL F").kind == "real"
+
+    def test_squash_protects_character_literals(self):
+        assert squash("PRINT *, 'A,B (C'") == "PRINT*,'S'"
+        # classification must not see the comma/paren inside the literal
+        assert classify_statement("CALL LOG('A=1,B=2')").kind == "call"
+
+    def test_assignment_keyword_lookalikes(self):
+        # keywords at the start of an ordinary assignment
+        assert classify_statement("DOG = 1").kind == "assignment"
+        assert classify_statement("FORMAT(3) = 2.0").kind == "assignment"
+        assert classify_statement("READY = .TRUE.").kind == "assignment"
+
+    def test_corpus_has_no_unknown(self):
+        for name, prog in sorted(PROGRAMS.items()):
+            bad = [cl for cl in classify_source(prog.source)
+                   if cl.cls.kind == "unknown"]
+            assert not bad, f"{name}: {bad[:3]}"
+
+    def test_classify_source_carries_labels_and_lines(self):
+        src = ("      PROGRAM P\n"
+               "      DO 10 I = 1, 3\n"
+               " 10   CONTINUE\n"
+               "      END\n")
+        lines = classify_source(src)
+        assert [cl.cls.kind for cl in lines] == \
+            ["program", "do", "continue", "end"]
+        assert lines[2].label == 10
+        assert [cl.line for cl in lines] == [1, 2, 3, 4]
+
+
+class TestDoNesting:
+    def test_properly_nested_is_clean(self):
+        src = ("      PROGRAM P\n"
+               "      DO 10 I = 1, 3\n"
+               "      DO 20 J = 1, 3\n"
+               " 20   CONTINUE\n"
+               " 10   CONTINUE\n"
+               "      END\n")
+        assert do_nesting_issues(src) == []
+
+    def test_shared_terminal_label_is_legal(self):
+        src = ("      PROGRAM P\n"
+               "      DO 16 I = 1, 3\n"
+               "      DO 16 J = 1, 3\n"
+               "      A(I) = 0.0\n"
+               " 16   CONTINUE\n"
+               "      END\n")
+        assert do_nesting_issues(src) == []
+
+    def test_misnested_ranges_detected(self):
+        src = ("      PROGRAM P\n"
+               "      DO 10 I = 1, 3\n"
+               "      DO 20 J = 1, 3\n"
+               "      A(I) = 0.0\n"
+               " 10   CONTINUE\n"
+               " 20   CONTINUE\n"
+               "      END\n")
+        issues = do_nesting_issues(src)
+        assert len(issues) == 1
+        assert issues[0].label == 10
+        assert issues[0].line == 5
+        assert "20" in issues[0].message
+
+
+# ---------------------------------------------------------------------------
+# semantic pass: FRONT0xx findings
+# ---------------------------------------------------------------------------
+
+SEMANTIC_DEMO = """      PROGRAM DEMO
+      IMPLICIT NONE
+      INTEGER I
+      REAL A(10), UNUSED
+      LOGICAL L
+      DATA A /10 * 0.0/
+      L = .TRUE.
+      DO 10 I = 1, 10
+         A(I) = A(I) + L
+ 10   CONTINUE
+      X = A(1, 2)
+      CALL HELP(I, *20)
+ 20   CONTINUE
+      END
+      SUBROUTINE HELP(K, *)
+      INTEGER K
+      COMMON /BLK/ M
+      K = K + M
+      RETURN 1
+      END
+      SUBROUTINE OTHER
+      COMMON /BLK/ R
+      R = 1.0
+      RETURN
+      END
+"""
+
+
+class TestSemantics:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return analyze_program(parse_program(SEMANTIC_DEMO))
+
+    def test_undeclared_under_implicit_none(self, findings):
+        (f,) = _kinds(findings, "FRONT001")
+        assert (f.var, f.line, f.severity) == ("X", 11, "error")
+
+    def test_unused_declaration(self, findings):
+        (f,) = _kinds(findings, "FRONT002")
+        assert (f.var, f.line, f.severity) == ("UNUSED", 4, "info")
+
+    def test_rank_mismatch(self, findings):
+        (f,) = _kinds(findings, "FRONT003")
+        assert f.var == "A" and f.line == 11
+        assert "rank 1" in f.message and "2 subscript" in f.message
+
+    def test_logical_in_arithmetic(self, findings):
+        (f,) = _kinds(findings, "FRONT004")
+        assert f.line == 9 and "LOGICAL" in f.message
+
+    def test_common_type_conflict_across_units(self, findings):
+        (f,) = _kinds(findings, "FRONT005")
+        assert f.unit == "OTHER" and f.var == "R"
+        assert "REAL R" in f.message and "INTEGER M" in f.message
+
+    def test_opaque_and_alternate_returns(self, findings):
+        lines = {(f.unit, f.line) for f in _kinds(findings, "FRONT007")}
+        assert ("DEMO", 12) in lines      # alternate-return CALL
+        assert ("HELP", 19) in lines      # RETURN 1
+
+    def test_ordering_is_stable(self):
+        a = analyze_program(parse_program(SEMANTIC_DEMO))
+        b = analyze_program(parse_program(SEMANTIC_DEMO))
+        assert a == b
+
+    def test_misnested_do_reported_with_unit(self):
+        src = ("      PROGRAM P\n"
+               "      INTEGER I, J\n"
+               "      REAL A(5)\n"
+               "      DO 10 I = 1, 5\n"
+               "      DO 20 J = 1, 5\n"
+               "      A(I) = 0.0\n"
+               " 10   CONTINUE\n"
+               " 20   CONTINUE\n"
+               "      END\n")
+        found = _kinds(analyze_source(src), "FRONT006")
+        assert found and found[0].line == 7
+        assert "20" in found[0].message
+
+    def test_syntax_error_gets_front000_with_position(self):
+        found = analyze_source(
+            "      PROGRAM P\n      X = (1.0, 2.0)\n      END\n")
+        (f,) = _kinds(found, "FRONT000")
+        assert f.severity == "error"
+        assert f.line == 2 and f.col is not None
+
+    def test_analyze_source_never_raises(self):
+        for text in ("", "GARBAGE", "      GO TO\n",
+                     "      PROGRAM P\n      DO 10 I = 1, 5\n      END\n"):
+            assert isinstance(analyze_source(text), list)
+
+    def test_clean_unit_has_no_findings(self):
+        src = ("      PROGRAM OK\n"
+               "      INTEGER I\n"
+               "      REAL A(5)\n"
+               "      DO 10 I = 1, 5\n"
+               "         A(I) = 1.0 * I\n"
+               " 10   CONTINUE\n"
+               "      PRINT *, A(1)\n"
+               "      END\n")
+        assert analyze_program(parse_program(src)) == []
+
+    def test_saved_and_referenced_names_not_unused(self):
+        src = ("      SUBROUTINE S(X)\n"
+               "      REAL X, KEPT, USED\n"
+               "      SAVE KEPT\n"
+               "      USED = X\n"
+               "      X = USED\n"
+               "      RETURN\n"
+               "      END\n")
+        prog = parse_program(src)
+        assert _kinds(analyze_unit(prog.units[0]), "FRONT002") == []
+
+    def test_parse_errors_carry_positions(self):
+        for bad in ("      PROGRAM P\n      GO TO\n      END\n",
+                    "      PROGRAM P\n      X = (1.0, 2.0)\n      END\n",
+                    "      PROGRAM P\n      X = 1.0 +\n      END\n"):
+            with pytest.raises(ParseError) as ei:
+                parse_program(bad)
+            assert ei.value.line == 2
+            assert ei.value.col is not None
+
+
+# ---------------------------------------------------------------------------
+# lint driver integration
+# ---------------------------------------------------------------------------
+
+LINT_DEMO = """      PROGRAM DEMO
+      INTEGER I, KDEAD
+      REAL A(10)
+      DATA A /10 * 1.0/
+      DO 10 I = 1, 10
+         A(I) = A(I) + 1.0
+ 10   CONTINUE
+      PRINT *, A(1)
+      END
+"""
+
+
+class TestFrontLintRules:
+    def test_front_findings_ride_the_lint_driver(self):
+        ap = AnalyzedProgram.from_source(LINT_DEMO)
+        diags = [d for d in lint_program(ap, source=LINT_DEMO)
+                 if d.rule.startswith("FRONT")]
+        rules = {(d.rule, d.var) for d in diags}
+        assert ("FRONT002", "KDEAD") in rules
+        assert all(d.severity in ("error", "warning", "info")
+                   for d in diags)
+
+    def test_front_rules_honor_suppression(self):
+        src = "C$PED LINT DISABLE-FILE FRONT002\n" + LINT_DEMO
+        ap = AnalyzedProgram.from_source(src)
+        diags = [d for d in lint_program(ap, source=src)
+                 if d.rule == "FRONT002"]
+        assert diags and all(d.suppressed for d in diags)
+
+    def test_front_diags_are_json_clean(self):
+        ap = AnalyzedProgram.from_source(LINT_DEMO)
+        for d in lint_program(ap, source=LINT_DEMO):
+            if d.rule.startswith("FRONT"):
+                j = d.to_json()
+                assert j["rule"].startswith("FRONT")
+                assert isinstance(j["line"], int)

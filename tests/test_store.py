@@ -124,6 +124,69 @@ class TestDiskTier:
         assert store.stats()["disk"] is None
 
 
+class TestDiskTTL:
+    def _age(self, tmp_path, seconds):
+        import os
+        import time
+        old = time.time() - seconds
+        for ns_dir in tmp_path.iterdir():
+            for f in ns_dir.iterdir():
+                os.utime(f, (old, old))
+
+    def test_sweep_removes_expired_artifacts(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), disk_ttl=3600,
+                              from_env=False)
+        store.put("t_disk", "old", 1)
+        self._age(tmp_path, 7200)
+        store.put("t_disk", "new", 2)       # fresh mtime
+        assert store.disk.sweep() == 1
+        assert store.stats()["disk"]["t_disk"]["ttl_evictions"] == 1
+        # the expired artifact is gone from disk; the fresh one is not
+        fresh = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        assert fresh.get("t_disk", "old") is MISS
+        assert fresh.get("t_disk", "new") == 2
+
+    def test_construction_sweeps_a_stale_directory(self, tmp_path):
+        a = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        a.put("t_disk", "k", "stale")
+        self._age(tmp_path, 7200)
+        b = ArtifactStore(disk_dir=str(tmp_path), disk_ttl=3600,
+                          from_env=False)
+        assert b.get("t_disk", "k") is MISS
+        assert b.stats()["disk"]["t_disk"]["ttl_evictions"] == 1
+
+    def test_fresh_artifacts_survive_sweep(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), disk_ttl=3600,
+                              from_env=False)
+        store.put("t_disk", "k", 1)
+        assert store.disk.sweep() == 0
+        assert store.stats()["disk"]["t_disk"]["ttl_evictions"] == 0
+
+    def test_no_ttl_means_no_expiry(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        store.put("t_disk", "k", 1)
+        self._age(tmp_path, 10 ** 9)
+        assert store.disk.sweep() == 0
+        assert store.disk.ttl is None
+        b = ArtifactStore(disk_dir=str(tmp_path), from_env=False)
+        assert b.get("t_disk", "k") == 1
+
+    def test_env_var_sets_the_ttl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DISK_TTL", "123.5")
+        store = ArtifactStore(disk_dir=str(tmp_path))
+        assert store.disk.ttl == 123.5
+        assert store.stats()["disk"]["_limits"]["ttl"] == 123.5
+
+    def test_put_triggers_opportunistic_sweep(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path), disk_ttl=3600,
+                              from_env=False)
+        store.put("t_disk", "old", 1)
+        self._age(tmp_path, 7200)
+        store.disk._last_sweep = 0.0        # due for its periodic sweep
+        store.put("t_disk", "new", 2)
+        assert store.stats()["disk"]["t_disk"]["ttl_evictions"] == 1
+
+
 class TestEnvConfig:
     def test_namespace_entry_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_T_MEM_ENTRIES", "2")

@@ -1,0 +1,254 @@
+"""Property-based corpus synthesizer + differential ground-truth harness.
+
+The acceptance bars (ISSUE tentpole):
+
+* generation is deterministic: ``generate(seed, index)`` is a pure
+  function of its arguments, and ``synth:<seed>:<index>`` names replay
+  any program exactly;
+* every template's planted ground truth survives the full differential
+  harness -- the static dependence engine, the lint race detector and
+  the shadow interpreter each agree with the planted truth with zero
+  false positives and zero false negatives over a fixed-seed batch;
+* no statement in a generated batch classifies UNKNOWN, and every
+  program round-trips parse -> print -> parse to a printer fixed point
+  (the hand-written corpus must round-trip too);
+* the fleet accepts generative-corpus names and regenerates the work
+  item inside pool workers;
+* batch summaries are store-backed so re-runs are cache hits.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import PROGRAMS
+from repro.corpus import synth
+from repro.corpus.synth import (BatchSummary, LoopTruth, TEMPLATES,
+                                check_program, generate, generate_batch,
+                                parse_name, program_name, run_batch,
+                                source_for_name)
+from repro.fleet import run_program_pipeline
+from repro.fleet.queue import FleetRunner
+from repro.fortran import parse_program, print_program
+from repro.fortran.classify import classify_source
+from repro.store import ArtifactStore, MISS, scoped_store
+
+SEED = 4242          # suite-local; CI smoke uses 1993
+BATCH = 42           # six full template cycles
+
+
+# ---------------------------------------------------------------------------
+# generator
+# ---------------------------------------------------------------------------
+
+class TestGenerator:
+    def test_deterministic(self):
+        for i in (0, 3, 11, 26):
+            a, b = generate(SEED, i), generate(SEED, i)
+            assert a == b
+            assert a.source == b.source and a.truth == b.truth
+
+    def test_seeds_and_indices_vary_the_program(self):
+        assert generate(SEED, 1).source != generate(SEED + 1, 1).source
+        assert generate(SEED, 0).source != generate(SEED, 7).source \
+            or generate(SEED, 0).truth == generate(SEED, 7).truth
+
+    def test_template_cycle_covers_all_templates(self):
+        batch = generate_batch(SEED, len(TEMPLATES) * 2)
+        assert {sp.template for sp in batch} == set(TEMPLATES)
+
+    def test_names_round_trip(self):
+        name = program_name(SEED, 13)
+        assert name == f"synth:{SEED}:13"
+        assert parse_name(name) == (SEED, 13)
+        assert source_for_name(name) == generate(SEED, 13).source
+
+    def test_parse_name_rejects_foreign_names(self):
+        for bad in ("dpmin", "synth:", "synth:x:1", "synth:1",
+                    "synth:1:y"):
+            with pytest.raises(ValueError):
+                parse_name(bad)
+
+    def test_truth_matches_template_shape(self):
+        for i in range(len(TEMPLATES) * 2):
+            sp = generate(SEED, i)
+            t = sp.truth
+            if sp.template in ("independent", "private"):
+                assert t.parallel and not t.raced and not t.carried
+            if t.raced:
+                assert t.parallel and t.race_rule and t.race_var
+                assert t.race_var in t.carried
+            if sp.template == "reduction":
+                assert t.reductions == ("S",)
+                assert t.dynamic_needs_reductions
+
+    def test_gallery_appears_on_schedule_and_classifies(self):
+        sp = generate(SEED, 3)
+        assert "GALERY" in sp.source           # index % 7 == 3
+        assert "GALERY" not in generate(SEED, 4).source
+        bad = [cl for cl in classify_source(sp.source)
+               if cl.cls.kind == "unknown"]
+        assert not bad, bad[:3]
+
+    def test_batch_has_no_unknown_statements(self):
+        for sp in generate_batch(SEED, BATCH):
+            bad = [cl for cl in classify_source(sp.source)
+                   if cl.cls.kind == "unknown"]
+            assert not bad, f"{sp.name}: {bad[:3]}"
+
+
+# ---------------------------------------------------------------------------
+# parse -> print -> parse round-trip property
+# ---------------------------------------------------------------------------
+
+def _assert_fixed_point(source, name):
+    once = print_program(parse_program(source))
+    twice = print_program(parse_program(once))
+    assert once == twice, f"{name}: printed form is not a fixed point"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_corpus_round_trips(self, name):
+        _assert_fixed_point(PROGRAMS[name].source, name)
+
+    def test_synthesized_programs_round_trip(self):
+        for sp in generate_batch(SEED, BATCH):
+            _assert_fixed_point(sp.source, sp.name)
+
+    def test_gallery_round_trips(self):
+        # the gallery exercises the opaque statement kinds; the printer
+        # must reproduce them well enough to re-parse identically
+        _assert_fixed_point(generate(SEED, 3).source, "gallery")
+
+
+# ---------------------------------------------------------------------------
+# differential harness
+# ---------------------------------------------------------------------------
+
+class TestDifferentialHarness:
+    def test_batch_is_clean(self):
+        summary = run_batch(SEED, BATCH, use_store=False)
+        assert summary.clean, \
+            "\n".join(m.describe() for m in summary.mismatches[:10])
+        assert summary.checked == BATCH and summary.failures == 0
+        assert sum(summary.by_template.values()) == BATCH
+        assert set(summary.by_template) == set(TEMPLATES)
+
+    def test_serial_and_parallel_agree(self):
+        a = run_batch(SEED, 14, parallel=False, use_store=False)
+        b = run_batch(SEED, 14, parallel=True, use_store=False)
+        assert a.as_dict() == b.as_dict()
+
+    def test_harness_catches_a_missed_dependence(self):
+        # lie about the truth: claim the carried template is independent;
+        # every layer must now disagree (the harness has teeth)
+        sp = generate(SEED, 1)
+        assert sp.template == "carried"
+        lied = synth.SynthProgram(
+            sp.name, sp.seed, sp.index, sp.template, sp.source,
+            LoopTruth(parallel=sp.truth.parallel))
+        mismatches = check_program(lied, roundtrip=False)
+        layers = {m.layer for m in mismatches}
+        assert "engine" in layers
+        if sp.truth.raced:
+            assert "lint" in layers
+
+    def test_harness_catches_a_phantom_race(self):
+        # opposite lie: claim the independent template races
+        sp = generate(SEED, 0)
+        assert sp.template == "independent"
+        lied = synth.SynthProgram(
+            sp.name, sp.seed, sp.index, sp.template, sp.source,
+            LoopTruth(carried=("A",), parallel=True, raced=True,
+                      race_rule="RACE001", race_var="A"))
+        layers = {m.layer for m in check_program(lied, roundtrip=False)}
+        assert "engine" in layers and "lint" in layers
+
+    def test_summary_dict_is_json_clean(self):
+        summary = run_batch(SEED, 7, use_store=False)
+        d = summary.as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["clean"] is True and d["seed"] == SEED
+
+    def test_batch_summary_cached_in_store(self):
+        with scoped_store(ArtifactStore(from_env=False)) as store:
+            first = run_batch(SEED, 7, use_store=True)
+            assert store.get(synth.SYNTH_NS,
+                             synth._summary_key(SEED, 7, True)) is not MISS
+            again = run_batch(SEED, 7, use_store=True)
+            assert again is first or again.as_dict() == first.as_dict()
+            assert store.info(synth.SYNTH_NS)["hits"] >= 1
+
+    def test_no_store_bypasses_the_cache(self):
+        with scoped_store(ArtifactStore(from_env=False)) as store:
+            run_batch(SEED, 7, use_store=False)
+            assert store.get(synth.SYNTH_NS,
+                             synth._summary_key(SEED, 7, True)) is MISS
+
+
+# ---------------------------------------------------------------------------
+# fleet integration
+# ---------------------------------------------------------------------------
+
+class TestFleetIntegration:
+    def test_pipeline_runs_a_synth_program(self):
+        rec = run_program_pipeline(program_name(SEED, 0),
+                                   {"mode": "auto"})
+        assert rec["status"] == "ok"
+        assert rec["program"] == program_name(SEED, 0)
+        assert not rec["diverged"]
+        assert rec["parallel_loops"]      # independent template: safe
+
+    def test_pipeline_catches_the_planted_race_dynamically(self):
+        # the raced carried variant keeps its unsound PARALLEL mark, so
+        # the fleet's adversarial verifier must observe the divergence
+        sp = generate(SEED, 1)
+        assert sp.template == "carried" and sp.truth.raced
+        rec = run_program_pipeline(sp.name, {"mode": "auto"})
+        assert rec["status"] == "ok" and rec["diverged"]
+
+    def test_divergence_only_on_planted_races(self):
+        # sound plants must never diverge: the fleet verdict is a
+        # subset of the planted race set (zero dynamic false positives)
+        for sp in generate_batch(SEED, len(TEMPLATES)):
+            if sp.truth.raced:
+                continue
+            rec = run_program_pipeline(sp.name, {"mode": "auto"})
+            assert rec["status"] == "ok" and not rec["diverged"], sp.name
+
+    def test_runner_accepts_synth_names(self):
+        runner = FleetRunner([program_name(SEED, 0), "dpmin"])
+        assert runner.names == [program_name(SEED, 0), "dpmin"]
+
+    def test_runner_rejects_malformed_names(self):
+        with pytest.raises(ValueError):
+            FleetRunner(["synth:notanint:0"])
+        with pytest.raises(ValueError):
+            FleetRunner(["nosuch"])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_emit_prints_the_named_program(self, capsys):
+        assert synth.main(["--seed", str(SEED), "--emit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert program_name(SEED, 5) in out
+        assert generate(SEED, 5).source in out
+
+    def test_strict_clean_batch_exits_zero(self, capsys):
+        rc = synth.main(["--seed", str(SEED), "--count", "7",
+                         "--strict", "--no-store", "--serial"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["clean"] and summary["checked"] == 7
+
+    def test_strict_mismatch_exits_one(self, capsys, monkeypatch):
+        dirty = BatchSummary(seed=SEED, count=1, checked=1)
+        dirty.mismatches.append(synth.Mismatch("p", "t", "engine", "x"))
+        monkeypatch.setattr(synth, "run_batch",
+                            lambda *a, **k: dirty)
+        assert synth.main(["--count", "1", "--strict"]) == 1

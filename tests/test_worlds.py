@@ -121,6 +121,29 @@ def test_proposer_leaves_session_untouched():
     assert session.source() == before
 
 
+def test_proposer_turns_lint_races_into_worlds():
+    # the seeded slab2d defect plants an unsound PARALLEL mark; the
+    # race detector flags it, and that finding must become a proposal
+    # (RACE001 -> privatize the flagged scalar, then re-sweep)
+    from repro.lint.seeds import seeded_source
+    props, _ = propose_worlds(PedSession(seeded_source("slab2d")),
+                              max_worlds=12)
+    lint_props = [p for p in props if p.name.startswith("lint:")]
+    assert lint_props, [p.name for p in props]
+    p = lint_props[0]
+    assert p.name.startswith("lint:RACE")
+    assert p.rationale.startswith("lint RACE")
+    assert p.steps[-1] == WorldStep(op="autopar")
+    fix = p.steps[0]
+    assert fix.op in ("classify", "apply") and fix.loop
+
+
+def test_proposer_no_lint_worlds_on_clean_programs():
+    # dpmin auto-parallelizes cleanly: no race findings, no lint worlds
+    props, _ = propose_worlds(_session("dpmin"), max_worlds=12)
+    assert not [p for p in props if p.name.startswith("lint:")]
+
+
 # ---------------------------------------------------------------------------
 # exploration: determinism across workers x schedules x engines
 # ---------------------------------------------------------------------------
